@@ -1,0 +1,85 @@
+// bench/ablation_tricks.cpp
+//
+// Ablation over the paper's optimization tricks (Section IV):
+//
+//   serial           — no parallel runtime at all (cost floor reference)
+//   parallel_for     — the OpenMP-reference structure (static chunks, a
+//                      barrier after every loop)
+//   foreach          — trick "none": the naive 1:1 hpx::for_each port of the
+//                      related work [16]; task creation per loop plus a
+//                      barrier per loop.  The paper reports this loses to
+//                      OpenMP — this target reproduces that observation.
+//   taskgraph-fine   — all tricks, deliberately too-small partitions
+//   taskgraph-tuned  — all tricks, Table I partitions (the paper's config)
+//   taskgraph-coarse — all tricks but one task per wave (partition = ∞),
+//                      isolating the value of partitioning (T1): no
+//                      intra-wave parallelism remains.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    bench::sweep_options sweep = bench::parse_sweep(
+        argc, argv,
+        {.sizes = {12},
+         .threads = {static_cast<int>(std::min(4u, hw * 2))},
+         .regions = {11},
+         .iters = 30,
+         .reps = 3});
+    const int threads = sweep.threads.front();
+
+    std::cout << "=== Ablation: the paper's tricks, one at a time ===\n"
+              << "threads: " << threads << ", iterations: " << sweep.iters
+              << "\n\n";
+
+    std::vector<std::string> csv;
+    for (int size : sweep.sizes) {
+        lulesh::options problem;
+        problem.size = static_cast<lulesh::index_t>(size);
+        problem.num_regions = 11;
+        const auto tuned = bench::tuned_parts(size);
+        const lulesh::index_t inf = 1 << 30;
+
+        struct config {
+            const char* label;
+            const char* driver;
+            lulesh::partition_sizes parts;
+        };
+        const config configs[] = {
+            {"serial", "serial", tuned},
+            {"parallel_for (omp-style)", "parallel_for", tuned},
+            {"foreach (naive port)", "foreach", tuned},
+            {"taskgraph fine (P=32)", "taskgraph", {32, 32}},
+            {"taskgraph tuned (Table I)", "taskgraph", tuned},
+            {"taskgraph coarse (P=inf)", "taskgraph", {inf, inf}},
+        };
+
+        std::cout << "size " << size << ":\n";
+        double serial_seconds = 0.0;
+        for (const auto& cfg : configs) {
+            const auto m = bench::run_config_median(
+                problem, cfg.driver, static_cast<std::size_t>(threads),
+                cfg.parts, sweep.iters, sweep.reps);
+            if (cfg.driver == std::string("serial")) serial_seconds = m.seconds;
+            std::cout << "  " << std::left << std::setw(28) << cfg.label
+                      << std::setprecision(4) << std::setw(11) << m.seconds
+                      << "s";
+            if (serial_seconds > 0.0) {
+                std::cout << "  (" << std::setprecision(3)
+                          << serial_seconds / m.seconds << "x vs serial)";
+            }
+            if (m.tasks_per_iteration != 0) {
+                std::cout << "  [" << m.tasks_per_iteration << " tasks/iter]";
+            }
+            std::cout << "\n";
+            std::ostringstream row;
+            row << "CSV,ablation," << size << "," << cfg.label << ","
+                << m.seconds;
+            csv.push_back(row.str());
+        }
+        std::cout << "\n";
+    }
+    std::cout << "# size,config,seconds\n";
+    for (const auto& row : csv) std::cout << row << "\n";
+    return 0;
+}

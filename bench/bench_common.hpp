@@ -1,0 +1,194 @@
+// bench/bench_common.hpp
+//
+// Shared harness for the figure/table reproduction benchmarks: runs one
+// (driver, threads, size, regions, partitions) configuration for a capped
+// number of iterations and reports wall time plus the utilization counters
+// both runtimes expose.
+//
+// Every benchmark binary accepts:
+//   --sizes a,b,c     problem sizes to sweep (scaled-down defaults)
+//   --threads a,b,c   thread counts to sweep
+//   --regions a,b,c   region counts to sweep
+//   --iters n         iteration cap per run (AE-appendix style)
+//   --reps n          repetitions per configuration (median reported)
+//   --full            paper-exact parameters (sizes 45..150, threads 1..48;
+//                     hours of runtime — use on a real multicore machine)
+//
+// Results print as an aligned table followed by CSV rows prefixed "CSV,"
+// for machine consumption.
+
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "amt/amt.hpp"
+#include "core/driver_foreach.hpp"
+#include "core/driver_taskgraph.hpp"
+#include "lulesh/driver.hpp"
+#include "lulesh/driver_parallel_for.hpp"
+#include "ompsim/ompsim.hpp"
+
+namespace bench {
+
+struct measurement {
+    double seconds = 0.0;
+    double productive_ratio = 0.0;
+    int cycles = 0;
+    double final_origin_energy = 0.0;
+    std::size_t tasks_per_iteration = 0;  // taskgraph only
+};
+
+/// Runs one configuration to `iters` iterations and returns wall time and
+/// utilization.  `driver` is one of serial | parallel_for | foreach |
+/// taskgraph.
+inline measurement run_config(const lulesh::options& problem,
+                              const std::string& driver, std::size_t threads,
+                              lulesh::partition_sizes parts, int iters) {
+    measurement m;
+    lulesh::domain dom(problem);
+    if (driver == "serial") {
+        lulesh::serial_driver drv;
+        const auto r = lulesh::run_simulation(dom, drv, iters);
+        m.seconds = r.elapsed_seconds;
+        m.cycles = r.cycles;
+        m.final_origin_energy = r.final_origin_energy;
+        m.productive_ratio = 1.0;
+    } else if (driver == "parallel_for") {
+        ompsim::team team(threads);
+        lulesh::parallel_for_driver drv(team);
+        team.reset_timing();
+        const auto r = lulesh::run_simulation(dom, drv, iters);
+        m.seconds = r.elapsed_seconds;
+        m.cycles = r.cycles;
+        m.final_origin_energy = r.final_origin_energy;
+        m.productive_ratio = team.snapshot_timing().productive_ratio();
+    } else if (driver == "foreach") {
+        amt::runtime rt(threads);
+        lulesh::foreach_driver drv(rt);
+        rt.reset_counters();
+        const auto r = lulesh::run_simulation(dom, drv, iters);
+        m.seconds = r.elapsed_seconds;
+        m.cycles = r.cycles;
+        m.final_origin_energy = r.final_origin_energy;
+        m.productive_ratio = rt.snapshot_counters().productive_ratio();
+    } else {
+        amt::runtime rt(threads);
+        lulesh::taskgraph_driver drv(rt, parts);
+        rt.reset_counters();
+        const auto r = lulesh::run_simulation(dom, drv, iters);
+        m.seconds = r.elapsed_seconds;
+        m.cycles = r.cycles;
+        m.final_origin_energy = r.final_origin_energy;
+        m.productive_ratio = rt.snapshot_counters().productive_ratio();
+        m.tasks_per_iteration = drv.tasks_last_iteration();
+    }
+    return m;
+}
+
+/// Runs `reps` times and returns the measurement with median wall time.
+inline measurement run_config_median(const lulesh::options& problem,
+                                     const std::string& driver,
+                                     std::size_t threads,
+                                     lulesh::partition_sizes parts, int iters,
+                                     int reps) {
+    std::vector<measurement> ms;
+    ms.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        ms.push_back(run_config(problem, driver, threads, parts, iters));
+    }
+    std::sort(ms.begin(), ms.end(),
+              [](const measurement& a, const measurement& b) {
+                  return a.seconds < b.seconds;
+              });
+    return ms[ms.size() / 2];
+}
+
+struct sweep_options {
+    std::vector<int> sizes;
+    std::vector<int> threads;
+    std::vector<int> regions;
+    int iters = 40;
+    int reps = 1;
+    bool full = false;
+};
+
+inline std::vector<int> parse_int_list(const char* text) {
+    std::vector<int> out;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty()) out.push_back(std::stoi(item));
+    }
+    return out;
+}
+
+/// Parses the common sweep flags; unknown flags abort with usage.
+inline sweep_options parse_sweep(int argc, char** argv,
+                                 sweep_options defaults) {
+    sweep_options o = std::move(defaults);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto need = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " requires a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--sizes") {
+            o.sizes = parse_int_list(need("--sizes"));
+        } else if (arg == "--threads") {
+            o.threads = parse_int_list(need("--threads"));
+        } else if (arg == "--regions") {
+            o.regions = parse_int_list(need("--regions"));
+        } else if (arg == "--iters") {
+            o.iters = std::stoi(need("--iters"));
+        } else if (arg == "--reps") {
+            o.reps = std::stoi(need("--reps"));
+        } else if (arg == "--full") {
+            o.full = true;
+        } else {
+            std::cerr << "unknown flag " << arg
+                      << " (supported: --sizes --threads --regions --iters "
+                         "--reps --full)\n";
+            std::exit(1);
+        }
+    }
+    if (o.full) {
+        // Paper-exact sweep (Figure 9 / AE appendix).  The iteration caps of
+        // the appendix are applied per size by the individual benchmarks.
+        o.sizes = {45, 60, 75, 90, 120, 150};
+        o.threads = {1, 2, 4, 8, 16, 24, 32, 48};
+        o.regions = {11, 16, 21};
+    }
+    return o;
+}
+
+/// Iteration cap for a problem size: the AE appendix's values for the large
+/// paper sizes, scaled-down runs use the sweep's --iters.
+inline int ae_iteration_cap(int size, int default_iters) {
+    switch (size) {
+        case 75:
+            return 1500;
+        case 90:
+            return 770;
+        case 120:
+            return 360;
+        case 150:
+            return 180;
+        default:
+            return default_iters;
+    }
+}
+
+inline lulesh::partition_sizes tuned_parts(int size) {
+    return lulesh::partition_sizes::tuned_for(static_cast<lulesh::index_t>(size));
+}
+
+}  // namespace bench

@@ -1,0 +1,65 @@
+// bench/fig10_speedup_regions.cpp
+//
+// Reproduces Figure 10 of the paper: speed-up of the task-graph
+// implementation over the OpenMP-style baseline at a fixed thread count, for
+// varying problem sizes and region counts (11 / 16 / 21).  The paper's
+// claims to check:
+//   * speed-up is largest for the smallest problem size (up to 2.25x on
+//     24 cores) and decreases with size (1.33x at s = 150);
+//   * more regions help the task version: the baseline serializes one
+//     barrier-terminated loop sequence per region while the task count
+//     stays roughly constant.
+//
+// The paper fixes 24 threads; the default here is min(4, hardware), and
+// --threads overrides.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    bench::sweep_options sweep = bench::parse_sweep(
+        argc, argv,
+        {.sizes = {10, 15, 20},
+         .threads = {static_cast<int>(std::min(4u, hw * 2))},
+         .regions = {11, 16, 21},
+         .iters = 40,
+         .reps = 3});
+    const int threads = sweep.full ? 24 : sweep.threads.front();
+
+    std::cout << "=== Figure 10: task-graph speed-up vs regions ===\n"
+              << "threads: " << threads << " (paper: 24)\n\n";
+    std::cout << std::left << std::setw(6) << "size" << std::setw(9)
+              << "regions" << std::setw(15) << "omp-style(s)" << std::setw(15)
+              << "taskgraph(s)" << std::setw(10) << "speedup" << "\n";
+
+    std::vector<std::string> csv;
+    for (int size : sweep.sizes) {
+        const int iters = bench::ae_iteration_cap(size, sweep.iters);
+        const auto parts = bench::tuned_parts(size);
+        for (int regions : sweep.regions) {
+            lulesh::options problem;
+            problem.size = static_cast<lulesh::index_t>(size);
+            problem.num_regions = static_cast<lulesh::index_t>(regions);
+            const auto base = bench::run_config_median(
+                problem, "parallel_for", static_cast<std::size_t>(threads),
+                parts, iters, sweep.reps);
+            const auto task = bench::run_config_median(
+                problem, "taskgraph", static_cast<std::size_t>(threads), parts,
+                iters, sweep.reps);
+            const double speedup =
+                task.seconds > 0 ? base.seconds / task.seconds : 0.0;
+            std::cout << std::left << std::setw(6) << size << std::setw(9)
+                      << regions << std::setw(15) << std::setprecision(4)
+                      << base.seconds << std::setw(15) << task.seconds
+                      << std::setw(10) << speedup << "\n";
+            std::ostringstream row;
+            row << "CSV,fig10," << size << "," << regions << "," << threads
+                << "," << base.seconds << "," << task.seconds << "," << speedup;
+            csv.push_back(row.str());
+        }
+        std::cout << "\n";
+    }
+    std::cout << "# size,regions,threads,omp_seconds,task_seconds,speedup\n";
+    for (const auto& row : csv) std::cout << row << "\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+// bench/fig9_runtime_vs_threads.cpp
+//
+// Reproduces Figure 9 of the paper: LULESH runtime of the OpenMP-style
+// baseline vs the task-graph implementation for a sweep of problem sizes and
+// execution-thread counts.  The paper's claims to check:
+//   * the baseline is faster single-threaded (task creation overhead);
+//   * the task version overtakes as threads increase, earliest for small
+//     problem sizes;
+//   * both reach their best runtime at one thread per physical core.
+//
+// Default parameters are scaled down to finish quickly on a small machine;
+// pass --full on a 24-core host for the paper-exact sweep (with the AE
+// appendix's per-size iteration caps).
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    bench::sweep_options sweep = bench::parse_sweep(
+        argc, argv,
+        {.sizes = {10, 15, 20},
+         .threads = {1, 2, 4},
+         .regions = {11},
+         .iters = 40,
+         .reps = 3});
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::cout << "=== Figure 9: runtime vs execution threads ===\n"
+              << "host hardware threads: " << hw << "\n"
+              << "iteration cap: " << sweep.iters
+              << " (AE-appendix caps apply to paper sizes)\n\n";
+    std::cout << std::left << std::setw(6) << "size" << std::setw(9)
+              << "threads" << std::setw(15) << "omp-style(s)" << std::setw(15)
+              << "taskgraph(s)" << std::setw(10) << "speedup" << "\n";
+
+    std::vector<std::string> csv;
+    for (int size : sweep.sizes) {
+        lulesh::options problem;
+        problem.size = static_cast<lulesh::index_t>(size);
+        problem.num_regions = 11;
+        const int iters = bench::ae_iteration_cap(size, sweep.iters);
+        const auto parts = bench::tuned_parts(size);
+        for (int threads : sweep.threads) {
+            const auto base = bench::run_config_median(
+                problem, "parallel_for", static_cast<std::size_t>(threads),
+                parts, iters, sweep.reps);
+            const auto task = bench::run_config_median(
+                problem, "taskgraph", static_cast<std::size_t>(threads), parts,
+                iters, sweep.reps);
+            const double speedup =
+                task.seconds > 0 ? base.seconds / task.seconds : 0.0;
+            std::cout << std::left << std::setw(6) << size << std::setw(9)
+                      << threads << std::setw(15) << std::setprecision(4)
+                      << base.seconds << std::setw(15) << task.seconds
+                      << std::setw(10) << speedup << "\n";
+            std::ostringstream row;
+            row << "CSV,fig9," << size << "," << threads << "," << base.seconds
+                << "," << task.seconds << "," << speedup;
+            csv.push_back(row.str());
+        }
+        std::cout << "\n";
+    }
+    std::cout << "# size,threads,omp_seconds,task_seconds,speedup\n";
+    for (const auto& row : csv) std::cout << row << "\n";
+    return 0;
+}

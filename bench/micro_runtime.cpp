@@ -1,0 +1,224 @@
+// bench/micro_runtime.cpp
+//
+// google-benchmark microbenchmarks of the runtime substrates: the costs the
+// paper's tricks trade against each other — task spawn, continuation
+// chaining, when_all fan-in, deque throughput, fork-join barrier cost, and
+// the loop primitives of both runtimes on identical work.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "amt/amt.hpp"
+#include "ompsim/ompsim.hpp"
+
+namespace {
+
+// ---------- amt primitives ----------
+
+void BM_AmtTaskSpawnAndGet(benchmark::State& state) {
+    amt::runtime rt(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto f = amt::async([] { return 1; });
+        benchmark::DoNotOptimize(f.get());
+    }
+}
+BENCHMARK(BM_AmtTaskSpawnAndGet)->Arg(1)->Arg(2);
+
+void BM_AmtContinuationChain(benchmark::State& state) {
+    amt::runtime rt(1);
+    const int depth = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto f = amt::async([] { return 0; });
+        for (int i = 0; i < depth; ++i) {
+            f = f.then([](amt::future<int>&& v) { return v.get() + 1; });
+        }
+        benchmark::DoNotOptimize(f.get());
+    }
+    state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_AmtContinuationChain)->Arg(16)->Arg(128);
+
+void BM_AmtWhenAllFanIn(benchmark::State& state) {
+    amt::runtime rt(2);
+    const int width = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        std::vector<amt::future<void>> fs;
+        fs.reserve(static_cast<std::size_t>(width));
+        for (int i = 0; i < width; ++i) fs.push_back(amt::async([] {}));
+        amt::when_all_void(std::move(fs)).get();
+    }
+    state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_AmtWhenAllFanIn)->Arg(64)->Arg(512);
+
+void BM_WsDequePushPop(benchmark::State& state) {
+    amt::ws_deque d;
+    for (auto _ : state) {
+        d.push(amt::make_task([] {}).release());
+        delete d.pop();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WsDequePushPop);
+
+void BM_UniqueFunctionInvokeSmall(benchmark::State& state) {
+    int x = 0;
+    amt::unique_function<void()> f([&x] { ++x; });
+    for (auto _ : state) f();
+    benchmark::DoNotOptimize(x);
+}
+BENCHMARK(BM_UniqueFunctionInvokeSmall);
+
+void BM_ChannelSetGet(benchmark::State& state) {
+    amt::channel<int> ch;
+    for (auto _ : state) {
+        ch.set(1);
+        benchmark::DoNotOptimize(ch.get().get());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelSetGet);
+
+void BM_ChannelHaloPattern(benchmark::State& state) {
+    // One plane-sized message per direction per "iteration", like the
+    // distributed driver's corner exchange at s = 20 (400 elements/plane).
+    amt::runtime rt(2);
+    amt::channel<std::vector<double>> up;
+    amt::channel<std::vector<double>> down;
+    const std::size_t plane = 400 * 8 * 6;
+    std::vector<double> buf(plane, 1.0);
+    for (auto _ : state) {
+        up.set(buf);
+        down.set(buf);
+        benchmark::DoNotOptimize(up.get().get());
+        benchmark::DoNotOptimize(down.get().get());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(2 * plane * sizeof(double)));
+}
+BENCHMARK(BM_ChannelHaloPattern);
+
+void BM_LatchCountdown(benchmark::State& state) {
+    for (auto _ : state) {
+        amt::latch l(64);
+        for (int i = 0; i < 64; ++i) l.count_down();
+        l.wait();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_LatchCountdown);
+
+// ---------- ompsim primitives ----------
+
+void BM_OmpsimForkJoin(benchmark::State& state) {
+    ompsim::team team(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        team.parallel_region([](ompsim::region_context&) {});
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OmpsimForkJoin)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_OmpsimBarrier(benchmark::State& state) {
+    ompsim::team team(static_cast<std::size_t>(state.range(0)));
+    const int rounds = 64;
+    for (auto _ : state) {
+        team.parallel_region([&](ompsim::region_context& ctx) {
+            for (int i = 0; i < rounds; ++i) ctx.barrier();
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_OmpsimBarrier)->Arg(2)->Arg(4);
+
+// ---------- loop primitives on identical work ----------
+
+constexpr ompsim::index_t loop_n = 1 << 16;
+
+void BM_OmpsimParallelFor(benchmark::State& state) {
+    ompsim::team team(static_cast<std::size_t>(state.range(0)));
+    std::vector<double> data(static_cast<std::size_t>(loop_n), 1.0);
+    for (auto _ : state) {
+        team.parallel_for(0, loop_n, [&data](ompsim::index_t i) {
+            data[static_cast<std::size_t>(i)] *= 1.0000001;
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * loop_n);
+}
+BENCHMARK(BM_OmpsimParallelFor)->Arg(1)->Arg(2);
+
+void BM_AmtBulkChunks(benchmark::State& state) {
+    amt::runtime rt(static_cast<std::size_t>(state.range(0)));
+    std::vector<double> data(static_cast<std::size_t>(loop_n), 1.0);
+    for (auto _ : state) {
+        auto wave = amt::bulk_async(
+            rt, 0, loop_n, 4096, [&data](amt::index_t lo, amt::index_t hi) {
+                for (amt::index_t i = lo; i < hi; ++i) {
+                    data[static_cast<std::size_t>(i)] *= 1.0000001;
+                }
+            });
+        amt::when_all_void(std::move(wave)).get();
+    }
+    state.SetItemsProcessed(state.iterations() * loop_n);
+}
+BENCHMARK(BM_AmtBulkChunks)->Arg(1)->Arg(2);
+
+// The paper's central trade: four dependent loops as 4 barriers (Figure 5)
+// vs per-chunk continuation chains with 1 barrier (Figure 6).
+
+void BM_FourLoopsFourBarriers(benchmark::State& state) {
+    amt::runtime rt(2);
+    std::vector<double> data(static_cast<std::size_t>(loop_n), 1.0);
+    auto body = [&data](amt::index_t lo, amt::index_t hi) {
+        for (amt::index_t i = lo; i < hi; ++i) {
+            data[static_cast<std::size_t>(i)] *= 1.0000001;
+        }
+    };
+    for (auto _ : state) {
+        for (int loop = 0; loop < 4; ++loop) {
+            auto wave = amt::bulk_async(rt, 0, loop_n, 4096, body);
+            amt::when_all_void(std::move(wave)).get();  // barrier per loop
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * loop_n * 4);
+}
+BENCHMARK(BM_FourLoopsFourBarriers);
+
+void BM_FourLoopsChainedOneBarrier(benchmark::State& state) {
+    amt::runtime rt(2);
+    std::vector<double> data(static_cast<std::size_t>(loop_n), 1.0);
+    for (auto _ : state) {
+        std::vector<amt::future<void>> chains;
+        for (amt::index_t lo = 0; lo < loop_n; lo += 4096) {
+            const amt::index_t hi = std::min<amt::index_t>(lo + 4096, loop_n);
+            auto body = [&data, lo, hi] {
+                for (amt::index_t i = lo; i < hi; ++i) {
+                    data[static_cast<std::size_t>(i)] *= 1.0000001;
+                }
+            };
+            chains.push_back(amt::async(body)
+                                 .then([body](amt::future<void>&& f) mutable {
+                                     f.get();
+                                     body();
+                                 })
+                                 .then([body](amt::future<void>&& f) mutable {
+                                     f.get();
+                                     body();
+                                 })
+                                 .then([body](amt::future<void>&& f) mutable {
+                                     f.get();
+                                     body();
+                                 }));
+        }
+        amt::when_all_void(std::move(chains)).get();  // single barrier
+    }
+    state.SetItemsProcessed(state.iterations() * loop_n * 4);
+}
+BENCHMARK(BM_FourLoopsChainedOneBarrier);
+
+}  // namespace
+
+BENCHMARK_MAIN();

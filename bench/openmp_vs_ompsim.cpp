@@ -1,0 +1,71 @@
+// bench/openmp_vs_ompsim.cpp
+//
+// Substitution validation: the reproduction's baseline runtime (ompsim) vs
+// real OpenMP on the identical driver structure.  Built only when the
+// toolchain provides OpenMP.  The two drivers share every kernel and the
+// same loop/barrier pattern, so their runtime difference is purely
+// "hand-rolled fork-join vs libgomp" — if the ratio is near 1, ompsim is a
+// faithful stand-in for the paper's OpenMP reference baseline (the physics
+// is bitwise identical either way; see test_openmp_driver).
+
+#include "bench_common.hpp"
+#include "lulesh/driver_openmp.hpp"
+
+namespace {
+
+double run_openmp(const lulesh::options& problem, std::size_t threads,
+                  int iters) {
+    lulesh::domain dom(problem);
+    lulesh::openmp_driver drv(threads);
+    return lulesh::run_simulation(dom, drv, iters).elapsed_seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    bench::sweep_options sweep = bench::parse_sweep(
+        argc, argv,
+        {.sizes = {10, 15},
+         .threads = {1, static_cast<int>(std::min(4u, hw * 2))},
+         .regions = {11},
+         .iters = 30,
+         .reps = 3});
+
+    std::cout << "=== Substitution check: ompsim vs real OpenMP ===\n"
+              << "identical kernels and loop/barrier structure; physics is "
+                 "bitwise equal\n\n";
+    std::cout << std::left << std::setw(6) << "size" << std::setw(9)
+              << "threads" << std::setw(14) << "ompsim(s)" << std::setw(14)
+              << "OpenMP(s)" << std::setw(14) << "ompsim/omp" << "\n";
+
+    std::vector<std::string> csv;
+    for (int size : sweep.sizes) {
+        lulesh::options problem;
+        problem.size = static_cast<lulesh::index_t>(size);
+        problem.num_regions = 11;
+        for (int threads : sweep.threads) {
+            const auto sim = bench::run_config_median(
+                problem, "parallel_for", static_cast<std::size_t>(threads),
+                {}, sweep.iters, sweep.reps);
+            double best_omp = 1e300;
+            for (int r = 0; r < sweep.reps; ++r) {
+                best_omp = std::min(
+                    best_omp, run_openmp(problem,
+                                         static_cast<std::size_t>(threads),
+                                         sweep.iters));
+            }
+            std::cout << std::left << std::setw(6) << size << std::setw(9)
+                      << threads << std::setw(14) << std::setprecision(4)
+                      << sim.seconds << std::setw(14) << best_omp
+                      << std::setw(14) << sim.seconds / best_omp << "\n";
+            std::ostringstream row;
+            row << "CSV,ompsim_vs_openmp," << size << "," << threads << ","
+                << sim.seconds << "," << best_omp;
+            csv.push_back(row.str());
+        }
+    }
+    std::cout << "\n# size,threads,ompsim_seconds,openmp_seconds\n";
+    for (const auto& row : csv) std::cout << row << "\n";
+    return 0;
+}

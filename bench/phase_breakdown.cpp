@@ -1,0 +1,59 @@
+// bench/phase_breakdown.cpp
+//
+// Per-phase wall-time breakdown of the task-graph iteration across problem
+// sizes — the analysis behind the paper's Table I choice of *separate*
+// partition sizes for the LagrangeNodal and LagrangeElements phases, and its
+// remark that CalcTimeConstraintsForElems is negligible next to the two
+// Lagrange phases.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    bench::sweep_options sweep = bench::parse_sweep(
+        argc, argv,
+        {.sizes = {8, 12, 16, 20},
+         .threads = {static_cast<int>(std::min(4u, hw * 2))},
+         .regions = {11},
+         .iters = 30,
+         .reps = 1});
+    const auto threads = static_cast<std::size_t>(sweep.threads.front());
+
+    std::cout << "=== Phase breakdown of the task-graph iteration ===\n"
+              << "threads: " << threads << ", iterations: " << sweep.iters
+              << "\n\n";
+    std::cout << std::left << std::setw(6) << "size";
+    for (std::size_t p = 0; p < lulesh::phase_profile::num_phases; ++p) {
+        std::cout << std::setw(13) << lulesh::phase_profile::name(p);
+    }
+    std::cout << "\n";
+
+    std::vector<std::string> csv;
+    for (int size : sweep.sizes) {
+        lulesh::options problem;
+        problem.size = static_cast<lulesh::index_t>(size);
+        problem.num_regions = 11;
+        lulesh::domain dom(problem);
+        amt::runtime rt(threads);
+        lulesh::taskgraph_driver drv(rt, bench::tuned_parts(size));
+        lulesh::run_simulation(dom, drv, sweep.iters);
+
+        const auto& prof = drv.profile();
+        std::cout << std::left << std::setw(6) << size;
+        std::ostringstream row;
+        row << "CSV,phase," << size;
+        for (std::size_t p = 0; p < lulesh::phase_profile::num_phases; ++p) {
+            const double pct =
+                100.0 * prof.share(static_cast<lulesh::phase_profile::phase>(p));
+            std::ostringstream cell;
+            cell << std::fixed << std::setprecision(1) << pct << "%";
+            std::cout << std::setw(13) << cell.str();
+            row << "," << prof.seconds[p];
+        }
+        std::cout << "\n";
+        csv.push_back(row.str());
+    }
+    std::cout << "\n# size,force_s,node_s,elem_s,region_eos_s,constraints_s\n";
+    for (const auto& row : csv) std::cout << row << "\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+// bench/table1_partition_sweep.cpp
+//
+// Reproduces Table I of the paper: for each problem size, sweep the task
+// partition sizes of the LagrangeNodal and LagrangeElements phases and
+// report the runtime of every combination plus the best one.  The paper's
+// claims to check:
+//   * partition size matters — too fine explodes scheduling overhead, too
+//     coarse starves the load balancer;
+//   * the optimum moves to larger nodal partitions as the problem grows,
+//     saturating at 8192, while the element phase prefers mid-size
+//     partitions (and even *smaller* ones for the largest problems).
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    bench::sweep_options sweep = bench::parse_sweep(
+        argc, argv,
+        {.sizes = {12, 16},
+         .threads = {static_cast<int>(std::min(4u, hw * 2))},
+         .regions = {11},
+         .iters = 30,
+         .reps = 2});
+    const int threads = sweep.full ? 24 : sweep.threads.front();
+
+    // Partition candidates; --full uses the paper's range.
+    std::vector<int> candidates = sweep.full
+                                      ? std::vector<int>{1024, 2048, 4096,
+                                                         8192, 16384}
+                                      : std::vector<int>{64, 128, 256, 512,
+                                                         1024};
+
+    std::cout << "=== Table I: partition-size sweep ===\n"
+              << "threads: " << threads << "\n\n";
+
+    std::vector<std::string> csv;
+    for (int size : sweep.sizes) {
+        lulesh::options problem;
+        problem.size = static_cast<lulesh::index_t>(size);
+        problem.num_regions = 11;
+        const int iters = bench::ae_iteration_cap(size, sweep.iters);
+
+        std::cout << "size " << size << " (rows: nodal partition, columns: "
+                  << "element partition; cell: seconds)\n";
+        std::cout << std::left << std::setw(8) << "nod\\el";
+        for (int pe : candidates) std::cout << std::setw(11) << pe;
+        std::cout << "\n";
+
+        double best = 1e300;
+        int best_nodal = 0;
+        int best_elems = 0;
+        for (int pn : candidates) {
+            std::cout << std::left << std::setw(8) << pn;
+            for (int pe : candidates) {
+                lulesh::partition_sizes parts{
+                    static_cast<lulesh::index_t>(pn),
+                    static_cast<lulesh::index_t>(pe)};
+                const auto m = bench::run_config_median(
+                    problem, "taskgraph", static_cast<std::size_t>(threads),
+                    parts, iters, sweep.reps);
+                std::cout << std::setw(11) << std::setprecision(4) << m.seconds;
+                if (m.seconds < best) {
+                    best = m.seconds;
+                    best_nodal = pn;
+                    best_elems = pe;
+                }
+                std::ostringstream row;
+                row << "CSV,table1," << size << "," << pn << "," << pe << ","
+                    << m.seconds;
+                csv.push_back(row.str());
+            }
+            std::cout << "\n";
+        }
+        std::cout << "best for size " << size << ": nodal " << best_nodal
+                  << ", elems " << best_elems << " (" << std::setprecision(4)
+                  << best << " s); paper Table I tuned values: nodal "
+                  << bench::tuned_parts(size).nodal << ", elems "
+                  << bench::tuned_parts(size).elems << "\n\n";
+    }
+    std::cout << "# size,nodal_partition,elem_partition,seconds\n";
+    for (const auto& row : csv) std::cout << row << "\n";
+    return 0;
+}

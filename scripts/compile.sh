@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Build everything (the analogue of the paper artifact's compile.sh).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build build
+echo "Build complete. Binaries in build/{examples,bench,tests}."

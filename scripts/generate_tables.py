@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Summarize benchmark CSV rows into paper-style tables.
+
+The analogue of the paper artifact's generate-graphs.py, kept text-only so
+it runs without plotting dependencies.  Feed it any mix of the results/*.txt
+files produced by the bench binaries (they interleave human-readable tables
+with machine-readable lines starting with "CSV,<experiment>,...").
+
+Usage:
+    python3 scripts/generate_tables.py results/*.txt
+"""
+
+import sys
+from collections import defaultdict
+
+
+def load_rows(paths):
+    rows = defaultdict(list)
+    for path in paths:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line.startswith("CSV,"):
+                    continue
+                parts = line.split(",")
+                rows[parts[1]].append(parts[2:])
+    return rows
+
+
+def fmt(value, width=10):
+    try:
+        return f"{float(value):{width}.4g}"
+    except ValueError:
+        return f"{value:>{width}}"
+
+
+def table(title, header, data):
+    print(f"\n### {title}")
+    print("  " + "  ".join(f"{h:>10}" for h in header))
+    for row in data:
+        print("  " + "  ".join(fmt(v) for v in row))
+
+
+def summarize_fig9(rows):
+    # size, threads, omp_s, task_s, speedup
+    table("Figure 9 — runtime vs threads (speed-up = omp/task)",
+          ["size", "threads", "omp(s)", "task(s)", "speedup"], rows)
+    best = defaultdict(lambda: (0.0, None))
+    for size, threads, _, _, speedup in rows:
+        if float(speedup) > best[size][0]:
+            best[size] = (float(speedup), threads)
+    print("  best speed-up per size:")
+    for size, (s, threads) in sorted(best.items(), key=lambda kv: int(kv[0])):
+        print(f"    size {size}: {s:.2f}x at {threads} threads")
+
+
+def summarize_fig10(rows):
+    # size, regions, threads, omp_s, task_s, speedup
+    table("Figure 10 — speed-up vs regions",
+          ["size", "regions", "threads", "omp(s)", "task(s)", "speedup"], rows)
+    sizes = sorted({r[0] for r in rows}, key=int)
+    print("  speed-up trend with region count:")
+    for size in sizes:
+        ordered = sorted((r for r in rows if r[0] == size), key=lambda r: int(r[1]))
+        trend = " -> ".join(f"{float(r[5]):.2f}x@r{r[1]}" for r in ordered)
+        print(f"    size {size}: {trend}")
+
+
+def summarize_fig11(rows):
+    # size, threads, omp_ratio, task_ratio
+    table("Figure 11 — productive-time ratio",
+          ["size", "threads", "omp", "task"], rows)
+    for size, _, omp, task in rows:
+        gap = float(task) / float(omp) if float(omp) > 0 else float("inf")
+        print(f"    size {size}: task graph {gap:.2f}x more productive")
+
+
+def summarize_table1(rows):
+    # size, nodal, elems, seconds
+    by_size = defaultdict(list)
+    for size, nodal, elems, seconds in rows:
+        by_size[size].append((int(nodal), int(elems), float(seconds)))
+    print("\n### Table I — best partition sizes")
+    for size in sorted(by_size, key=int):
+        cells = by_size[size]
+        nodal, elems, seconds = min(cells, key=lambda c: c[2])
+        worst = max(cells, key=lambda c: c[2])
+        print(f"  size {size}: best (nodal={nodal}, elems={elems}) at "
+              f"{seconds:.4g}s; worst/best = {worst[2] / seconds:.2f}x")
+
+
+def summarize_generic(name, rows):
+    if not rows:
+        return
+    width = max(len(r) for r in rows)
+    table(name, [f"c{i}" for i in range(width)], rows)
+
+
+def main(paths):
+    if not paths:
+        print(__doc__)
+        return 1
+    rows = load_rows(paths)
+    if not rows:
+        print("no CSV rows found in the given files")
+        return 1
+    handlers = {
+        "fig9": summarize_fig9,
+        "fig10": summarize_fig10,
+        "fig11": summarize_fig11,
+        "table1": summarize_table1,
+    }
+    for name in sorted(rows):
+        handler = handlers.get(name)
+        if handler:
+            handler(rows[name])
+        else:
+            summarize_generic(name, rows[name])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

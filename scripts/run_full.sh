@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Paper-exact evaluation (the analogue of run-full.sh): sizes 45-150 and
+# threads 1-48 with the AE appendix's iteration caps.  Takes hours; intended
+# for a >= 16-core machine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results/full
+
+./build/bench/fig9_runtime_vs_threads --full | tee results/full/fig9.txt
+./build/bench/fig10_speedup_regions --full | tee results/full/fig10.txt
+./build/bench/fig11_utilization --full | tee results/full/fig11.txt
+./build/bench/table1_partition_sweep --full | tee results/full/table1.txt
+
+echo "Full-sweep results written to results/full/."

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Reduced evaluation (the analogue of the paper artifact's run-reduced.sh):
+# scaled-down sweeps of every figure/table that finish in a few minutes on a
+# small machine.  Results land in results/ as plain text with CSV rows.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+echo "== Figure 9: runtime vs threads =="
+./build/bench/fig9_runtime_vs_threads | tee results/fig9.txt
+echo "== Figure 10: speed-up vs regions =="
+./build/bench/fig10_speedup_regions | tee results/fig10.txt
+echo "== Figure 11: productive-time ratio =="
+./build/bench/fig11_utilization | tee results/fig11.txt
+echo "== Table I: partition sweep =="
+./build/bench/table1_partition_sweep | tee results/table1.txt
+echo "== Ablation =="
+./build/bench/ablation_tricks | tee results/ablation.txt
+echo "== Extension: distributed halo exchange =="
+./build/bench/dist_scaling | tee results/dist.txt
+echo "== Phase breakdown =="
+./build/bench/phase_breakdown | tee results/phase.txt
+
+echo
+echo "All reduced-sweep results written to results/."
+echo "Summarize with: python3 scripts/generate_tables.py results/*.txt"

@@ -1,0 +1,34 @@
+// amt/amt.hpp — umbrella header for the amt runtime.
+//
+// amt is a from-scratch asynchronous many-task (AMT) runtime: a single-
+// process analogue of the HPX programming framework covering the feature
+// subset used by "Speeding-Up LULESH on HPX" (SC 2024):
+//
+//   runtime     — work-stealing scheduler over N OS worker threads
+//   future<T>   — async result handle with .then() continuations
+//   promise<T>  — producer side
+//   async       — spawn a task, get a future (hpx::async)
+//   when_all    — non-blocking barrier combinator (hpx::when_all)
+//   wait_all    — blocking barrier (hpx::wait_all)
+//   dataflow    — run-when-ready over heterogeneous futures (hpx::dataflow)
+//   bulk_async / parallel_for_each / parallel_reduce — index-space helpers
+//   counters    — per-worker productive-time instrumentation (idle-rate)
+
+#pragma once
+
+#include "amt/algorithms.hpp"
+#include "amt/async.hpp"
+#include "amt/channel.hpp"
+#include "amt/config.hpp"
+#include "amt/counters.hpp"
+#include "amt/dataflow.hpp"
+#include "amt/deque.hpp"
+#include "amt/future.hpp"
+#include "amt/scheduler.hpp"
+#include "amt/shared_future.hpp"
+#include "amt/sync_primitives.hpp"
+#include "amt/task.hpp"
+#include "amt/unique_function.hpp"
+#include "amt/unwrap.hpp"
+#include "amt/when_all.hpp"
+#include "amt/when_any.hpp"

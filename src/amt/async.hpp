@@ -1,0 +1,59 @@
+// amt/async.hpp
+//
+// amt::async — create a task and immediately return a future for its result,
+// the analogue of hpx::async.  The calling thread never blocks; the task is
+// executed later by one of the runtime's workers.
+
+#pragma once
+
+#include <stdexcept>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "amt/future.hpp"
+#include "amt/scheduler.hpp"
+
+namespace amt {
+
+/// Schedules `f(args...)` on `rt` and returns a future for the result.
+/// Arguments are decay-copied into the task (like std::async); use
+/// std::ref/std::cref for by-reference capture.
+template <class F, class... Args>
+auto async(runtime& rt, F&& f, Args&&... args)
+    -> future<std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>...>> {
+    using R = std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>...>;
+    auto st = std::make_shared<detail::shared_state<R>>();
+    rt.post_fn([st, fn = std::decay_t<F>(std::forward<F>(f)),
+                tup = std::make_tuple(std::decay_t<Args>(
+                    std::forward<Args>(args))...)]() mutable {
+        auto call = [&fn, &tup]() -> R { return std::apply(fn, std::move(tup)); };
+        detail::fulfill(st, call);
+    });
+    return future<R>(std::move(st));
+}
+
+/// As above, targeting the active runtime.  Throws std::runtime_error when
+/// no runtime is alive — async with nowhere to run is a programming error we
+/// surface early rather than silently executing inline.
+template <class F, class... Args,
+          class = std::enable_if_t<!std::is_same_v<std::decay_t<F>, runtime>>>
+auto async(F&& f, Args&&... args) {
+    runtime* rt = runtime::active();
+    if (rt == nullptr) {
+        throw std::runtime_error("amt::async: no active amt::runtime");
+    }
+    return async(*rt, std::forward<F>(f), std::forward<Args>(args)...);
+}
+
+/// Fire-and-forget submission to the active runtime (hpx::post analogue).
+template <class F>
+void post(F&& f) {
+    runtime* rt = runtime::active();
+    if (rt == nullptr) {
+        throw std::runtime_error("amt::post: no active amt::runtime");
+    }
+    rt->post_fn(std::forward<F>(f));
+}
+
+}  // namespace amt

@@ -1,0 +1,31 @@
+// amt/config.hpp
+//
+// Build-time configuration constants for the amt (Asynchronous Many-Task)
+// runtime. amt is a from-scratch, single-process analogue of the HPX
+// programming framework: futures + continuations on top of a work-stealing
+// task scheduler. It implements exactly the subset of HPX that the paper
+// "Speeding-Up LULESH on HPX" (SC 2024) relies on.
+
+#pragma once
+
+#include <cstddef>
+
+namespace amt {
+
+/// Library version, kept in sync with the CMake project version.
+inline constexpr int version_major = 1;
+inline constexpr int version_minor = 0;
+inline constexpr int version_patch = 0;
+
+/// Size used to pad per-worker data structures so that hot counters owned by
+/// different workers never share a cache line.  64 bytes is correct for all
+/// current x86-64 parts; on some ARM parts 128 would be needed, which is why
+/// this is a named constant rather than a literal.
+inline constexpr std::size_t cache_line_size = 64;
+
+/// Initial capacity (in tasks) of a worker's Chase-Lev deque.  The deque
+/// grows geometrically, so this only affects startup; it must be a power of
+/// two.
+inline constexpr std::size_t initial_deque_capacity = 256;
+
+}  // namespace amt

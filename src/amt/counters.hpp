@@ -1,0 +1,63 @@
+// amt/counters.hpp
+//
+// Per-worker performance counters, the analogue of HPX's
+// /threads/idle-rate counter family that the paper uses for its Figure 11
+// utilization experiment.  Each worker owns one cache-line-padded
+// `worker_counters`; the runtime aggregates them into snapshots on demand.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "amt/config.hpp"
+
+namespace amt {
+
+/// Monotonic clock used for all runtime-internal timing.
+using clock = std::chrono::steady_clock;
+
+/// Counters owned by a single worker thread.  Only that worker writes them;
+/// readers (snapshot) tolerate slight staleness, hence plain (relaxed)
+/// members padded to a cache line to avoid false sharing.
+struct alignas(cache_line_size) worker_counters {
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t steals = 0;          ///< successful steals from a victim
+    std::uint64_t steal_attempts = 0;  ///< victim probes, successful or not
+    std::uint64_t productive_ns = 0;   ///< time spent inside task bodies
+};
+
+/// Aggregated view over all workers at one instant.
+struct counters_snapshot {
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t steal_attempts = 0;
+    std::uint64_t productive_ns = 0;
+    std::uint64_t wall_ns = 0;   ///< wall time since runtime start / last reset
+    std::size_t num_workers = 0;
+
+    /// Fraction of total worker-seconds spent executing task bodies —
+    /// the quantity plotted in the paper's Figure 11.
+    [[nodiscard]] double productive_ratio() const {
+        const double denom =
+            static_cast<double>(wall_ns) * static_cast<double>(num_workers);
+        return denom > 0.0 ? static_cast<double>(productive_ns) / denom : 0.0;
+    }
+};
+
+/// Difference of two snapshots taken from the same runtime, for measuring a
+/// window of execution (e.g. the timed region of a benchmark).
+inline counters_snapshot delta(const counters_snapshot& begin,
+                               const counters_snapshot& end) {
+    counters_snapshot d;
+    d.tasks_executed = end.tasks_executed - begin.tasks_executed;
+    d.steals = end.steals - begin.steals;
+    d.steal_attempts = end.steal_attempts - begin.steal_attempts;
+    d.productive_ns = end.productive_ns - begin.productive_ns;
+    d.wall_ns = end.wall_ns - begin.wall_ns;
+    d.num_workers = end.num_workers;
+    return d;
+}
+
+}  // namespace amt

@@ -1,0 +1,65 @@
+// amt/dataflow.hpp
+//
+// amt::dataflow — run a function once a heterogeneous set of futures is
+// ready, the analogue of hpx::dataflow.  The function receives the (ready)
+// futures by rvalue, exactly like a then() continuation receives its single
+// antecedent.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "amt/future.hpp"
+#include "amt/scheduler.hpp"
+
+namespace amt {
+
+/// dataflow(f, f1, f2, ...): when every fi is ready, schedules
+/// f(std::move(f1), std::move(f2), ...) as a new task and returns a future
+/// for its result.
+template <class F, class... Ts>
+auto dataflow(F&& f, future<Ts>&&... fs)
+    -> future<std::invoke_result_t<std::decay_t<F>, future<Ts>&&...>> {
+    using R = std::invoke_result_t<std::decay_t<F>, future<Ts>&&...>;
+    static_assert(sizeof...(Ts) > 0, "dataflow needs at least one future");
+
+    struct ctx_t {
+        explicit ctx_t(std::decay_t<F>&& fn_, future<Ts>&&... fs_)
+            : fn(std::move(fn_)), inputs(std::move(fs_)...) {}
+        std::atomic<std::size_t> remaining{sizeof...(Ts)};
+        std::decay_t<F> fn;
+        std::tuple<future<Ts>...> inputs;
+        detail::state_ptr<R> st = std::make_shared<detail::shared_state<R>>();
+    };
+    auto ctx = std::make_shared<ctx_t>(std::decay_t<F>(std::forward<F>(f)),
+                                       std::move(fs)...);
+    auto result = future<R>(ctx->st);
+
+    auto arm = [&ctx](auto& input) {
+        input.raw_state()->add_callback([ctx] {
+            if (ctx->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+                return;
+            }
+            auto run = [ctx] {
+                std::apply(
+                    [&](auto&... ready) {
+                        detail::fulfill(ctx->st, ctx->fn, std::move(ready)...);
+                    },
+                    ctx->inputs);
+            };
+            if (runtime* rt = runtime::active()) {
+                rt->post_fn(std::move(run));
+            } else {
+                run();
+            }
+        });
+    };
+    std::apply([&](auto&... inputs) { (arm(inputs), ...); }, ctx->inputs);
+    return result;
+}
+
+}  // namespace amt

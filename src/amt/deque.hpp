@@ -1,0 +1,161 @@
+// amt/deque.hpp
+//
+// Chase-Lev work-stealing deque.
+//
+// Single owner thread pushes and pops at the bottom (LIFO — keeps the
+// working set hot in cache); any number of thief threads steal from the top
+// (FIFO — steals the oldest, typically largest-granularity work).  This is
+// the memory-model-correct formulation from Lê, Pop, Cohen & Nardelli,
+// "Correct and Efficient Work-Stealing for Weak Memory Models" (PPoPP'13).
+//
+// Slots hold raw `task_base*`; ownership is transferred to whichever thread
+// successfully removes an element.  Rings retired by `grow()` are kept alive
+// until the deque is destroyed because a concurrent thief may still be
+// reading the old ring's slots; the per-ring footprint is small (pointers
+// only) and growth is geometric, so total retained memory is at most 2x the
+// peak ring size.
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "amt/config.hpp"
+#include "amt/task.hpp"
+
+namespace amt {
+
+class ws_deque {
+    struct ring {
+        explicit ring(std::int64_t cap)
+            : capacity(cap), mask(cap - 1),
+              slots(std::make_unique<std::atomic<task_base*>[]>(
+                  static_cast<std::size_t>(cap))) {
+            assert((cap & (cap - 1)) == 0 && "capacity must be a power of two");
+        }
+
+        task_base* load(std::int64_t i) const noexcept {
+            return slots[static_cast<std::size_t>(i & mask)].load(
+                std::memory_order_relaxed);
+        }
+        void store(std::int64_t i, task_base* t) noexcept {
+            slots[static_cast<std::size_t>(i & mask)].store(
+                t, std::memory_order_relaxed);
+        }
+
+        std::int64_t capacity;
+        std::int64_t mask;
+        std::unique_ptr<std::atomic<task_base*>[]> slots;
+    };
+
+public:
+    explicit ws_deque(
+        std::size_t initial_capacity = initial_deque_capacity)
+        : top_(0), bottom_(0) {
+        rings_.push_back(
+            std::make_unique<ring>(static_cast<std::int64_t>(initial_capacity)));
+        active_.store(rings_.back().get(), std::memory_order_relaxed);
+    }
+
+    ws_deque(const ws_deque&) = delete;
+    ws_deque& operator=(const ws_deque&) = delete;
+
+    ~ws_deque() {
+        // Drain anything left so tasks are not leaked on shutdown.
+        while (task_base* t = pop()) delete t;
+    }
+
+    /// Owner only.  Takes ownership of `t`.
+    void push(task_base* t) {
+        std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        std::int64_t tp = top_.load(std::memory_order_acquire);
+        ring* r = active_.load(std::memory_order_relaxed);
+        if (b - tp > r->capacity - 1) {
+            r = grow(r, b, tp);
+        }
+        r->store(b, t);
+        // The release fence pairs with the acquire load of `bottom_` in
+        // steal(): a thief that observes the new bottom also observes the
+        // slot contents.
+        std::atomic_thread_fence(std::memory_order_release);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+
+    /// Owner only.  Returns nullptr when empty; otherwise transfers
+    /// ownership to the caller.
+    task_base* pop() {
+        std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+        ring* r = active_.load(std::memory_order_relaxed);
+        bottom_.store(b, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_relaxed);
+
+        task_base* result = nullptr;
+        if (t <= b) {
+            result = r->load(b);
+            if (t == b) {
+                // Last element: race against thieves via CAS on top.
+                if (!top_.compare_exchange_strong(t, t + 1,
+                                                  std::memory_order_seq_cst,
+                                                  std::memory_order_relaxed)) {
+                    result = nullptr;  // a thief won
+                }
+                bottom_.store(b + 1, std::memory_order_relaxed);
+            }
+        } else {
+            bottom_.store(b + 1, std::memory_order_relaxed);
+        }
+        return result;
+    }
+
+    /// Thief side, any thread.  Returns nullptr when empty or when losing a
+    /// race; otherwise transfers ownership to the caller.
+    task_base* steal() {
+        std::int64_t t = top_.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        std::int64_t b = bottom_.load(std::memory_order_acquire);
+
+        task_base* result = nullptr;
+        if (t < b) {
+            ring* r = active_.load(std::memory_order_consume);
+            result = r->load(t);
+            if (!top_.compare_exchange_strong(t, t + 1,
+                                              std::memory_order_seq_cst,
+                                              std::memory_order_relaxed)) {
+                return nullptr;  // lost the race
+            }
+        }
+        return result;
+    }
+
+    /// Approximate size; exact only when quiescent.
+    std::size_t size_approx() const noexcept {
+        std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        std::int64_t t = top_.load(std::memory_order_relaxed);
+        return b > t ? static_cast<std::size_t>(b - t) : 0;
+    }
+
+    bool empty_approx() const noexcept { return size_approx() == 0; }
+
+private:
+    ring* grow(ring* old, std::int64_t b, std::int64_t t) {
+        auto bigger = std::make_unique<ring>(old->capacity * 2);
+        for (std::int64_t i = t; i < b; ++i) bigger->store(i, old->load(i));
+        ring* raw = bigger.get();
+        rings_.push_back(std::move(bigger));  // old ring retired, kept alive
+        active_.store(raw, std::memory_order_release);
+        return raw;
+    }
+
+    alignas(cache_line_size) std::atomic<std::int64_t> top_;
+    alignas(cache_line_size) std::atomic<std::int64_t> bottom_;
+    alignas(cache_line_size) std::atomic<ring*> active_;
+
+    // Owner-only; append happens in grow() (owner context).
+    std::vector<std::unique_ptr<ring>> rings_;
+};
+
+}  // namespace amt

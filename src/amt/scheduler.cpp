@@ -1,0 +1,270 @@
+// amt/scheduler.cpp — work-stealing scheduler implementation.
+
+#include "amt/scheduler.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+
+namespace amt {
+
+std::atomic<runtime*> runtime::active_{nullptr};
+
+namespace {
+
+thread_local current_worker_info tls_worker{};
+
+/// xorshift64* — cheap thread-local PRNG for victim selection.  Quality
+/// requirements are minimal; speed and statelessness across calls matter.
+inline std::uint64_t next_rng(std::uint64_t& s) noexcept {
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return s * 0x2545F4914F6CDD1DULL;
+}
+
+}  // namespace
+
+const current_worker_info& current_worker() noexcept { return tls_worker; }
+
+runtime::runtime(runtime_options opts) : opts_(opts) {
+    std::size_t n = opts_.num_workers;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0) n = 1;
+    }
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        workers_.push_back(std::make_unique<worker>(i));
+        // Seed must be nonzero for xorshift; mix the index in.
+        workers_[i]->rng_state = 0x9E3779B97F4A7C15ULL * (i + 1) + 1;
+    }
+    start_time_ = clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+        worker* w = workers_[i].get();
+        w->thread = std::thread([this, w] { worker_loop(*w); });
+    }
+    active_.store(this, std::memory_order_release);
+}
+
+runtime::~runtime() {
+    // Drain: wait until every queue is empty and all workers are idle.  The
+    // public contract is that destroying the runtime after all futures the
+    // caller cares about are ready is safe; queued fire-and-forget tasks are
+    // still completed here.
+    for (;;) {
+        bool any = false;
+        {
+            std::lock_guard lk(global_mu_);
+            any = !global_queue_.empty();
+        }
+        if (!any) {
+            for (auto& w : workers_) {
+                if (!w->queue.empty_approx()) {
+                    any = true;
+                    break;
+                }
+            }
+        }
+        if (!any) break;
+        std::this_thread::yield();
+    }
+
+    shutdown_.store(true, std::memory_order_release);
+    {
+        std::lock_guard lk(sleep_mu_);
+        ++epoch_;
+    }
+    sleep_cv_.notify_all();
+    for (auto& w : workers_) {
+        if (w->thread.joinable()) w->thread.join();
+    }
+
+    runtime* self = this;
+    active_.compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+}
+
+runtime* runtime::active() noexcept {
+    return active_.load(std::memory_order_acquire);
+}
+
+bool runtime::on_worker_thread() const noexcept {
+    return tls_worker.rt == this;
+}
+
+void runtime::post(task_ptr t) {
+    assert(t && "posting a null task");
+    task_base* raw = t.release();
+    if (tls_worker.rt == this) {
+        workers_[tls_worker.index]->queue.push(raw);
+    } else {
+        std::lock_guard lk(global_mu_);
+        global_queue_.push_back(raw);
+    }
+    notify_workers();
+}
+
+void runtime::notify_workers() {
+    {
+        std::lock_guard lk(sleep_mu_);
+        ++epoch_;
+    }
+    sleep_cv_.notify_one();
+}
+
+task_base* runtime::try_pop_global() {
+    std::lock_guard lk(global_mu_);
+    if (global_queue_.empty()) return nullptr;
+    task_base* t = global_queue_.front();
+    global_queue_.pop_front();
+    return t;
+}
+
+task_base* runtime::try_steal(std::size_t self_index,
+                              std::uint64_t& rng_state) {
+    const std::size_t n = workers_.size();
+    if (n <= 1) return nullptr;
+    // One full sweep starting at a random victim.
+    const std::size_t start =
+        static_cast<std::size_t>(next_rng(rng_state) % n);
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t v = (start + k) % n;
+        if (v == self_index) continue;
+        if (task_base* t = workers_[v]->queue.steal()) return t;
+    }
+    return nullptr;
+}
+
+task_base* runtime::find_work(worker& self) {
+    if (task_base* t = self.queue.pop()) return t;
+    ++self.counters.steal_attempts;
+    if (task_base* t = try_steal(self.index, self.rng_state)) {
+        ++self.counters.steals;
+        return t;
+    }
+    return try_pop_global();
+}
+
+void runtime::execute(task_base* raw, worker_counters& c) {
+    task_ptr t(raw);
+    if (opts_.enable_timing) {
+        const auto t0 = clock::now();
+        t->execute();
+        c.productive_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                 t0)
+                .count());
+    } else {
+        t->execute();
+    }
+    ++c.tasks_executed;
+}
+
+void runtime::worker_loop(worker& self) {
+    tls_worker = current_worker_info{this, self.index};
+
+    std::size_t idle_rounds = 0;
+    while (true) {
+        if (task_base* t = find_work(self)) {
+            execute(t, self.counters);
+            idle_rounds = 0;
+            continue;
+        }
+        if (shutdown_.load(std::memory_order_acquire)) break;
+
+        if (++idle_rounds < opts_.spin_rounds_before_sleep) {
+            std::this_thread::yield();
+            continue;
+        }
+
+        // Park.  Sample the epoch, do one more probe, and only sleep if no
+        // post happened in between (otherwise a task may have been pushed
+        // after our probes but before the wait).
+        std::uint64_t seen;
+        {
+            std::lock_guard lk(sleep_mu_);
+            seen = epoch_;
+        }
+        if (task_base* t = find_work(self)) {
+            execute(t, self.counters);
+            idle_rounds = 0;
+            continue;
+        }
+        if (shutdown_.load(std::memory_order_acquire)) break;
+        {
+            std::unique_lock lk(sleep_mu_);
+            if (epoch_ == seen && !shutdown_.load(std::memory_order_acquire)) {
+                // Bounded wait as a belt-and-braces recovery for the rare
+                // case of a steal that failed spuriously under contention.
+                sleep_cv_.wait_for(lk, std::chrono::milliseconds(2));
+            }
+        }
+        idle_rounds = 0;
+    }
+
+    tls_worker = current_worker_info{};
+}
+
+bool runtime::try_run_one() {
+    if (tls_worker.rt == this) {
+        worker& self = *workers_[tls_worker.index];
+        if (task_base* t = find_work(self)) {
+            execute(t, self.counters);
+            return true;
+        }
+        return false;
+    }
+    // External thread: poll the global queue, then steal.
+    task_base* t = try_pop_global();
+    if (t == nullptr) {
+        std::uint64_t rng =
+            0xD1B54A32D192ED03ULL ^
+            static_cast<std::uint64_t>(
+                std::hash<std::thread::id>{}(std::this_thread::get_id()));
+        if (rng == 0) rng = 1;
+        t = try_steal(workers_.size(), rng);  // self_index out of range: steal from anyone
+    }
+    if (t == nullptr) return false;
+    worker_counters local{};
+    execute(t, local);
+    {
+        std::lock_guard lk(external_mu_);
+        external_counters_.tasks_executed += local.tasks_executed;
+        external_counters_.productive_ns += local.productive_ns;
+    }
+    return true;
+}
+
+counters_snapshot runtime::snapshot_counters() const {
+    counters_snapshot s;
+    s.num_workers = workers_.size();
+    for (const auto& w : workers_) {
+        s.tasks_executed += w->counters.tasks_executed;
+        s.steals += w->counters.steals;
+        s.steal_attempts += w->counters.steal_attempts;
+        s.productive_ns += w->counters.productive_ns;
+    }
+    {
+        std::lock_guard lk(const_cast<std::mutex&>(external_mu_));
+        s.tasks_executed += external_counters_.tasks_executed;
+        s.productive_ns += external_counters_.productive_ns;
+    }
+    s.wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_time_)
+            .count());
+    return s;
+}
+
+void runtime::reset_counters() {
+    // Workers race with this only benignly (counter deltas may be attributed
+    // to either window); reset is intended for use at quiescent points.
+    for (auto& w : workers_) w->counters = worker_counters{};
+    {
+        std::lock_guard lk(external_mu_);
+        external_counters_ = worker_counters{};
+    }
+    start_time_ = clock::now();
+}
+
+}  // namespace amt

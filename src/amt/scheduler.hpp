@@ -1,0 +1,147 @@
+// amt/scheduler.hpp
+//
+// The amt work-stealing task scheduler, modelled after HPX's default
+// "priority local" scheduling policy (without priorities, which the paper
+// explicitly does not use): every worker owns a private Chase-Lev deque and
+// services it LIFO; idle workers steal FIFO from random victims, falling
+// back to a global injection queue that receives tasks posted from
+// non-worker threads.
+//
+// Lifetime model: a `runtime` is an ordinary object.  Constructing one
+// registers it as the *active* runtime (an ambient pointer used by the free
+// functions amt::async / amt::post); destroying it waits for the workers to
+// drain and unregisters it.  Benchmarks that sweep thread counts simply
+// construct one runtime per configuration.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "amt/config.hpp"
+#include "amt/counters.hpp"
+#include "amt/deque.hpp"
+#include "amt/task.hpp"
+
+namespace amt {
+
+struct runtime_options {
+    /// Number of OS worker threads.  0 selects hardware_concurrency().
+    std::size_t num_workers = 0;
+
+    /// Record per-task productive time (needed for counters_snapshot::
+    /// productive_ratio, i.e. the paper's Figure 11).  Costs two steady_clock
+    /// reads per task; disable for task-spawn microbenchmarks.
+    bool enable_timing = true;
+
+    /// Rounds of (local pop + full steal sweep + global poll) an idle worker
+    /// performs before parking on the wakeup condition variable.
+    std::size_t spin_rounds_before_sleep = 64;
+};
+
+class runtime {
+public:
+    explicit runtime(runtime_options opts);
+    explicit runtime(std::size_t num_workers)
+        : runtime(runtime_options{.num_workers = num_workers}) {}
+    runtime() : runtime(runtime_options{}) {}
+
+    runtime(const runtime&) = delete;
+    runtime& operator=(const runtime&) = delete;
+
+    /// Blocks until all queued tasks have run, then joins the workers.
+    ~runtime();
+
+    /// Submits a task for asynchronous execution.  Callable from any thread.
+    /// From a worker thread the task goes to that worker's own deque (the
+    /// cheap, common path for continuations); otherwise to the global
+    /// injection queue.
+    void post(task_ptr t);
+
+    template <class F>
+    void post_fn(F&& f) {
+        post(make_task(std::forward<F>(f)));
+    }
+
+    [[nodiscard]] std::size_t num_workers() const noexcept {
+        return workers_.size();
+    }
+
+    /// True when the calling thread is one of this runtime's workers.
+    [[nodiscard]] bool on_worker_thread() const noexcept;
+
+    /// Executes at most one pending task on the calling thread.  Used by
+    /// futures for cooperative waiting on worker threads.  Returns false if
+    /// no runnable task was found.
+    bool try_run_one();
+
+    /// Aggregated counters since construction or the last reset_counters().
+    [[nodiscard]] counters_snapshot snapshot_counters() const;
+    void reset_counters();
+
+    /// The most recently constructed, still-alive runtime, or nullptr.
+    /// Free functions (amt::async etc.) target this runtime.
+    static runtime* active() noexcept;
+
+private:
+    struct worker;
+
+    void worker_loop(worker& self);
+    task_base* find_work(worker& self);
+    task_base* try_pop_global();
+    task_base* try_steal(std::size_t self_index, std::uint64_t& rng_state);
+    void execute(task_base* raw, worker_counters& c);
+    void notify_workers();
+
+    struct alignas(cache_line_size) worker {
+        explicit worker(std::size_t idx) : index(idx) {}
+        std::size_t index;
+        ws_deque queue;
+        worker_counters counters;
+        std::uint64_t rng_state = 0;
+        std::thread thread;
+    };
+
+    runtime_options opts_;
+    std::vector<std::unique_ptr<worker>> workers_;
+
+    // Global injection queue for tasks posted from non-worker threads.
+    std::mutex global_mu_;
+    std::deque<task_base*> global_queue_;
+
+    // Wakeup machinery.  `epoch_` increments on every post; a worker that is
+    // about to park re-checks the epoch it sampled before its final queue
+    // probe, which closes the lost-wakeup window.
+    std::mutex sleep_mu_;
+    std::condition_variable sleep_cv_;
+    std::uint64_t epoch_ = 0;
+    std::atomic<bool> shutdown_{false};
+
+    // Counters not owned by a specific worker: tasks executed cooperatively
+    // by external threads inside future waits.
+    worker_counters external_counters_;
+    std::mutex external_mu_;
+
+    clock::time_point start_time_;
+
+    static std::atomic<runtime*> active_;
+};
+
+/// RAII helper: true while the calling thread is inside runtime::execute,
+/// used to distinguish "worker executing a task" from "worker in scheduler
+/// bookkeeping" for assertions and for nested-blocking decisions.
+struct current_worker_info {
+    runtime* rt = nullptr;
+    std::size_t index = 0;
+};
+
+/// Worker context of the calling thread (nullptr runtime if not a worker).
+const current_worker_info& current_worker() noexcept;
+
+}  // namespace amt

@@ -1,0 +1,107 @@
+// amt/shared_future.hpp
+//
+// shared_future<T> — a copyable handle to a shared state, allowing multiple
+// consumers and multiple continuations on one result (hpx::shared_future
+// analogue).  get() returns a const reference to the stored value rather
+// than moving it out; then() does not consume the handle.
+
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "amt/future.hpp"
+
+namespace amt {
+
+template <class T>
+class shared_future {
+public:
+    shared_future() noexcept = default;
+
+    /// Converts (consumes) a unique future into a shared one.
+    shared_future(future<T>&& f) : state_(f.raw_state()) {
+        // Take ownership: the source future is emptied via move-out.
+        future<T> consumed = std::move(f);
+        state_ = consumed.raw_state();
+    }
+
+    shared_future(const shared_future&) = default;
+    shared_future& operator=(const shared_future&) = default;
+    shared_future(shared_future&&) noexcept = default;
+    shared_future& operator=(shared_future&&) noexcept = default;
+
+    [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+    [[nodiscard]] bool is_ready() const {
+        return state_ != nullptr && state_->is_ready();
+    }
+
+    void wait() const {
+        throw_if_invalid();
+        state_->wait();
+    }
+
+    /// Blocks until ready; returns a const reference to the value (void for
+    /// T = void).  Unlike future::get, does not consume and may be called
+    /// any number of times from any thread.
+    decltype(auto) get() const {
+        throw_if_invalid();
+        state_->wait();
+        if constexpr (std::is_void_v<T>) {
+            state_->peek_value();
+        } else {
+            return state_->peek_value();
+        }
+    }
+
+    /// Attaches a continuation `f(const shared_future<T>&)`; the handle
+    /// stays valid and more continuations may be attached.
+    template <class F>
+    auto then(launch policy, F&& f)
+        -> future<std::invoke_result_t<F, const shared_future<T>&>> {
+        using R = std::invoke_result_t<F, const shared_future<T>&>;
+        throw_if_invalid();
+        auto next = std::make_shared<detail::shared_state<R>>();
+        auto self = *this;
+
+        auto run = [self, next, fn = std::forward<F>(f)]() mutable {
+            detail::fulfill(next, fn, static_cast<const shared_future<T>&>(self));
+        };
+        if (policy == launch::sync) {
+            state_->add_callback(std::move(run));
+        } else {
+            state_->add_callback([run = std::move(run)]() mutable {
+                if (runtime* rt = runtime::active()) {
+                    rt->post_fn(std::move(run));
+                } else {
+                    run();
+                }
+            });
+        }
+        return future<R>(std::move(next));
+    }
+
+    template <class F>
+    auto then(F&& f) {
+        return then(launch::async, std::forward<F>(f));
+    }
+
+    [[nodiscard]] const detail::state_ptr<T>& raw_state() const noexcept {
+        return state_;
+    }
+
+private:
+    void throw_if_invalid() const {
+        if (state_ == nullptr) throw std::future_error(std::future_errc::no_state);
+    }
+
+    detail::state_ptr<T> state_;
+};
+
+/// future<T>::share() free-function form.
+template <class T>
+shared_future<T> share(future<T>&& f) {
+    return shared_future<T>(std::move(f));
+}
+
+}  // namespace amt

@@ -1,0 +1,176 @@
+// amt/sync_primitives.hpp
+//
+// Cooperative synchronization primitives in the style of hpx::latch,
+// hpx::barrier, and hpx::counting_semaphore.  "Cooperative" means a worker
+// thread that would block instead executes pending tasks (via the same
+// mechanism as future::wait), so these are safe to use *inside* tasks even
+// on a single-worker runtime.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+
+#include "amt/scheduler.hpp"
+
+namespace amt {
+
+namespace detail {
+
+/// Waits until `pred()` is true: cooperatively on worker threads, on the
+/// given condvar otherwise.  `mu` must be the mutex guarding the predicate
+/// state and must be *unlocked* when calling.
+template <class Pred>
+void cooperative_wait(std::mutex& mu, std::condition_variable& cv,
+                      Pred&& pred) {
+    runtime* rt = runtime::active();
+    const bool on_worker = rt != nullptr && rt->on_worker_thread();
+    if (on_worker) {
+        for (;;) {
+            {
+                std::lock_guard lk(mu);
+                if (pred()) return;
+            }
+            if (!rt->try_run_one()) std::this_thread::yield();
+        }
+    }
+    std::unique_lock lk(mu);
+    cv.wait(lk, std::forward<Pred>(pred));
+}
+
+}  // namespace detail
+
+/// Single-use countdown latch (hpx::latch / std::latch analogue).
+class latch {
+public:
+    explicit latch(std::ptrdiff_t expected) : count_(expected) {}
+    latch(const latch&) = delete;
+    latch& operator=(const latch&) = delete;
+
+    /// Decrements the count by n; threads blocked in wait() are released
+    /// when it reaches zero.
+    void count_down(std::ptrdiff_t n = 1) {
+        std::ptrdiff_t remaining;
+        {
+            std::lock_guard lk(mu_);
+            count_ -= n;
+            remaining = count_;
+        }
+        if (remaining <= 0) cv_.notify_all();
+    }
+
+    [[nodiscard]] bool try_wait() const {
+        std::lock_guard lk(mu_);
+        return count_ <= 0;
+    }
+
+    void wait() const {
+        detail::cooperative_wait(mu_, cv_, [this] { return count_ <= 0; });
+    }
+
+    void arrive_and_wait(std::ptrdiff_t n = 1) {
+        count_down(n);
+        wait();
+    }
+
+private:
+    mutable std::mutex mu_;
+    mutable std::condition_variable cv_;
+    std::ptrdiff_t count_;
+};
+
+/// Reusable cyclic barrier for a fixed number of participants
+/// (hpx::barrier / std::barrier analogue, without completion functions).
+class barrier {
+public:
+    explicit barrier(std::ptrdiff_t num_participants)
+        : expected_(num_participants), remaining_(num_participants) {}
+    barrier(const barrier&) = delete;
+    barrier& operator=(const barrier&) = delete;
+
+    /// Blocks until all participants of the current phase have arrived.
+    void arrive_and_wait() {
+        std::size_t my_phase;
+        bool last;
+        {
+            std::lock_guard lk(mu_);
+            my_phase = phase_;
+            last = (--remaining_ == 0);
+            if (last) {
+                remaining_ = expected_;
+                ++phase_;
+            }
+        }
+        if (last) {
+            cv_.notify_all();
+            return;
+        }
+        detail::cooperative_wait(mu_, cv_,
+                                 [this, my_phase] { return phase_ != my_phase; });
+    }
+
+private:
+    mutable std::mutex mu_;
+    mutable std::condition_variable cv_;
+    std::ptrdiff_t expected_;
+    std::ptrdiff_t remaining_;
+    std::size_t phase_ = 0;
+};
+
+/// Counting semaphore (hpx::counting_semaphore analogue); useful to bound
+/// in-flight tasks when generating very large task graphs.
+class counting_semaphore {
+public:
+    explicit counting_semaphore(std::ptrdiff_t initial) : count_(initial) {}
+    counting_semaphore(const counting_semaphore&) = delete;
+    counting_semaphore& operator=(const counting_semaphore&) = delete;
+
+    void release(std::ptrdiff_t n = 1) {
+        {
+            std::lock_guard lk(mu_);
+            count_ += n;
+        }
+        if (n == 1) {
+            cv_.notify_one();
+        } else {
+            cv_.notify_all();
+        }
+    }
+
+    void acquire() {
+        // Fast path under the lock, cooperative slow path.
+        for (;;) {
+            {
+                std::lock_guard lk(mu_);
+                if (count_ > 0) {
+                    --count_;
+                    return;
+                }
+            }
+            detail::cooperative_wait(mu_, cv_, [this] { return count_ > 0; });
+        }
+    }
+
+    [[nodiscard]] bool try_acquire() {
+        std::lock_guard lk(mu_);
+        if (count_ > 0) {
+            --count_;
+            return true;
+        }
+        return false;
+    }
+
+    [[nodiscard]] std::ptrdiff_t value() const {
+        std::lock_guard lk(mu_);
+        return count_;
+    }
+
+private:
+    mutable std::mutex mu_;
+    mutable std::condition_variable cv_;
+    std::ptrdiff_t count_;
+};
+
+}  // namespace amt

@@ -1,0 +1,59 @@
+// amt/task.hpp
+//
+// The unit of work handled by the scheduler.  A task is a heap-allocated,
+// type-erased nullary callable.  The scheduler's queues store raw
+// `task_base*` (the Chase-Lev deque needs trivially copyable slots); the
+// owning side wraps them in `task_ptr` whenever ownership is unambiguous.
+
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "amt/unique_function.hpp"
+
+namespace amt {
+
+/// Abstract base of all scheduled work items.
+///
+/// `execute()` is noexcept: tasks created through the public API (async,
+/// then, bulk_async) route exceptions into the associated future's shared
+/// state before reaching the scheduler, so an exception escaping here would
+/// be a library bug and terminating is the correct response.
+class task_base {
+public:
+    task_base() = default;
+    task_base(const task_base&) = delete;
+    task_base& operator=(const task_base&) = delete;
+    virtual ~task_base() = default;
+
+    virtual void execute() noexcept = 0;
+};
+
+using task_ptr = std::unique_ptr<task_base>;
+
+namespace detail {
+
+template <class F>
+class callable_task final : public task_base {
+public:
+    explicit callable_task(F&& f) : fn_(std::move(f)) {}
+    explicit callable_task(const F& f) : fn_(f) {}
+
+    void execute() noexcept override { fn_(); }
+
+private:
+    F fn_;
+};
+
+}  // namespace detail
+
+/// Wraps an arbitrary nullary callable into a heap-allocated task.
+template <class F>
+task_ptr make_task(F&& f) {
+    using D = std::decay_t<F>;
+    return std::make_unique<detail::callable_task<D>>(std::forward<F>(f));
+}
+
+}  // namespace amt

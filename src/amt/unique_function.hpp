@@ -1,0 +1,142 @@
+// amt/unique_function.hpp
+//
+// A move-only callable wrapper with small-buffer optimization.
+//
+// The runtime moves promises and captured state into task bodies, which makes
+// most task lambdas move-only; std::function requires copyability, so it
+// cannot hold them.  std::move_only_function is C++23, and we target C++20,
+// hence this small local implementation.  Only the void(Args...) use cases
+// required by the scheduler are supported.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace amt {
+
+template <class Signature>
+class unique_function;  // undefined; only the partial specialization exists
+
+/// Move-only type-erased callable.  Small callables (up to `sbo_size` bytes
+/// and nothrow-move-constructible) are stored inline; larger ones are
+/// heap-allocated.  Invoking an empty unique_function is undefined behaviour
+/// (checked by assert in debug builds), mirroring std::move_only_function.
+template <class R, class... Args>
+class unique_function<R(Args...)> {
+    static constexpr std::size_t sbo_size = 48;
+    static constexpr std::size_t sbo_align = alignof(std::max_align_t);
+
+    using storage_t = std::aligned_storage_t<sbo_size, sbo_align>;
+
+    // Manually laid-out vtable: one pointer per operation keeps the object
+    // compact and avoids RTTI.
+    struct vtable {
+        R (*invoke)(void* obj, Args&&... args);
+        void (*move_to)(void* from, void* to) noexcept;  // null => heap-held
+        void (*destroy)(void* obj) noexcept;
+    };
+
+    template <class F>
+    static constexpr bool fits_sbo =
+        sizeof(F) <= sbo_size && alignof(F) <= sbo_align &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    template <class F>
+    struct inline_ops {
+        static R invoke(void* obj, Args&&... args) {
+            return (*static_cast<F*>(obj))(std::forward<Args>(args)...);
+        }
+        static void move_to(void* from, void* to) noexcept {
+            ::new (to) F(std::move(*static_cast<F*>(from)));
+            static_cast<F*>(from)->~F();
+        }
+        static void destroy(void* obj) noexcept { static_cast<F*>(obj)->~F(); }
+        static constexpr vtable table{&invoke, &move_to, &destroy};
+    };
+
+    template <class F>
+    struct heap_ops {
+        static R invoke(void* obj, Args&&... args) {
+            return (**static_cast<F**>(obj))(std::forward<Args>(args)...);
+        }
+        static void destroy(void* obj) noexcept { delete *static_cast<F**>(obj); }
+        static constexpr vtable table{&invoke, nullptr, &destroy};
+    };
+
+public:
+    unique_function() noexcept = default;
+    unique_function(std::nullptr_t) noexcept {}
+
+    template <class F,
+              class D = std::decay_t<F>,
+              class = std::enable_if_t<!std::is_same_v<D, unique_function> &&
+                                       std::is_invocable_r_v<R, D&, Args...>>>
+    unique_function(F&& f) {
+        using Fn = D;
+        if constexpr (fits_sbo<Fn>) {
+            ::new (&storage_) Fn(std::forward<F>(f));
+            vt_ = &inline_ops<Fn>::table;
+        } else {
+            ::new (&storage_) Fn*(new Fn(std::forward<F>(f)));
+            vt_ = &heap_ops<Fn>::table;
+        }
+    }
+
+    unique_function(unique_function&& other) noexcept { move_from(other); }
+
+    unique_function& operator=(unique_function&& other) noexcept {
+        if (this != &other) {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+
+    unique_function(const unique_function&) = delete;
+    unique_function& operator=(const unique_function&) = delete;
+
+    ~unique_function() { reset(); }
+
+    /// True if a callable is held.
+    explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+    R operator()(Args... args) {
+        return vt_->invoke(&storage_, std::forward<Args>(args)...);
+    }
+
+    void reset() noexcept {
+        if (vt_ != nullptr) {
+            vt_->destroy(&storage_);
+            vt_ = nullptr;
+        }
+    }
+
+    void swap(unique_function& other) noexcept {
+        unique_function tmp(std::move(other));
+        other = std::move(*this);
+        *this = std::move(tmp);
+    }
+
+private:
+    void move_from(unique_function& other) noexcept {
+        vt_ = other.vt_;
+        if (vt_ != nullptr) {
+            if (vt_->move_to != nullptr) {
+                vt_->move_to(&other.storage_, &storage_);
+            } else {
+                // Heap-held: just move the pointer.
+                ::new (&storage_) void*(*reinterpret_cast<void**>(&other.storage_));
+            }
+            other.vt_ = nullptr;
+        }
+    }
+
+    storage_t storage_;
+    const vtable* vt_ = nullptr;
+};
+
+}  // namespace amt

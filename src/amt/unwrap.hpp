@@ -1,0 +1,40 @@
+// amt/unwrap.hpp
+//
+// unwrap(future<future<T>>) → future<T>: collapses one level of future
+// nesting, the way hpx::future::then does implicitly.  Useful when a
+// continuation itself launches asynchronous work and returns its future.
+
+#pragma once
+
+#include <utility>
+
+#include "amt/future.hpp"
+
+namespace amt {
+
+template <class T>
+future<T> unwrap(future<future<T>>&& outer) {
+    auto st = std::make_shared<detail::shared_state<T>>();
+    outer.then(launch::sync, [st](future<future<T>>&& of) {
+        try {
+            future<T> inner = of.get();
+            inner.then(launch::sync, [st](future<T>&& f) {
+                try {
+                    if constexpr (std::is_void_v<T>) {
+                        f.get();
+                        st->set_value();
+                    } else {
+                        st->set_value(f.get());
+                    }
+                } catch (...) {
+                    st->set_exception(std::current_exception());
+                }
+            });
+        } catch (...) {
+            st->set_exception(std::current_exception());
+        }
+    });
+    return future<T>(std::move(st));
+}
+
+}  // namespace amt

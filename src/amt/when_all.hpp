@@ -1,0 +1,80 @@
+// amt/when_all.hpp
+//
+// Barrier combinators over collections of futures:
+//
+//   * when_all(vector<future<T>>)  — non-blocking; returns a future that
+//     becomes ready once all inputs are (hpx::when_all).  This is how the
+//     LULESH task driver expresses its per-iteration synchronization points
+//     without blocking any OS thread.
+//   * wait_all(vector<future<T>>&) — blocking barrier (hpx::wait_all);
+//     cooperative on worker threads.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "amt/future.hpp"
+
+namespace amt {
+
+/// Returns a future<vector<future<T>>> that becomes ready when every input
+/// future is ready.  The input futures are moved into the result, where each
+/// is ready and can be get() for values/exceptions.  Completion callbacks run
+/// inline on whichever worker completes the last input (they only decrement
+/// a counter), so the combinator adds no scheduling overhead.
+template <class T>
+future<std::vector<future<T>>> when_all(std::vector<future<T>>&& fs) {
+    using result_t = std::vector<future<T>>;
+    if (fs.empty()) return make_ready_future(result_t{});
+
+    struct ctx_t {
+        std::atomic<std::size_t> remaining;
+        result_t futures;
+        detail::state_ptr<result_t> st;
+    };
+    auto ctx = std::make_shared<ctx_t>();
+    ctx->remaining.store(fs.size(), std::memory_order_relaxed);
+    ctx->futures = std::move(fs);
+    ctx->st = std::make_shared<detail::shared_state<result_t>>();
+
+    auto result = future<result_t>(ctx->st);
+    for (auto& f : ctx->futures) {
+        f.raw_state()->add_callback([ctx] {
+            if (ctx->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                ctx->st->set_value(std::move(ctx->futures));
+            }
+        });
+    }
+    return result;
+}
+
+/// when_all, discarding the input futures: a pure synchronization point.
+/// Inputs holding exceptions make the returned future exceptional (the first
+/// error encountered in input order is propagated).
+template <class T>
+future<void> when_all_void(std::vector<future<T>>&& fs) {
+    return when_all(std::move(fs))
+        .then(launch::sync, [](future<std::vector<future<T>>>&& all) {
+            for (auto& f : all.get()) {
+                f.get();  // rethrows the first stored exception, if any
+            }
+        });
+}
+
+/// Blocks until every future in `fs` is ready.  Does not consume the futures
+/// (values remain retrievable), matching hpx::wait_all.
+template <class T>
+void wait_all(const std::vector<future<T>>& fs) {
+    for (const auto& f : fs) f.wait();
+}
+
+/// Blocks on a single future without consuming it.
+template <class T>
+void wait(const future<T>& f) {
+    f.wait();
+}
+
+}  // namespace amt

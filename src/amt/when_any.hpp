@@ -1,0 +1,64 @@
+// amt/when_any.hpp
+//
+// when_any — a future that becomes ready as soon as *one* of its inputs is
+// ready (hpx::when_any analogue).  The result carries the index of the
+// first-completed input plus all the input futures (the completed one is
+// ready; the others may still be running).
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "amt/future.hpp"
+
+namespace amt {
+
+template <class T>
+struct when_any_result {
+    std::size_t index = 0;            ///< which input completed first
+    std::vector<future<T>> futures;   ///< all inputs, in original order
+};
+
+/// Returns a future that becomes ready when the first input does.  An empty
+/// input vector yields an immediately-ready result with index == size (0).
+template <class T>
+future<when_any_result<T>> when_any(std::vector<future<T>>&& fs) {
+    using result_t = when_any_result<T>;
+    if (fs.empty()) {
+        return make_ready_future(result_t{0, {}});
+    }
+
+    struct ctx_t {
+        std::atomic<bool> fired{false};
+        result_t result;
+        detail::state_ptr<result_t> st =
+            std::make_shared<detail::shared_state<result_t>>();
+    };
+    auto ctx = std::make_shared<ctx_t>();
+    const std::size_t n = fs.size();
+    ctx->result.futures = std::move(fs);
+    auto out = future<result_t>(ctx->st);
+
+    // Register callbacks after the vector is in its final location.  The
+    // first completion moves the result out; this is safe because callback
+    // bodies only touch ctx scalars and the shared states stay alive through
+    // the moved future handles.
+    std::vector<detail::state_ptr<T>> states;
+    states.reserve(n);
+    for (const auto& f : ctx->result.futures) states.push_back(f.raw_state());
+    for (std::size_t i = 0; i < n; ++i) {
+        states[i]->add_callback([ctx, i] {
+            if (!ctx->fired.exchange(true, std::memory_order_acq_rel)) {
+                ctx->result.index = i;
+                ctx->st->set_value(std::move(ctx->result));
+            }
+        });
+    }
+    return out;
+}
+
+}  // namespace amt

@@ -1,0 +1,42 @@
+// core/autotune.hpp
+//
+// Runtime partition-size auto-tuning.  The paper derives its Table I
+// partition sizes "through experimentation"; this utility automates that
+// experiment: it runs a few timed leapfrog iterations per candidate pair on
+// a scratch copy of the problem and returns the fastest configuration.  The
+// scratch domain is discarded, so tuning does not disturb the caller's
+// simulation state.
+
+#pragma once
+
+#include <vector>
+
+#include "amt/amt.hpp"
+#include "lulesh/options.hpp"
+
+namespace lulesh {
+
+struct autotune_options {
+    /// Candidate partition sizes tried for both phases (all pairs).
+    std::vector<index_t> candidates{512, 1024, 2048, 4096, 8192};
+    /// Timed iterations per candidate pair (after one warm-up iteration).
+    int iterations = 5;
+    /// Repetitions per pair; the best (minimum) time is kept, which filters
+    /// scheduling noise better than the mean for short measurements.
+    int repetitions = 1;
+};
+
+struct autotune_result {
+    partition_sizes best;
+    double best_seconds = 0.0;       ///< time of the winning measurement
+    double worst_seconds = 0.0;      ///< slowest candidate, for the spread
+    int pairs_tried = 0;
+};
+
+/// Measures every candidate pair on a scratch domain built from `problem`
+/// and returns the fastest.  `rt` supplies the workers (the same runtime
+/// the real run will use, so the tuning reflects the deployment).
+autotune_result autotune_partitions(amt::runtime& rt, const options& problem,
+                                    const autotune_options& opts = {});
+
+}  // namespace lulesh

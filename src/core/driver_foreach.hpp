@@ -1,0 +1,41 @@
+// core/driver_foreach.hpp
+//
+// The naive AMT port the paper's related work discusses (Wei's lulesh-hpx):
+// every reference parallel loop becomes an hpx::for_each-style parallel
+// loop on the task runtime — a wave of chunk tasks followed by a blocking
+// barrier, per loop.  It demonstrates why 1:1 loop replacement loses to
+// OpenMP (more task-creation overhead than static work sharing, same number
+// of barriers) and serves as the ablation baseline for the paper's task-
+// chaining tricks.
+
+#pragma once
+
+#include "amt/amt.hpp"
+#include "lulesh/driver.hpp"
+#include "lulesh/kernels.hpp"
+
+namespace lulesh {
+
+class foreach_driver final : public driver {
+public:
+    /// The runtime is borrowed; it must outlive the driver.
+    explicit foreach_driver(amt::runtime& rt) : rt_(rt) {}
+
+    [[nodiscard]] std::string name() const override { return "foreach"; }
+    void advance(domain& d) override;
+
+private:
+    /// One parallel loop with an implicit barrier (the for_each pattern).
+    template <class F>
+    void pf(index_t n, F&& body);
+
+    amt::runtime& rt_;
+
+    std::vector<real_t> sigxx_, sigyy_, sigzz_;
+    std::vector<real_t> dvdx_, dvdy_, dvdz_, x8n_, y8n_, z8n_;
+    std::vector<real_t> determ_;
+    kernels::eos_scratch eos_;
+    std::vector<kernels::dt_constraints> partials_;
+};
+
+}  // namespace lulesh

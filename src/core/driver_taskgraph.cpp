@@ -1,0 +1,131 @@
+// core/driver_taskgraph.cpp — the many-task leapfrog iteration, built from
+// the shared wave builders in graph_waves and chained through non-blocking
+// when_all barriers with stage-spawner continuations.
+
+#include "core/driver_taskgraph.hpp"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "core/graph_waves.hpp"
+#include "core/stage.hpp"
+
+namespace lulesh {
+
+namespace {
+
+using clock_t_ = std::chrono::steady_clock;
+
+/// Stamps the completion instant of a barrier future (runs inline on the
+/// completing worker) and forwards readiness.
+amt::future<void> stamp(amt::future<void> f, clock_t_::time_point* out) {
+    return f.then(amt::launch::sync, [out](amt::future<void>&& g) {
+        g.get();
+        *out = clock_t_::now();
+    });
+}
+
+}  // namespace
+
+void taskgraph_driver::advance(domain& d) {
+    namespace k = kernels;
+    const real_t dt = d.deltatime;
+    const index_t p_nodal = parts_.nodal;
+    const index_t p_elems = parts_.elems;
+
+    graph::error_flags flags;
+    auto counter = std::make_shared<std::atomic<std::size_t>>(0);
+    domain* dp = &d;
+    amt::runtime* rt = &rt_;
+
+    const auto t0 = clock_t_::now();
+    std::array<clock_t_::time_point, phase_profile::num_phases> stamps{};
+
+    // Wave 1 spawned directly; waves 2-5 spawned by continuation stages so
+    // the whole iteration flows asynchronously and the driver blocks exactly
+    // once, at the end.
+    auto w1 = graph::spawn_force_wave(rt_, d, p_nodal, flags);
+    counter->fetch_add(w1.tasks, std::memory_order_relaxed);
+    auto b1 = stamp(amt::when_all_void(std::move(w1.futures)),
+                    &stamps[phase_profile::force]);
+
+    auto b2 = stamp(
+        graph::stage_after(std::move(b1),
+                           [rt, dp, p_nodal, dt, counter] {
+                               auto w = graph::spawn_node_wave(*rt, *dp,
+                                                               p_nodal, dt);
+                               counter->fetch_add(w.tasks,
+                                                  std::memory_order_relaxed);
+                               return std::move(w.futures);
+                           }),
+        &stamps[phase_profile::node]);
+
+    auto b3 = stamp(
+        graph::stage_after(std::move(b2),
+                           [rt, dp, p_elems, dt, flags, counter] {
+                               auto w = graph::spawn_elem_wave(*rt, *dp,
+                                                               p_elems, dt,
+                                                               flags);
+                               counter->fetch_add(w.tasks,
+                                                  std::memory_order_relaxed);
+                               return std::move(w.futures);
+                           }),
+        &stamps[phase_profile::elem]);
+
+    auto b4 = stamp(
+        graph::stage_after(std::move(b3),
+                           [rt, dp, p_elems, counter] {
+                               auto w = graph::spawn_region_wave(*rt, *dp,
+                                                                 p_elems);
+                               counter->fetch_add(w.tasks,
+                                                  std::memory_order_relaxed);
+                               return std::move(w.futures);
+                           }),
+        &stamps[phase_profile::region_eos]);
+
+    constraint_partials_.assign(graph::constraint_slot_count(d, p_elems),
+                                k::dt_constraints{});
+    auto* partials = constraint_partials_.data();
+    auto b5 = stamp(
+        graph::stage_after(std::move(b4),
+                           [rt, dp, p_elems, partials, counter] {
+                               auto w = graph::spawn_constraint_wave(
+                                   *rt, *dp, p_elems, partials);
+                               counter->fetch_add(w.tasks,
+                                                  std::memory_order_relaxed);
+                               return std::move(w.futures);
+                           }),
+        &stamps[phase_profile::constraints]);
+
+    // The single blocking synchronization of the iteration.
+    b5.get();
+    tasks_last_iteration_ = counter->load(std::memory_order_relaxed);
+
+    // Per-phase durations from the barrier-completion stamps.
+    auto prev = t0;
+    for (std::size_t ph = 0; ph < phase_profile::num_phases; ++ph) {
+        profile_.seconds[ph] +=
+            std::chrono::duration<double>(stamps[ph] - prev).count();
+        prev = stamps[ph];
+    }
+    ++profile_.iterations;
+
+    k::dt_constraints combined;
+    for (const auto& partial : constraint_partials_) {
+        combined = k::min_constraints(combined, partial);
+    }
+    d.dtcourant = combined.dtcourant;
+    d.dthydro = combined.dthydro;
+
+    if (!flags.volume_ok->load(std::memory_order_relaxed)) {
+        throw simulation_error(status::volume_error,
+                               "non-positive volume detected");
+    }
+    if (!flags.qstop_ok->load(std::memory_order_relaxed)) {
+        throw simulation_error(status::qstop_error,
+                               "artificial viscosity exceeded qstop");
+    }
+}
+
+}  // namespace lulesh

@@ -1,0 +1,168 @@
+// core/graph_waves.cpp — the task-wave builders shared by the single-domain
+// and multi-domain task-graph drivers.
+
+#include "core/graph_waves.hpp"
+
+namespace lulesh::graph {
+
+namespace {
+namespace k = kernels;
+
+index_t num_chunks(index_t n, index_t p) {
+    return p > 0 ? (n + p - 1) / p : n;
+}
+}  // namespace
+
+wave spawn_force_wave_range(amt::runtime& rt, domain& d, index_t elem_lo,
+                            index_t elem_hi, index_t p_nodal,
+                            const error_flags& flags) {
+    wave w;
+    w.futures.reserve(static_cast<std::size_t>(
+        2 * num_chunks(elem_hi - elem_lo, p_nodal)));
+    domain* dp = &d;
+    auto vol_ok = flags.volume_ok;
+    for (index_t lo = elem_lo; lo < elem_hi; lo += p_nodal) {
+        const index_t hi = std::min<index_t>(lo + p_nodal, elem_hi);
+        w.futures.push_back(amt::async(rt, [dp, lo, hi, vol_ok] {
+            if (!k::force_stress_chunk(*dp, lo, hi)) {
+                vol_ok->store(false, std::memory_order_relaxed);
+            }
+        }));
+        w.futures.push_back(amt::async(rt, [dp, lo, hi, vol_ok] {
+            if (!k::force_hourglass_chunk(*dp, lo, hi)) {
+                vol_ok->store(false, std::memory_order_relaxed);
+            }
+        }));
+    }
+    w.tasks = w.futures.size();
+    return w;
+}
+
+wave spawn_force_wave(amt::runtime& rt, domain& d, index_t p_nodal,
+                      const error_flags& flags) {
+    return spawn_force_wave_range(rt, d, 0, d.numElem(), p_nodal, flags);
+}
+
+wave spawn_node_wave(amt::runtime& rt, domain& d, index_t p_nodal, real_t dt) {
+    wave w;
+    const index_t nn = d.numNode();
+    w.futures.reserve(static_cast<std::size_t>(num_chunks(nn, p_nodal)));
+    domain* dp = &d;
+    for (index_t lo = 0; lo < nn; lo += p_nodal) {
+        const index_t hi = std::min<index_t>(lo + p_nodal, nn);
+        w.futures.push_back(amt::async(rt, [dp, lo, hi] {
+                                k::gather_forces(*dp, lo, hi);
+                                k::calc_acceleration(*dp, lo, hi);
+                                k::apply_acceleration_bc_masked(*dp, lo, hi);
+                            }).then([dp, lo, hi, dt](amt::future<void>&& f) {
+            f.get();
+            k::velocity_position_chunk(*dp, lo, hi, dt);
+        }));
+    }
+    w.tasks = 2 * w.futures.size();
+    return w;
+}
+
+wave spawn_elem_wave_range(amt::runtime& rt, domain& d, index_t elem_lo,
+                           index_t elem_hi, index_t p_elems, real_t dt,
+                           const error_flags& flags) {
+    wave w;
+    w.futures.reserve(
+        static_cast<std::size_t>(num_chunks(elem_hi - elem_lo, p_elems)));
+    domain* dp = &d;
+    auto vol_ok = flags.volume_ok;
+    auto q_ok = flags.qstop_ok;
+    for (index_t lo = elem_lo; lo < elem_hi; lo += p_elems) {
+        const index_t hi = std::min<index_t>(lo + p_elems, elem_hi);
+        w.futures.push_back(amt::async(rt, [dp, lo, hi, dt, vol_ok, q_ok] {
+            k::calc_kinematics(*dp, lo, hi, dt);
+            if (!k::calc_lagrange_deviatoric(*dp, lo, hi)) {
+                vol_ok->store(false, std::memory_order_relaxed);
+            }
+            k::calc_monotonic_q_gradients(*dp, lo, hi);
+            // q of the previous EOS pass; checked before this iteration's
+            // EOS overwrites it (next wave).
+            if (!k::check_qstop(*dp, lo, hi)) {
+                q_ok->store(false, std::memory_order_relaxed);
+            }
+            if (!k::apply_material_vnewc(*dp, lo, hi)) {
+                vol_ok->store(false, std::memory_order_relaxed);
+            }
+        }));
+    }
+    w.tasks = w.futures.size();
+    return w;
+}
+
+wave spawn_elem_wave(amt::runtime& rt, domain& d, index_t p_elems, real_t dt,
+                     const error_flags& flags) {
+    return spawn_elem_wave_range(rt, d, 0, d.numElem(), p_elems, dt, flags);
+}
+
+wave spawn_region_wave(amt::runtime& rt, domain& d, index_t p_elems) {
+    wave w;
+    const index_t ne = d.numElem();
+    domain* dp = &d;
+    for (index_t r = 0; r < d.numReg(); ++r) {
+        const auto& list = d.regElemList(r);
+        const auto count = static_cast<index_t>(list.size());
+        const int rep = k::eos_rep_for_region(d, r);
+        const index_t* lp = list.data();
+        for (index_t lo = 0; lo < count; lo += p_elems) {
+            const index_t hi = std::min<index_t>(lo + p_elems, count);
+            w.futures.push_back(
+                amt::async(rt,
+                           [dp, lp, lo, hi] {
+                               k::calc_monotonic_q_region(*dp, lp, lo, hi);
+                           })
+                    .then([dp, lp, lo, hi, rep](amt::future<void>&& f) {
+                        f.get();
+                        // Task-local EOS scratch, sized to the chunk (T5).
+                        k::eos_scratch scratch;
+                        scratch.resize(static_cast<std::size_t>(hi - lo));
+                        k::eval_eos_chunk(*dp, lp, lo, hi, rep, scratch);
+                    }));
+            w.tasks += 2;
+        }
+    }
+    for (index_t lo = 0; lo < ne; lo += p_elems) {
+        const index_t hi = std::min<index_t>(lo + p_elems, ne);
+        w.futures.push_back(
+            amt::async(rt, [dp, lo, hi] { k::update_volumes(*dp, lo, hi); }));
+        ++w.tasks;
+    }
+    return w;
+}
+
+std::size_t constraint_slot_count(const domain& d, index_t p_elems) {
+    std::size_t slots = 0;
+    for (index_t r = 0; r < d.numReg(); ++r) {
+        slots += static_cast<std::size_t>(num_chunks(
+            static_cast<index_t>(d.regElemList(r).size()), p_elems));
+    }
+    return slots;
+}
+
+wave spawn_constraint_wave(amt::runtime& rt, domain& d, index_t p_elems,
+                           kernels::dt_constraints* partials) {
+    wave w;
+    domain* dp = &d;
+    std::size_t slot = 0;
+    for (index_t r = 0; r < d.numReg(); ++r) {
+        const auto& list = d.regElemList(r);
+        const auto count = static_cast<index_t>(list.size());
+        const index_t* lp = list.data();
+        for (index_t lo = 0; lo < count; lo += p_elems) {
+            const index_t hi = std::min<index_t>(lo + p_elems, count);
+            k::dt_constraints* out = partials + slot;
+            ++slot;
+            w.futures.push_back(amt::async(rt, [dp, lp, lo, hi, out] {
+                *out = k::calc_time_constraints(*dp, lp, lo, hi);
+            }));
+        }
+    }
+    w.tasks = w.futures.size();
+    return w;
+}
+
+}  // namespace lulesh::graph

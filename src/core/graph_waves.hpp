@@ -1,0 +1,78 @@
+// core/graph_waves.hpp
+//
+// The five task waves of one leapfrog iteration, as reusable builders: the
+// single-domain taskgraph_driver chains them with when_all barriers, and the
+// multi-domain dist_driver chains one instance per slab with halo-exchange
+// steps in between.  Each builder spawns its tasks on the given runtime and
+// returns the per-task futures plus the number of tasks created.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "amt/amt.hpp"
+#include "lulesh/domain.hpp"
+#include "lulesh/kernels.hpp"
+
+namespace lulesh::graph {
+
+struct wave {
+    std::vector<amt::future<void>> futures;
+    std::size_t tasks = 0;
+};
+
+/// Shared error flags, aggregated by tasks and checked at iteration end.
+struct error_flags {
+    std::shared_ptr<std::atomic<bool>> volume_ok =
+        std::make_shared<std::atomic<bool>>(true);
+    std::shared_ptr<std::atomic<bool>> qstop_ok =
+        std::make_shared<std::atomic<bool>>(true);
+
+    void reset() {
+        volume_ok->store(true, std::memory_order_relaxed);
+        qstop_ok->store(true, std::memory_order_relaxed);
+    }
+};
+
+/// Wave 1 — corner forces: stress chains ∥ hourglass chains over element
+/// partitions of size `p_nodal` (paper trick T4: both launched together).
+wave spawn_force_wave(amt::runtime& rt, domain& d, index_t p_nodal,
+                      const error_flags& flags);
+
+/// Force tasks restricted to elements [elem_lo, elem_hi) — used by the
+/// eager halo exchange to gate boundary-plane sends on just the boundary
+/// tasks instead of the whole wave.
+wave spawn_force_wave_range(amt::runtime& rt, domain& d, index_t elem_lo,
+                            index_t elem_hi, index_t p_nodal,
+                            const error_flags& flags);
+
+/// Wave 2 — node chains: gather+acceleration+BC, then velocity→position as
+/// a continuation (tricks T2+T3), over node partitions of size `p_nodal`.
+wave spawn_node_wave(amt::runtime& rt, domain& d, index_t p_nodal, real_t dt);
+
+/// Wave 3 — element kinematics + strain deviators + monotonic-Q gradients +
+/// qstop check + EOS pre-clamp, fused per element partition (T3).
+wave spawn_elem_wave(amt::runtime& rt, domain& d, index_t p_elems, real_t dt,
+                     const error_flags& flags);
+
+/// Wave-3 tasks restricted to elements [elem_lo, elem_hi) (eager delv_zeta
+/// exchange).
+wave spawn_elem_wave_range(amt::runtime& rt, domain& d, index_t elem_lo,
+                           index_t elem_hi, index_t p_elems, real_t dt,
+                           const error_flags& flags);
+
+/// Wave 4 — per-region monotonic-Q → EOS chains (T2+T4+T5, all regions
+/// launched together) plus the independent volume update.
+wave spawn_region_wave(amt::runtime& rt, domain& d, index_t p_elems);
+
+/// Number of constraint partial slots wave 5 will fill for this domain.
+std::size_t constraint_slot_count(const domain& d, index_t p_elems);
+
+/// Wave 5 — Courant/hydro constraint partials, one slot per (region, chunk),
+/// written into `partials[0 .. constraint_slot_count)`.
+wave spawn_constraint_wave(amt::runtime& rt, domain& d, index_t p_elems,
+                           kernels::dt_constraints* partials);
+
+}  // namespace lulesh::graph

@@ -1,0 +1,49 @@
+// core/stage.hpp
+//
+// stage_after — chain a task wave onto a barrier future: when `prev` becomes
+// ready, `spawn` runs inline on the completing worker to create the next
+// wave, and the returned future becomes ready when the whole wave has
+// finished.  The building block of both task-graph drivers' non-blocking
+// iteration pipelines; exceptions from tasks or from `spawn` propagate into
+// the returned future.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "amt/amt.hpp"
+
+namespace lulesh::graph {
+
+inline amt::future<void> stage_after(
+    amt::future<void> prev,
+    std::function<std::vector<amt::future<void>>()> spawn) {
+    auto pr = std::make_shared<amt::promise<void>>();
+    auto done = pr->get_future();
+    prev.then(amt::launch::sync,
+              [spawn = std::move(spawn), pr](amt::future<void>&& f) mutable {
+                  try {
+                      f.get();
+                      auto wave = spawn();
+                      amt::when_all_void(std::move(wave))
+                          .then(amt::launch::sync,
+                                [pr](amt::future<void>&& g) mutable {
+                                    try {
+                                        g.get();
+                                        pr->set_value();
+                                    } catch (...) {
+                                        pr->set_exception(
+                                            std::current_exception());
+                                    }
+                                });
+                  } catch (...) {
+                      pr->set_exception(std::current_exception());
+                  }
+              });
+    return done;
+}
+
+}  // namespace lulesh::graph

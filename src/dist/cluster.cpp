@@ -1,0 +1,77 @@
+// dist/cluster.cpp — slab construction and halo pack/unpack.
+
+#include "dist/cluster.hpp"
+
+#include <stdexcept>
+
+namespace lulesh::dist {
+
+cluster::cluster(const options& opts, index_t num_slabs) : opts_(opts) {
+    if (num_slabs < 1 || num_slabs > opts.size) {
+        throw std::invalid_argument(
+            "lulesh::dist: num_slabs must be in [1, size]");
+    }
+    const index_t base = opts.size / num_slabs;
+    const index_t rem = opts.size % num_slabs;
+    index_t begin = 0;
+    slabs_.reserve(static_cast<std::size_t>(num_slabs));
+    for (index_t i = 0; i < num_slabs; ++i) {
+        const index_t planes = base + (i < rem ? 1 : 0);
+        slabs_.push_back(std::make_unique<domain>(
+            opts, slab_extent{begin, begin + planes, opts.size}));
+        begin += planes;
+    }
+    channels_.resize(static_cast<std::size_t>(num_slabs - 1));
+}
+
+plane_buffer pack_corner_plane(const domain& d, index_t elem_base) {
+    const auto n = static_cast<std::size_t>(d.elems_per_plane()) * 8;
+    plane_buffer buf(6 * n);
+    const auto base = static_cast<std::size_t>(elem_base) * 8;
+    const std::vector<real_t>* arrays[6] = {&d.fx_elem,    &d.fy_elem,
+                                            &d.fz_elem,    &d.fx_elem_hg,
+                                            &d.fy_elem_hg, &d.fz_elem_hg};
+    for (std::size_t a = 0; a < 6; ++a) {
+        const real_t* src = arrays[a]->data() + base;
+        real_t* dst = buf.data() + a * n;
+        for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+    }
+    return buf;
+}
+
+void unpack_corner_ghosts(domain& d, index_t ghost_slot,
+                          const plane_buffer& buf) {
+    const auto n = static_cast<std::size_t>(d.elems_per_plane()) * 8;
+    if (buf.size() != 6 * n) {
+        throw std::invalid_argument("lulesh::dist: corner message size mismatch");
+    }
+    const auto base = static_cast<std::size_t>(ghost_slot) * 8;
+    std::vector<real_t>* arrays[6] = {&d.fx_elem,    &d.fy_elem,
+                                      &d.fz_elem,    &d.fx_elem_hg,
+                                      &d.fy_elem_hg, &d.fz_elem_hg};
+    for (std::size_t a = 0; a < 6; ++a) {
+        const real_t* src = buf.data() + a * n;
+        real_t* dst = arrays[a]->data() + base;
+        for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+    }
+}
+
+plane_buffer pack_delv_plane(const domain& d, index_t elem_base) {
+    const auto n = static_cast<std::size_t>(d.elems_per_plane());
+    plane_buffer buf(n);
+    const real_t* src = d.delv_zeta.data() + static_cast<std::size_t>(elem_base);
+    for (std::size_t i = 0; i < n; ++i) buf[i] = src[i];
+    return buf;
+}
+
+void unpack_delv_ghosts(domain& d, index_t ghost_slot,
+                        const plane_buffer& buf) {
+    const auto n = static_cast<std::size_t>(d.elems_per_plane());
+    if (buf.size() != n) {
+        throw std::invalid_argument("lulesh::dist: delv message size mismatch");
+    }
+    real_t* dst = d.delv_zeta.data() + static_cast<std::size_t>(ghost_slot);
+    for (std::size_t i = 0; i < n; ++i) dst[i] = buf[i];
+}
+
+}  // namespace lulesh::dist

@@ -1,0 +1,97 @@
+// dist/cluster.hpp
+//
+// Multi-domain (distributed-style) LULESH: the global problem is decomposed
+// into z-slabs, each owning a `domain` slice with ghost storage at interior
+// boundaries.  Slabs communicate through amt channels — the in-process
+// analogue of HPX's distributed channels — exchanging per-iteration:
+//
+//   (1) boundary element-plane corner forces (stress + hourglass), so that
+//       nodal force gathers on shared node planes sum the contributions of
+//       both slabs in global element order (bitwise equal to a single-domain
+//       run, which the tests verify);
+//   (2) boundary element-plane delv_zeta values for the monotonic-Q
+//       face-neighbor stencil.
+//
+// Time-step constraints are min-reduced across slabs, so the global dt —
+// and therefore the entire simulation — matches the single-domain run
+// exactly.  This implements the paper's future-work direction ("extend to
+// multi-node environments ... benefits from asynchronous mechanisms of HPX
+// instead of the mostly synchronous data exchanges of MPI") as a
+// single-process simulation of the decomposition.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "amt/channel.hpp"
+#include "lulesh/domain.hpp"
+
+namespace lulesh::dist {
+
+/// Flat halo message.  Corner messages hold 6 arrays (fx, fy, fz stress then
+/// hourglass) of elems_per_plane*8 values; delv messages hold
+/// elems_per_plane values.
+using plane_buffer = std::vector<real_t>;
+
+/// Channels across one interior boundary (between slab b and slab b+1).
+/// "up" flows from slab b to slab b+1.
+struct boundary_channels {
+    amt::channel<plane_buffer> corner_up;
+    amt::channel<plane_buffer> corner_down;
+    amt::channel<plane_buffer> delv_up;
+    amt::channel<plane_buffer> delv_down;
+};
+
+/// The set of slab domains plus their connecting channels.
+class cluster {
+public:
+    /// Splits `opts.size` element planes as evenly as possible over
+    /// `num_slabs` slabs (the first size % num_slabs slabs get one extra
+    /// plane).  Requires 1 <= num_slabs <= opts.size.
+    cluster(const options& opts, index_t num_slabs);
+
+    [[nodiscard]] index_t num_slabs() const noexcept {
+        return static_cast<index_t>(slabs_.size());
+    }
+    [[nodiscard]] domain& slab(index_t i) {
+        return *slabs_[static_cast<std::size_t>(i)];
+    }
+    [[nodiscard]] const domain& slab(index_t i) const {
+        return *slabs_[static_cast<std::size_t>(i)];
+    }
+    /// Channels between slab b and slab b+1, b in [0, num_slabs-1).
+    [[nodiscard]] boundary_channels& boundary(index_t b) {
+        return channels_[static_cast<std::size_t>(b)];
+    }
+    [[nodiscard]] const options& problem() const noexcept { return opts_; }
+
+    /// Shared simulation clock (all slabs advance in lockstep; slab 0 is
+    /// authoritative for reporting).
+    [[nodiscard]] real_t time() const { return slab(0).time_; }
+    [[nodiscard]] int cycle() const { return slab(0).cycle; }
+
+private:
+    options opts_;
+    std::vector<std::unique_ptr<domain>> slabs_;
+    std::vector<boundary_channels> channels_;
+};
+
+// --- halo pack/unpack helpers -------------------------------------------
+
+/// Packs the corner forces (stress + hourglass) of the element plane
+/// starting at `elem_base` into a flat buffer.
+plane_buffer pack_corner_plane(const domain& d, index_t elem_base);
+
+/// Unpacks a neighbor's corner-plane message into the ghost slots starting
+/// at `ghost_slot`.
+void unpack_corner_ghosts(domain& d, index_t ghost_slot,
+                          const plane_buffer& buf);
+
+/// Packs delv_zeta of the element plane starting at `elem_base`.
+plane_buffer pack_delv_plane(const domain& d, index_t elem_base);
+
+/// Unpacks a neighbor's delv_zeta plane into the ghost slots.
+void unpack_delv_ghosts(domain& d, index_t ghost_slot, const plane_buffer& buf);
+
+}  // namespace lulesh::dist

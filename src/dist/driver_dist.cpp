@@ -1,0 +1,368 @@
+// dist/driver_dist.cpp — multi-domain leapfrog with halo exchange.
+
+#include "dist/driver_dist.hpp"
+
+#include <chrono>
+
+#include "core/graph_waves.hpp"
+#include "core/stage.hpp"
+
+namespace lulesh::dist {
+
+namespace {
+namespace k = kernels;
+}
+
+void dist_driver::advance(cluster& c) {
+    switch (mode_) {
+        case exchange_mode::futurized:
+            advance_futurized(c, /*eager=*/false);
+            break;
+        case exchange_mode::eager:
+            advance_futurized(c, /*eager=*/true);
+            break;
+        case exchange_mode::bulk_synchronous:
+            advance_bulk_synchronous(c);
+            break;
+    }
+}
+
+void dist_driver::reduce_constraints(cluster& c) {
+    k::dt_constraints combined;
+    for (const auto& slab_partials : partials_) {
+        for (const auto& partial : slab_partials) {
+            combined = k::min_constraints(combined, partial);
+        }
+    }
+    for (index_t s = 0; s < c.num_slabs(); ++s) {
+        c.slab(s).dtcourant = combined.dtcourant;
+        c.slab(s).dthydro = combined.dthydro;
+    }
+}
+
+namespace {
+
+/// Builds one element-range wave in either monolithic or eager-split form.
+/// In eager mode the bottom/top boundary-plane tasks form their own groups
+/// whose completion gates the respective sends — a neighbor's ghost message
+/// leaves as soon as the plane it needs is computed, while this slab's
+/// interior may still be running.  Returns the whole-wave barrier plus the
+/// send-completion futures.
+struct staged_wave {
+    amt::future<void> barrier;
+    std::vector<amt::future<void>> sends;
+};
+
+template <class SpawnRange, class SendLower, class SendUpper>
+staged_wave spawn_staged(domain& d, bool eager, SpawnRange&& spawn_range,
+                         SendLower&& send_lower, SendUpper&& send_upper) {
+    const index_t ne = d.numElem();
+    const index_t ep = d.elems_per_plane();
+    staged_wave out;
+
+    if (!eager || ne <= ep) {
+        // Monolithic wave: sends gate on the full barrier (single-plane
+        // slabs always take this path — the plane *is* the whole wave).
+        amt::shared_future<void> all(
+            amt::when_all_void(std::move(spawn_range(0, ne).futures)));
+        if (d.has_lower_neighbor()) {
+            out.sends.push_back(all.then(
+                amt::launch::sync,
+                [send_lower](const amt::shared_future<void>& f) {
+                    f.get();
+                    send_lower();
+                }));
+        }
+        if (d.has_upper_neighbor()) {
+            out.sends.push_back(all.then(
+                amt::launch::sync,
+                [send_upper](const amt::shared_future<void>& f) {
+                    f.get();
+                    send_upper();
+                }));
+        }
+        out.barrier = all.then(amt::launch::sync,
+                               [](const amt::shared_future<void>& f) { f.get(); });
+        return out;
+    }
+
+    // Eager split: [0, ep) bottom plane, [ne-ep, ne) top plane, interior.
+    const index_t top_base = ne - ep;
+    amt::shared_future<void> bottom(
+        amt::when_all_void(std::move(spawn_range(0, ep).futures)));
+    amt::shared_future<void> top(
+        amt::when_all_void(std::move(spawn_range(top_base, ne).futures)));
+    auto interior =
+        top_base > ep
+            ? amt::when_all_void(std::move(spawn_range(ep, top_base).futures))
+            : amt::make_ready_future();
+
+    if (d.has_lower_neighbor()) {
+        out.sends.push_back(bottom.then(
+            amt::launch::sync, [send_lower](const amt::shared_future<void>& f) {
+                f.get();
+                send_lower();
+            }));
+    }
+    if (d.has_upper_neighbor()) {
+        out.sends.push_back(top.then(
+            amt::launch::sync, [send_upper](const amt::shared_future<void>& f) {
+                f.get();
+                send_upper();
+            }));
+    }
+
+    std::vector<amt::future<void>> parts;
+    parts.push_back(bottom.then(
+        amt::launch::sync, [](const amt::shared_future<void>& f) { f.get(); }));
+    parts.push_back(top.then(
+        amt::launch::sync, [](const amt::shared_future<void>& f) { f.get(); }));
+    parts.push_back(std::move(interior));
+    out.barrier = amt::when_all_void(std::move(parts));
+    return out;
+}
+
+}  // namespace
+
+void dist_driver::advance_futurized(cluster& c, bool eager) {
+    const index_t num_slabs = c.num_slabs();
+    const real_t dt = c.slab(0).deltatime;
+    const index_t p_nodal = parts_.nodal;
+    const index_t p_elems = parts_.elems;
+
+    graph::error_flags flags;
+    partials_.resize(static_cast<std::size_t>(num_slabs));
+
+    cluster* cp = &c;
+    amt::runtime* rt = &rt_;
+
+    std::vector<amt::future<void>> finals;
+    finals.reserve(static_cast<std::size_t>(num_slabs));
+
+    for (index_t s = 0; s < num_slabs; ++s) {
+        domain* dp = &c.slab(s);
+
+        // ---- wave 1: corner forces with (optionally eager) plane sends --
+        auto stage1 = spawn_staged(
+            *dp, eager,
+            [&](index_t lo, index_t hi) {
+                return graph::spawn_force_wave_range(rt_, *dp, lo, hi, p_nodal,
+                                                     flags);
+            },
+            [cp, dp, s] {
+                cp->boundary(s - 1).corner_down.set(
+                    pack_corner_plane(*dp, dp->bottom_plane_elem_base()));
+            },
+            [cp, dp, s] {
+                cp->boundary(s).corner_up.set(
+                    pack_corner_plane(*dp, dp->top_plane_elem_base()));
+            });
+        auto b1 = std::move(stage1.barrier);
+
+        // Ghost fills chain directly on the channel futures: this slab
+        // proceeds as soon as its own wave and its neighbors' boundary
+        // messages are ready — no global synchronization.
+        std::vector<amt::future<void>> ready;
+        ready.push_back(std::move(b1));
+        for (auto& send : stage1.sends) ready.push_back(std::move(send));
+        if (dp->has_lower_neighbor()) {
+            ready.push_back(cp->boundary(s - 1).corner_up.get().then(
+                amt::launch::sync, [dp](amt::future<plane_buffer>&& m) {
+                    unpack_corner_ghosts(*dp, dp->ghost_lower_slot(), m.get());
+                }));
+        }
+        if (dp->has_upper_neighbor()) {
+            ready.push_back(cp->boundary(s).corner_down.get().then(
+                amt::launch::sync, [dp](amt::future<plane_buffer>&& m) {
+                    unpack_corner_ghosts(*dp, dp->ghost_upper_slot(), m.get());
+                }));
+        }
+        auto halo1 = amt::when_all_void(std::move(ready));
+
+        // ---- wave 2 ------------------------------------------------------
+        auto b2 = graph::stage_after(std::move(halo1), [rt, dp, p_nodal, dt] {
+            return graph::spawn_node_wave(*rt, *dp, p_nodal, dt).futures;
+        });
+
+        // ---- wave 3 with the delv_zeta halo for the monotonic-Q stencil --
+        // The wave is spawned by a continuation once b2 resolves; its sends
+        // are eager-gated the same way as wave 1's.
+        auto pr3 = std::make_shared<amt::promise<void>>();
+        auto wave3_done = pr3->get_future();
+        b2.then(amt::launch::sync, [this, cp, dp, s, p_elems, dt, flags, eager,
+                                    pr3](amt::future<void>&& f) {
+            try {
+                f.get();
+                auto stage3 = spawn_staged(
+                    *dp, eager,
+                    [this, dp, p_elems, dt, flags](index_t lo, index_t hi) {
+                        return graph::spawn_elem_wave_range(rt_, *dp, lo, hi,
+                                                            p_elems, dt, flags);
+                    },
+                    [cp, dp, s] {
+                        cp->boundary(s - 1).delv_down.set(pack_delv_plane(
+                            *dp, dp->bottom_plane_elem_base()));
+                    },
+                    [cp, dp, s] {
+                        cp->boundary(s).delv_up.set(pack_delv_plane(
+                            *dp, dp->top_plane_elem_base()));
+                    });
+                std::vector<amt::future<void>> parts;
+                parts.push_back(std::move(stage3.barrier));
+                for (auto& send : stage3.sends) parts.push_back(std::move(send));
+                amt::when_all_void(std::move(parts))
+                    .then(amt::launch::sync,
+                          [pr3](amt::future<void>&& g) mutable {
+                              try {
+                                  g.get();
+                                  pr3->set_value();
+                              } catch (...) {
+                                  pr3->set_exception(std::current_exception());
+                              }
+                          });
+            } catch (...) {
+                pr3->set_exception(std::current_exception());
+            }
+        });
+        std::vector<amt::future<void>> ready3;
+        ready3.push_back(std::move(wave3_done));
+        if (dp->has_lower_neighbor()) {
+            ready3.push_back(cp->boundary(s - 1).delv_up.get().then(
+                amt::launch::sync, [dp](amt::future<plane_buffer>&& m) {
+                    unpack_delv_ghosts(*dp, dp->ghost_lower_slot(), m.get());
+                }));
+        }
+        if (dp->has_upper_neighbor()) {
+            ready3.push_back(cp->boundary(s).delv_down.get().then(
+                amt::launch::sync, [dp](amt::future<plane_buffer>&& m) {
+                    unpack_delv_ghosts(*dp, dp->ghost_upper_slot(), m.get());
+                }));
+        }
+        auto halo3 = amt::when_all_void(std::move(ready3));
+
+        // ---- waves 4 and 5 ------------------------------------------------
+        auto b4 = graph::stage_after(std::move(halo3), [rt, dp, p_elems] {
+            return graph::spawn_region_wave(*rt, *dp, p_elems).futures;
+        });
+
+        auto& slab_partials = partials_[static_cast<std::size_t>(s)];
+        slab_partials.assign(graph::constraint_slot_count(*dp, p_elems),
+                             k::dt_constraints{});
+        auto* partials = slab_partials.data();
+        finals.push_back(
+            graph::stage_after(std::move(b4), [rt, dp, p_elems, partials] {
+                return graph::spawn_constraint_wave(*rt, *dp, p_elems, partials)
+                    .futures;
+            }));
+    }
+
+    amt::when_all_void(std::move(finals)).get();
+    reduce_constraints(c);
+
+    if (!flags.volume_ok->load(std::memory_order_relaxed)) {
+        throw simulation_error(status::volume_error,
+                               "non-positive volume detected");
+    }
+    if (!flags.qstop_ok->load(std::memory_order_relaxed)) {
+        throw simulation_error(status::qstop_error,
+                               "artificial viscosity exceeded qstop");
+    }
+}
+
+void dist_driver::advance_bulk_synchronous(cluster& c) {
+    const index_t num_slabs = c.num_slabs();
+    const real_t dt = c.slab(0).deltatime;
+    const index_t p_nodal = parts_.nodal;
+    const index_t p_elems = parts_.elems;
+
+    graph::error_flags flags;
+    partials_.resize(static_cast<std::size_t>(num_slabs));
+
+    // One global barrier per wave: collect every slab's futures, block.
+    auto global_wave = [&](auto&& spawn_for_slab) {
+        std::vector<amt::future<void>> all;
+        for (index_t s = 0; s < num_slabs; ++s) {
+            auto futures = spawn_for_slab(c.slab(s), s);
+            for (auto& f : futures) all.push_back(std::move(f));
+        }
+        amt::when_all_void(std::move(all)).get();
+    };
+
+    global_wave([&](domain& d, index_t) {
+        return graph::spawn_force_wave(rt_, d, p_nodal, flags).futures;
+    });
+    // Main-thread exchange between the global barriers (the MPI-ish step).
+    for (index_t b = 0; b + 1 < num_slabs; ++b) {
+        domain& lower = c.slab(b);
+        domain& upper = c.slab(b + 1);
+        unpack_corner_ghosts(upper, upper.ghost_lower_slot(),
+                             pack_corner_plane(lower, lower.top_plane_elem_base()));
+        unpack_corner_ghosts(lower, lower.ghost_upper_slot(),
+                             pack_corner_plane(upper, upper.bottom_plane_elem_base()));
+    }
+
+    global_wave([&](domain& d, index_t) {
+        return graph::spawn_node_wave(rt_, d, p_nodal, dt).futures;
+    });
+    global_wave([&](domain& d, index_t) {
+        return graph::spawn_elem_wave(rt_, d, p_elems, dt, flags).futures;
+    });
+    for (index_t b = 0; b + 1 < num_slabs; ++b) {
+        domain& lower = c.slab(b);
+        domain& upper = c.slab(b + 1);
+        unpack_delv_ghosts(upper, upper.ghost_lower_slot(),
+                           pack_delv_plane(lower, lower.top_plane_elem_base()));
+        unpack_delv_ghosts(lower, lower.ghost_upper_slot(),
+                           pack_delv_plane(upper, upper.bottom_plane_elem_base()));
+    }
+    global_wave([&](domain& d, index_t) {
+        return graph::spawn_region_wave(rt_, d, p_elems).futures;
+    });
+    global_wave([&](domain& d, index_t s) {
+        auto& slab_partials = partials_[static_cast<std::size_t>(s)];
+        slab_partials.assign(graph::constraint_slot_count(d, p_elems),
+                             k::dt_constraints{});
+        return graph::spawn_constraint_wave(rt_, d, p_elems,
+                                            slab_partials.data())
+            .futures;
+    });
+
+    reduce_constraints(c);
+
+    if (!flags.volume_ok->load(std::memory_order_relaxed)) {
+        throw simulation_error(status::volume_error,
+                               "non-positive volume detected");
+    }
+    if (!flags.qstop_ok->load(std::memory_order_relaxed)) {
+        throw simulation_error(status::qstop_error,
+                               "artificial viscosity exceeded qstop");
+    }
+}
+
+run_result run_simulation(cluster& c, dist_driver& drv, int max_cycles) {
+    run_result result;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        while (c.slab(0).time_ < c.slab(0).stoptime &&
+               c.slab(0).cycle < max_cycles) {
+            // TimeIncrement runs on every slab with identical inputs
+            // (constraints were reduced globally), so dt and time stay in
+            // lockstep across the cluster.
+            for (index_t s = 0; s < c.num_slabs(); ++s) {
+                kernels::time_increment(c.slab(s));
+            }
+            drv.advance(c);
+        }
+    } catch (const simulation_error& err) {
+        result.run_status = err.code();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    result.cycles = c.slab(0).cycle;
+    result.final_time = c.slab(0).time_;
+    result.final_dt = c.slab(0).deltatime;
+    result.final_origin_energy = c.slab(0).e[0];
+    result.elapsed_seconds = std::chrono::duration<double>(t1 - t0).count();
+    return result;
+}
+
+}  // namespace lulesh::dist

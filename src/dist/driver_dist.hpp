@@ -1,0 +1,82 @@
+// dist/driver_dist.hpp
+//
+// Multi-domain leapfrog driver: advances every slab of a cluster by one
+// iteration, inserting halo exchanges between the task waves.  Two exchange
+// modes contrast the paper's future-work hypothesis:
+//
+//   futurized        — each slab's waves chain through per-slab barriers and
+//                      *channel futures*: a slab continues as soon as its own
+//                      wave and its neighbors' boundary messages are ready,
+//                      so slabs overlap freely (the "asynchronous mechanisms
+//                      of HPX" style).
+//   eager            — futurized, plus fine-grained sends: a boundary plane
+//                      is pushed into its channel as soon as the tasks
+//                      covering *that plane* finish, before the rest of the
+//                      slab's wave — maximal communication/computation
+//                      overlap (neighbors unblock while this slab's interior
+//                      is still computing).
+//   bulk_synchronous — a global barrier after every wave, with the exchange
+//                      performed between barriers (the "mostly synchronous
+//                      data exchange mechanisms of MPI" style).
+//
+// All modes produce results bitwise identical to the single-domain drivers.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "amt/amt.hpp"
+#include "dist/cluster.hpp"
+#include "lulesh/driver.hpp"
+#include "lulesh/kernels.hpp"
+
+namespace lulesh::dist {
+
+class dist_driver {
+public:
+    enum class exchange_mode { futurized, eager, bulk_synchronous };
+
+    dist_driver(amt::runtime& rt, partition_sizes parts,
+                exchange_mode mode = exchange_mode::futurized)
+        : rt_(rt), parts_(parts), mode_(mode) {}
+
+    dist_driver(const dist_driver&) = delete;
+    dist_driver& operator=(const dist_driver&) = delete;
+
+    [[nodiscard]] std::string name() const {
+        switch (mode_) {
+            case exchange_mode::futurized:
+                return "dist_futurized";
+            case exchange_mode::eager:
+                return "dist_eager";
+            default:
+                return "dist_bsp";
+        }
+    }
+    [[nodiscard]] exchange_mode mode() const noexcept { return mode_; }
+
+    /// One global leapfrog iteration: all slabs advance, constraints are
+    /// min-reduced across slabs and written back to every slab.  Throws
+    /// simulation_error on volume/qstop violations in any slab.
+    void advance(cluster& c);
+
+private:
+    void advance_futurized(cluster& c, bool eager);
+    void advance_bulk_synchronous(cluster& c);
+    void reduce_constraints(cluster& c);
+
+    amt::runtime& rt_;
+    partition_sizes parts_;
+    exchange_mode mode_;
+    std::vector<std::vector<kernels::dt_constraints>> partials_;
+};
+
+/// Iteration loop over a cluster, mirroring lulesh::run_simulation: shared
+/// TimeIncrement (identical on every slab), then dist_driver::advance, until
+/// stoptime or the cycle cap.  The reported final origin energy comes from
+/// the slab owning the global origin element (slab 0).
+run_result run_simulation(cluster& c, dist_driver& drv,
+                          int max_cycles = std::numeric_limits<int>::max());
+
+}  // namespace lulesh::dist

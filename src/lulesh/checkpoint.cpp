@@ -1,0 +1,134 @@
+// lulesh/checkpoint.cpp — binary checkpoint/restart.
+
+#include "lulesh/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace lulesh {
+
+namespace {
+
+constexpr std::uint64_t checkpoint_magic = 0x4C554C4553485F31ULL;  // "LULESH_1"
+constexpr std::uint32_t checkpoint_version = 1;
+
+struct header {
+    std::uint64_t magic = checkpoint_magic;
+    std::uint32_t version = checkpoint_version;
+    std::int32_t size = 0;
+    std::int32_t plane_begin = 0;
+    std::int32_t plane_end = 0;
+    std::int32_t num_elem = 0;
+    std::int32_t num_node = 0;
+    std::int32_t cycle = 0;
+    double time = 0;
+    double deltatime = 0;
+    double dtcourant = 0;
+    double dthydro = 0;
+};
+
+void write_bytes(std::ostream& out, const void* p, std::size_t n) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    if (!out) throw checkpoint_error("lulesh: checkpoint write failed");
+}
+
+void read_bytes(std::istream& in, void* p, std::size_t n) {
+    in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    if (!in || in.gcount() != static_cast<std::streamsize>(n)) {
+        throw checkpoint_error("lulesh: checkpoint read failed (truncated?)");
+    }
+}
+
+void write_field(std::ostream& out, const std::vector<real_t>& v,
+                 std::size_t expect) {
+    write_bytes(out, v.data(), expect * sizeof(real_t));
+}
+
+void read_field(std::istream& in, std::vector<real_t>& v, std::size_t expect) {
+    read_bytes(in, v.data(), expect * sizeof(real_t));
+}
+
+}  // namespace
+
+void save_checkpoint(const domain& d, std::ostream& out) {
+    header h;
+    h.size = d.size_per_edge();
+    h.plane_begin = d.slab().plane_begin;
+    h.plane_end = d.slab().plane_end;
+    h.num_elem = d.numElem();
+    h.num_node = d.numNode();
+    h.cycle = d.cycle;
+    h.time = d.time_;
+    h.deltatime = d.deltatime;
+    h.dtcourant = d.dtcourant;
+    h.dthydro = d.dthydro;
+    write_bytes(out, &h, sizeof(h));
+
+    const auto nn = static_cast<std::size_t>(d.numNode());
+    const auto ne = static_cast<std::size_t>(d.numElem());
+    write_field(out, d.x, nn);
+    write_field(out, d.y, nn);
+    write_field(out, d.z, nn);
+    write_field(out, d.xd, nn);
+    write_field(out, d.yd, nn);
+    write_field(out, d.zd, nn);
+    write_field(out, d.e, ne);
+    write_field(out, d.p, ne);
+    write_field(out, d.q, ne);
+    write_field(out, d.v, ne);
+    write_field(out, d.ss, ne);
+}
+
+void load_checkpoint(domain& d, std::istream& in) {
+    header h;
+    read_bytes(in, &h, sizeof(h));
+    if (h.magic != checkpoint_magic) {
+        throw checkpoint_error("lulesh: not a checkpoint file");
+    }
+    if (h.version != checkpoint_version) {
+        throw checkpoint_error("lulesh: unsupported checkpoint version");
+    }
+    if (h.size != d.size_per_edge() || h.plane_begin != d.slab().plane_begin ||
+        h.plane_end != d.slab().plane_end || h.num_elem != d.numElem() ||
+        h.num_node != d.numNode()) {
+        throw checkpoint_error(
+            "lulesh: checkpoint shape does not match this domain");
+    }
+
+    const auto nn = static_cast<std::size_t>(d.numNode());
+    const auto ne = static_cast<std::size_t>(d.numElem());
+    read_field(in, d.x, nn);
+    read_field(in, d.y, nn);
+    read_field(in, d.z, nn);
+    read_field(in, d.xd, nn);
+    read_field(in, d.yd, nn);
+    read_field(in, d.zd, nn);
+    read_field(in, d.e, ne);
+    read_field(in, d.p, ne);
+    read_field(in, d.q, ne);
+    read_field(in, d.v, ne);
+    read_field(in, d.ss, ne);
+
+    d.cycle = h.cycle;
+    d.time_ = h.time;
+    d.deltatime = h.deltatime;
+    d.dtcourant = h.dtcourant;
+    d.dthydro = h.dthydro;
+}
+
+void save_checkpoint_file(const domain& d, const std::string& path) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw checkpoint_error("lulesh: cannot open '" + path + "' for writing");
+    save_checkpoint(d, out);
+}
+
+void load_checkpoint_file(domain& d, const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw checkpoint_error("lulesh: cannot open '" + path + "' for reading");
+    load_checkpoint(d, in);
+}
+
+}  // namespace lulesh

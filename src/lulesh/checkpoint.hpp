@@ -1,0 +1,42 @@
+// lulesh/checkpoint.hpp
+//
+// Binary checkpoint/restart of the simulation state.  A checkpoint captures
+// exactly the fields that carry state across leapfrog iterations
+// (coordinates, velocities, EOS state, relative volumes, sound speed, and
+// the time/cycle controls); everything else is per-iteration scratch that
+// the next advance() recomputes.  Restarting from a checkpoint therefore
+// continues **bitwise identically** to the uninterrupted run (covered by
+// tests), for any driver.
+//
+// Format: a fixed little-endian header (magic, version, problem shape) and
+// raw IEEE-754 doubles.  Checkpoints are only loadable into a domain built
+// with the same problem shape (size and slab extent); mismatches throw.
+
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "lulesh/domain.hpp"
+
+namespace lulesh {
+
+/// Thrown on malformed checkpoints or shape mismatches.
+class checkpoint_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Writes the domain's simulation state to `out`.
+void save_checkpoint(const domain& d, std::ostream& out);
+
+/// Restores state saved by save_checkpoint into `d`, which must have been
+/// constructed with the same problem shape.
+void load_checkpoint(domain& d, std::istream& in);
+
+/// File convenience wrappers; throw checkpoint_error on I/O failure.
+void save_checkpoint_file(const domain& d, const std::string& path);
+void load_checkpoint_file(domain& d, const std::string& path);
+
+}  // namespace lulesh

@@ -1,0 +1,97 @@
+// lulesh/constraints.cpp — Courant and hydro time-step constraints and the
+// time-increment logic (reference CalcTimeConstraintsForElems /
+// TimeIncrement).
+
+#include <cmath>
+
+#include "lulesh/kernels.hpp"
+
+namespace lulesh::kernels {
+
+dt_constraints calc_time_constraints(const domain& d,
+                                     const index_t* reg_elem_list, index_t lo,
+                                     index_t hi) {
+    dt_constraints out;
+    const real_t qqc2 = real_t(64.0) * d.qqc * d.qqc;
+    const real_t dvovmax = d.dvovmax;
+
+    for (index_t idx = lo; idx < hi; ++idx) {
+        const auto indx = static_cast<std::size_t>(reg_elem_list[idx]);
+        const real_t vdov = d.vdov[indx];
+
+        // Courant constraint (only deforming elements participate).
+        if (vdov != real_t(0.0)) {
+            real_t dtf = d.ss[indx] * d.ss[indx];
+            if (vdov < real_t(0.0)) {
+                dtf += qqc2 * d.arealg[indx] * d.arealg[indx] * vdov * vdov;
+            }
+            dtf = std::sqrt(dtf);
+            dtf = d.arealg[indx] / dtf;
+            if (dtf < out.dtcourant) out.dtcourant = dtf;
+        }
+
+        // Hydro constraint: bound the relative volume change per step.
+        if (vdov != real_t(0.0)) {
+            const real_t dtdvov =
+                dvovmax / (std::fabs(vdov) + real_t(1.e-20));
+            if (dtdvov < out.dthydro) out.dthydro = dtdvov;
+        }
+    }
+    return out;
+}
+
+dt_constraints min_constraints(const dt_constraints& a,
+                               const dt_constraints& b) {
+    dt_constraints out;
+    out.dtcourant = a.dtcourant < b.dtcourant ? a.dtcourant : b.dtcourant;
+    out.dthydro = a.dthydro < b.dthydro ? a.dthydro : b.dthydro;
+    return out;
+}
+
+void time_increment(domain& d) {
+    real_t targetdt = d.stoptime - d.time_;
+
+    if (d.dtfixed <= real_t(0.0) && d.cycle != 0) {
+        const real_t olddt = d.deltatime;
+
+        // Strictest constraint, with the reference's safety factors.
+        real_t gnewdt = real_t(1.0e+20);
+        if (d.dtcourant < gnewdt) {
+            gnewdt = d.dtcourant / real_t(2.0);
+        }
+        if (d.dthydro < gnewdt) {
+            gnewdt = d.dthydro * real_t(2.0) / real_t(3.0);
+        }
+
+        real_t newdt = gnewdt;
+        const real_t ratio = newdt / olddt;
+        if (ratio >= real_t(1.0)) {
+            // Prevent too-rapid growth of the time step.
+            if (ratio < d.deltatimemultlb) {
+                newdt = olddt;
+            } else if (ratio > d.deltatimemultub) {
+                newdt = olddt * d.deltatimemultub;
+            }
+        }
+        if (newdt > d.dtmax) {
+            newdt = d.dtmax;
+        }
+        d.deltatime = newdt;
+    } else if (d.dtfixed > real_t(0.0)) {
+        d.deltatime = d.dtfixed;
+    }
+
+    // Try to prevent very small scaling on the next cycle.
+    if ((targetdt > d.deltatime) &&
+        (targetdt < (real_t(4.0) * d.deltatime / real_t(3.0)))) {
+        targetdt = real_t(2.0) * d.deltatime / real_t(3.0);
+    }
+    if (targetdt < d.deltatime) {
+        d.deltatime = targetdt;
+    }
+
+    d.time_ += d.deltatime;
+    ++d.cycle;
+}
+
+}  // namespace lulesh::kernels

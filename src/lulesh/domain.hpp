@@ -1,0 +1,235 @@
+// lulesh/domain.hpp
+//
+// The Domain — LULESH's central data structure: struct-of-arrays storage for
+// all node- and element-centered fields, the element→node connectivity, the
+// element face adjacency, the material-region decomposition, and the
+// simulation control state (time, dt, constraints).
+//
+// Field names and semantics follow the reference implementation so that the
+// kernels read like the published code.  Persistent scratch arrays that the
+// reference allocates afresh every iteration (corner forces, principal
+// strains, monotonic-Q gradients, new volumes) are members here, allocated
+// once; the *task-local* temporaries of the paper's locality trick live in
+// the kernels instead.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lulesh/options.hpp"
+#include "lulesh/types.hpp"
+
+namespace lulesh {
+
+/// Slab extent for the multi-domain (distributed-style) decomposition: this
+/// rank owns the element planes [plane_begin, plane_end) of a global
+/// total_planes^1 stack (x/y dimensions are not decomposed).  Interior slab
+/// boundaries carry ghost storage for the neighbor's boundary corner forces
+/// and delv_zeta values, filled by the dist halo exchange.
+struct slab_extent {
+    index_t plane_begin = 0;
+    index_t plane_end = 0;
+    index_t total_planes = 0;
+
+    [[nodiscard]] index_t local_planes() const noexcept {
+        return plane_end - plane_begin;
+    }
+};
+
+class domain {
+public:
+    /// Builds the Sedov problem: a cube of size^3 hexahedral elements with
+    /// coordinates spanning [0, 1.125] per dimension, symmetry planes at the
+    /// three minimum faces, free surfaces at the maximum faces, all initial
+    /// energy deposited in element 0, and the element-to-region map drawn
+    /// from a deterministic PRNG (see regions.cpp).
+    explicit domain(const options& opts);
+
+    /// Builds one z-slab of the global problem (multi-domain decomposition).
+    /// Fields, connectivity, regions, and initial conditions are the exact
+    /// slice of the global domain; interior boundaries get ghost slots and
+    /// no symmetry/free flags.
+    domain(const options& opts, const slab_extent& slab);
+
+    // --- problem shape -------------------------------------------------
+    [[nodiscard]] index_t size_per_edge() const noexcept { return edge_elems_; }
+    [[nodiscard]] index_t numElem() const noexcept { return num_elem_; }
+    [[nodiscard]] index_t numNode() const noexcept { return num_node_; }
+
+    // --- slab decomposition (single-domain builds: one slab, no ghosts) --
+    [[nodiscard]] const slab_extent& slab() const noexcept { return slab_; }
+    [[nodiscard]] bool has_lower_neighbor() const noexcept {
+        return slab_.plane_begin > 0;
+    }
+    [[nodiscard]] bool has_upper_neighbor() const noexcept {
+        return slab_.plane_end < slab_.total_planes;
+    }
+    [[nodiscard]] index_t elems_per_plane() const noexcept {
+        return edge_elems_ * edge_elems_;
+    }
+    [[nodiscard]] index_t nodes_per_plane() const noexcept {
+        return edge_nodes_ * edge_nodes_;
+    }
+    /// Global element id of local element 0.
+    [[nodiscard]] index_t elem_offset() const noexcept {
+        return slab_.plane_begin * elems_per_plane();
+    }
+    /// Element-slot base of the lower/upper ghost plane in the ghost-extended
+    /// arrays (corner forces, delv_zeta); -1 when the boundary is physical.
+    [[nodiscard]] index_t ghost_lower_slot() const noexcept {
+        return has_lower_neighbor() ? num_elem_ : -1;
+    }
+    [[nodiscard]] index_t ghost_upper_slot() const noexcept {
+        return has_upper_neighbor()
+                   ? num_elem_ + (has_lower_neighbor() ? elems_per_plane() : 0)
+                   : -1;
+    }
+    /// Element ids of this slab's bottom/top element plane.
+    [[nodiscard]] index_t bottom_plane_elem_base() const noexcept { return 0; }
+    [[nodiscard]] index_t top_plane_elem_base() const noexcept {
+        return num_elem_ - elems_per_plane();
+    }
+    [[nodiscard]] index_t numReg() const noexcept {
+        return static_cast<index_t>(reg_elem_list_.size());
+    }
+    [[nodiscard]] int cost() const noexcept { return cost_; }
+
+    /// Element list of region r (indices into the element arrays).
+    [[nodiscard]] const std::vector<index_t>& regElemList(index_t r) const {
+        return reg_elem_list_[static_cast<std::size_t>(r)];
+    }
+    /// Region number of element `el` (0-based).
+    [[nodiscard]] index_t regNum(index_t el) const {
+        return reg_num_list_[static_cast<std::size_t>(el)];
+    }
+
+    /// The eight node indices of element `el` (reference nodelist ordering).
+    [[nodiscard]] const index_t* nodelist(index_t el) const {
+        return &node_list_[static_cast<std::size_t>(el) * 8];
+    }
+
+    // --- node-centered fields -------------------------------------------
+    std::vector<real_t> x, y, z;        ///< coordinates
+    std::vector<real_t> xd, yd, zd;     ///< velocities
+    std::vector<real_t> xdd, ydd, zdd;  ///< accelerations
+    std::vector<real_t> fx, fy, fz;     ///< force accumulators
+    std::vector<real_t> nodalMass;
+
+    /// Per-node symmetry-plane membership mask (node_symm bits); used by the
+    /// task-graph driver's fused acceleration+BC kernel.
+    std::vector<std::uint8_t> symm_mask;
+
+    /// Symmetry-plane node lists (reference symmX/symmY/symmZ), used by the
+    /// serial and parallel-for drivers which mirror the reference loops.
+    std::vector<index_t> symmX, symmY, symmZ;
+
+    // --- element-centered fields ------------------------------------------
+    std::vector<real_t> e;      ///< internal energy
+    std::vector<real_t> p;      ///< pressure
+    std::vector<real_t> q;      ///< artificial viscosity
+    std::vector<real_t> ql;     ///< linear term of q
+    std::vector<real_t> qq;     ///< quadratic term of q
+    std::vector<real_t> v;      ///< relative volume
+    std::vector<real_t> volo;   ///< reference (initial) volume
+    std::vector<real_t> delv;   ///< vnew - v of the current step
+    std::vector<real_t> vdov;   ///< volume derivative over volume
+    std::vector<real_t> arealg; ///< characteristic length
+    std::vector<real_t> ss;     ///< sound speed
+    std::vector<real_t> elemMass;
+
+    /// Face-adjacent element indices in each direction (reference lxim etc.;
+    /// boundary faces point at the element itself and are masked by elemBC).
+    std::vector<index_t> lxim, lxip, letam, letap, lzetam, lzetap;
+    std::vector<int> elemBC;  ///< bc flag bits per element
+
+    // --- persistent scratch (reference per-iteration temporaries) ---------
+    // Corner forces: 8 values per element, summed into nodes by the gather
+    // kernel.  Stress and hourglass components are kept separate so the task
+    // driver can compute them concurrently (paper trick T4) while the gather
+    // sums them in a fixed order (bitwise-identical results in all drivers).
+    std::vector<real_t> fx_elem, fy_elem, fz_elem;        ///< stress part
+    std::vector<real_t> fx_elem_hg, fy_elem_hg, fz_elem_hg;  ///< hourglass part
+
+    std::vector<real_t> dxx, dyy, dzz;  ///< principal strain rates
+    std::vector<real_t> delv_xi, delv_eta, delv_zeta;  ///< velocity gradients
+    std::vector<real_t> delx_xi, delx_eta, delx_zeta;  ///< position gradients
+    std::vector<real_t> vnew;   ///< relative volume at the new time level
+    std::vector<real_t> vnewc;  ///< vnew clamped to the EOS validity range
+
+    /// Corner list per node: entries are element*8+corner positions into the
+    /// corner-force arrays (reference nodeElemCornerList), with CSR-style
+    /// start offsets.  Gather order is ascending, making nodal force sums
+    /// deterministic regardless of execution order.
+    [[nodiscard]] const index_t* nodeElemCornerList(index_t n) const {
+        return &node_elem_corner_list_[static_cast<std::size_t>(
+            node_elem_start_[static_cast<std::size_t>(n)])];
+    }
+    [[nodiscard]] index_t nodeElemCount(index_t n) const {
+        return node_elem_start_[static_cast<std::size_t>(n) + 1] -
+               node_elem_start_[static_cast<std::size_t>(n)];
+    }
+
+    // --- simulation control state ---------------------------------------
+    real_t time_ = 0.0;
+    real_t deltatime = 0.0;
+    real_t dtcourant = 1.0e20;
+    real_t dthydro = 1.0e20;
+    int cycle = 0;
+
+    // Fixed parameters (reference defaults).
+    real_t dtfixed = -1.0e-6;        ///< <= 0: variable dt
+    real_t stoptime = 1.0e-2;
+    real_t deltatimemultlb = 1.1;
+    real_t deltatimemultub = 1.2;
+    real_t dtmax = 1.0e-2;
+
+    real_t e_cut = 1.0e-7;
+    real_t p_cut = 1.0e-7;
+    real_t q_cut = 1.0e-7;
+    real_t u_cut = 1.0e-7;
+    real_t v_cut = 1.0e-10;
+
+    real_t hgcoef = 3.0;
+    real_t qstop = 1.0e12;
+    real_t monoq_max_slope = 1.0;
+    real_t monoq_limiter_mult = 2.0;
+    real_t qlc_monoq = 0.5;
+    real_t qqc_monoq = 2.0 / 3.0;
+    real_t qqc = 2.0;
+    real_t eosvmax = 1.0e9;
+    real_t eosvmin = 1.0e-9;
+    real_t pmin = 0.0;
+    real_t emin = -1.0e15;
+    real_t dvovmax = 0.1;
+    real_t refdens = 1.0;
+    real_t ss4o3 = 4.0 / 3.0;
+
+private:
+    friend void build_mesh(domain& d, const options& opts);
+    friend void build_regions(domain& d, const options& opts);
+
+    index_t edge_elems_ = 0;
+    index_t edge_nodes_ = 0;
+    index_t num_elem_ = 0;
+    index_t num_node_ = 0;
+    int cost_ = 1;
+    slab_extent slab_{};
+
+    std::vector<index_t> node_list_;  ///< 8 node ids per element
+    std::vector<index_t> node_elem_start_;
+    std::vector<index_t> node_elem_corner_list_;
+
+    std::vector<index_t> reg_num_list_;
+    std::vector<std::vector<index_t>> reg_elem_list_;
+};
+
+/// mesh.cpp: geometry, connectivity, boundary conditions, Sedov initial
+/// conditions.  Called from the domain constructor.
+void build_mesh(domain& d, const options& opts);
+
+/// regions.cpp: deterministic element→region assignment with the
+/// reference's run-length distribution.  Called from the domain constructor.
+void build_regions(domain& d, const options& opts);
+
+}  // namespace lulesh

@@ -1,0 +1,77 @@
+// lulesh/driver.hpp
+//
+// A driver advances the Lagrange leapfrog by one iteration.  All drivers
+// execute the same kernels (see kernels.hpp) and therefore produce bitwise
+// identical fields; they differ only in how the per-iteration work is
+// decomposed and synchronized:
+//
+//   serial_driver        — every kernel over its full range, in order.
+//   parallel_for_driver  — ompsim team, one statically-scheduled parallel
+//                          loop + barrier per reference loop (the OpenMP
+//                          reference baseline).
+//   foreach_driver       — (src/core) amt runtime, hpx::for_each-style
+//                          parallel loops with a barrier per loop; the naive
+//                          HPX port the paper's related work shows to be
+//                          slower than OpenMP.
+//   taskgraph_driver     — (src/core) the paper's contribution: a
+//                          pre-created task graph per iteration with
+//                          continuation chains and few barriers.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "lulesh/domain.hpp"
+#include "lulesh/options.hpp"
+#include "lulesh/types.hpp"
+
+namespace lulesh {
+
+/// Thrown when the simulation hits one of the reference's abort conditions.
+class simulation_error : public std::runtime_error {
+public:
+    simulation_error(status code, const std::string& what)
+        : std::runtime_error(what), code_(code) {}
+
+    [[nodiscard]] status code() const noexcept { return code_; }
+
+private:
+    status code_;
+};
+
+class driver {
+public:
+    driver() = default;
+    driver(const driver&) = delete;
+    driver& operator=(const driver&) = delete;
+    virtual ~driver() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// One LagrangeLeapFrog iteration at the domain's current deltatime:
+    /// LagrangeNodal, LagrangeElements, CalcTimeConstraintsForElems.
+    /// Throws simulation_error on a volume or qstop violation.
+    virtual void advance(domain& d) = 0;
+};
+
+/// Reference-ordered single-threaded driver; the ground truth for tests.
+class serial_driver final : public driver {
+public:
+    [[nodiscard]] std::string name() const override { return "serial"; }
+    void advance(domain& d) override;
+
+private:
+    // Persistent scratch mirroring the reference's per-call allocations.
+    std::vector<real_t> sigxx_, sigyy_, sigzz_;
+    std::vector<real_t> dvdx_, dvdy_, dvdz_, x8n_, y8n_, z8n_;
+    std::vector<real_t> determ_;
+};
+
+/// Runs `drv` on `d` until stoptime or `max_cycles`, whichever comes first.
+/// The iteration loop matches the reference main(): TimeIncrement, then
+/// LagrangeLeapFrog.
+run_result run_simulation(domain& d, driver& drv,
+                          int max_cycles = std::numeric_limits<int>::max());
+
+}  // namespace lulesh

@@ -1,0 +1,89 @@
+// lulesh/io.cpp — CSV field dumps.
+
+#include "lulesh/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <vector>
+
+namespace lulesh {
+
+namespace {
+
+/// Center coordinates of element `el` (mean of its eight corners).
+void elem_center(const domain& d, index_t el, real_t* cx, real_t* cy,
+                 real_t* cz) {
+    const index_t* nl = d.nodelist(el);
+    real_t sx = 0, sy = 0, sz = 0;
+    for (int c = 0; c < 8; ++c) {
+        const auto n = static_cast<std::size_t>(nl[c]);
+        sx += d.x[n];
+        sy += d.y[n];
+        sz += d.z[n];
+    }
+    *cx = sx / real_t(8.0);
+    *cy = sy / real_t(8.0);
+    *cz = sz / real_t(8.0);
+}
+
+void dump_rows(const domain& d, index_t first, index_t last,
+               std::ostream& out) {
+    out << "x,y,z,e,p,q,v,ss\n";
+    out.precision(9);
+    for (index_t el = first; el < last; ++el) {
+        real_t cx, cy, cz;
+        elem_center(d, el, &cx, &cy, &cz);
+        const auto k = static_cast<std::size_t>(el);
+        out << cx << ',' << cy << ',' << cz << ',' << d.e[k] << ',' << d.p[k]
+            << ',' << d.q[k] << ',' << d.v[k] << ',' << d.ss[k] << '\n';
+    }
+}
+
+}  // namespace
+
+void dump_plane_csv(const domain& d, index_t plane, std::ostream& out) {
+    const index_t ep = d.elems_per_plane();
+    const index_t first = plane * ep;
+    dump_rows(d, first, first + ep, out);
+}
+
+void dump_elements_csv(const domain& d, std::ostream& out) {
+    dump_rows(d, 0, d.numElem(), out);
+}
+
+void dump_radial_profile_csv(const domain& d, int bins, std::ostream& out) {
+    const real_t rmax = real_t(1.125) * std::sqrt(real_t(3.0));
+    std::vector<real_t> e_sum(static_cast<std::size_t>(bins), 0.0);
+    std::vector<real_t> p_sum(static_cast<std::size_t>(bins), 0.0);
+    std::vector<real_t> v_sum(static_cast<std::size_t>(bins), 0.0);
+    std::vector<int> count(static_cast<std::size_t>(bins), 0);
+
+    for (index_t el = 0; el < d.numElem(); ++el) {
+        real_t cx, cy, cz;
+        elem_center(d, el, &cx, &cy, &cz);
+        const real_t r = std::sqrt(cx * cx + cy * cy + cz * cz);
+        int bin = static_cast<int>(r / rmax * static_cast<real_t>(bins));
+        bin = std::clamp(bin, 0, bins - 1);
+        const auto b = static_cast<std::size_t>(bin);
+        const auto k = static_cast<std::size_t>(el);
+        e_sum[b] += d.e[k];
+        p_sum[b] += d.p[k];
+        v_sum[b] += d.v[k];
+        ++count[b];
+    }
+
+    out << "r,e_mean,p_mean,v_mean,count\n";
+    out.precision(9);
+    for (int b = 0; b < bins; ++b) {
+        const auto ub = static_cast<std::size_t>(b);
+        if (count[ub] == 0) continue;
+        const real_t r_mid =
+            (static_cast<real_t>(b) + real_t(0.5)) * rmax / static_cast<real_t>(bins);
+        out << r_mid << ',' << e_sum[ub] / count[ub] << ','
+            << p_sum[ub] / count[ub] << ',' << v_sum[ub] / count[ub] << ','
+            << count[ub] << '\n';
+    }
+}
+
+}  // namespace lulesh

@@ -1,0 +1,28 @@
+// lulesh/io.hpp
+//
+// Plain-text field output for inspection and plotting: CSV dumps of element
+// fields on a z-plane slice or over the whole mesh, and a radial profile of
+// the blast (the reference ships a Silo/VisIt dump; CSV keeps this
+// reproduction dependency-free while remaining scriptable).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lulesh/domain.hpp"
+
+namespace lulesh {
+
+/// Writes `x,y,z,e,p,q,v,ss` rows (with header) for every element of the
+/// local z-plane `plane` (element centers; plane in [0, local_planes)).
+void dump_plane_csv(const domain& d, index_t plane, std::ostream& out);
+
+/// Writes all elements (same columns) — size^3 rows.
+void dump_elements_csv(const domain& d, std::ostream& out);
+
+/// Writes `r,e_mean,p_mean,v_mean,count` rows binned by distance of the
+/// element center from the origin; `bins` rows.
+void dump_radial_profile_csv(const domain& d, int bins, std::ostream& out);
+
+}  // namespace lulesh

@@ -1,0 +1,113 @@
+// lulesh/kernels_elem.cpp — LagrangeElements kernels: kinematics (new
+// volumes, strain rates) and the end-of-step volume update.
+
+#include <cmath>
+
+#include "lulesh/elem_geometry.hpp"
+#include "lulesh/kernels.hpp"
+
+namespace lulesh::kernels {
+
+void calc_kinematics(domain& d, index_t lo, index_t hi, real_t dt) {
+    const real_t dt2 = real_t(0.5) * dt;
+    for (index_t k = lo; k < hi; ++k) {
+        real_t B[3][8];
+        real_t D[6];
+        real_t x_local[8], y_local[8], z_local[8];
+        real_t xd_local[8], yd_local[8], zd_local[8];
+
+        const index_t* nl = d.nodelist(k);
+        for (int c = 0; c < 8; ++c) {
+            const auto n = static_cast<std::size_t>(nl[c]);
+            x_local[c] = d.x[n];
+            y_local[c] = d.y[n];
+            z_local[c] = d.z[n];
+        }
+
+        const auto i = static_cast<std::size_t>(k);
+
+        // New relative volume and volume change.
+        const real_t volume = geom::calc_elem_volume(x_local, y_local, z_local);
+        const real_t relative_volume = volume / d.volo[i];
+        d.vnew[i] = relative_volume;
+        d.delv[i] = relative_volume - d.v[i];
+
+        d.arealg[i] =
+            geom::calc_elem_characteristic_length(x_local, y_local, z_local,
+                                                  volume);
+
+        for (int c = 0; c < 8; ++c) {
+            const auto n = static_cast<std::size_t>(nl[c]);
+            xd_local[c] = d.xd[n];
+            yd_local[c] = d.yd[n];
+            zd_local[c] = d.zd[n];
+        }
+
+        // Evaluate the velocity gradient at the half step: move the corner
+        // coordinates back by dt/2.
+        for (int c = 0; c < 8; ++c) {
+            x_local[c] -= dt2 * xd_local[c];
+            y_local[c] -= dt2 * yd_local[c];
+            z_local[c] -= dt2 * zd_local[c];
+        }
+
+        real_t det_j = real_t(0.0);
+        geom::calc_elem_shape_function_derivatives(x_local, y_local, z_local,
+                                                   B, &det_j);
+        geom::calc_elem_velocity_gradient(xd_local, yd_local, zd_local, B,
+                                          det_j, D);
+
+        d.dxx[i] = D[0];
+        d.dyy[i] = D[1];
+        d.dzz[i] = D[2];
+    }
+}
+
+bool calc_lagrange_deviatoric(domain& d, index_t lo, index_t hi) {
+    bool ok = true;
+    for (index_t k = lo; k < hi; ++k) {
+        const auto i = static_cast<std::size_t>(k);
+        const real_t vdov_k = d.dxx[i] + d.dyy[i] + d.dzz[i];
+        const real_t vdov_third = vdov_k / real_t(3.0);
+
+        d.vdov[i] = vdov_k;
+        d.dxx[i] -= vdov_third;
+        d.dyy[i] -= vdov_third;
+        d.dzz[i] -= vdov_third;
+
+        if (d.vnew[i] <= real_t(0.0)) ok = false;
+    }
+    return ok;
+}
+
+bool apply_material_vnewc(domain& d, index_t lo, index_t hi) {
+    const real_t eosvmin = d.eosvmin;
+    const real_t eosvmax = d.eosvmax;
+    bool ok = true;
+    for (index_t k = lo; k < hi; ++k) {
+        const auto i = static_cast<std::size_t>(k);
+        real_t vc_new = d.vnew[i];
+        if (eosvmin != real_t(0.0) && vc_new < eosvmin) vc_new = eosvmin;
+        if (eosvmax != real_t(0.0) && vc_new > eosvmax) vc_new = eosvmax;
+        d.vnewc[i] = vc_new;
+
+        // Sanity check on the *current* relative volume (reference abort).
+        real_t vc = d.v[i];
+        if (eosvmin != real_t(0.0) && vc < eosvmin) vc = eosvmin;
+        if (eosvmax != real_t(0.0) && vc > eosvmax) vc = eosvmax;
+        if (vc <= real_t(0.0)) ok = false;
+    }
+    return ok;
+}
+
+void update_volumes(domain& d, index_t lo, index_t hi) {
+    const real_t v_cut = d.v_cut;
+    for (index_t k = lo; k < hi; ++k) {
+        const auto i = static_cast<std::size_t>(k);
+        real_t tmp_v = d.vnew[i];
+        if (std::fabs(tmp_v - real_t(1.0)) < v_cut) tmp_v = real_t(1.0);
+        d.v[i] = tmp_v;
+    }
+}
+
+}  // namespace lulesh::kernels

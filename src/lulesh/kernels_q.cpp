@@ -1,0 +1,284 @@
+// lulesh/kernels_q.cpp — artificial viscosity: monotonic Q gradients and the
+// per-region monotonic Q evaluation.
+
+#include <cmath>
+
+#include "lulesh/kernels.hpp"
+
+namespace lulesh::kernels {
+
+void calc_monotonic_q_gradients(domain& d, index_t lo, index_t hi) {
+    constexpr real_t ptiny = real_t(1.e-36);
+
+    for (index_t i = lo; i < hi; ++i) {
+        const index_t* nl = d.nodelist(i);
+        const auto n0 = static_cast<std::size_t>(nl[0]);
+        const auto n1 = static_cast<std::size_t>(nl[1]);
+        const auto n2 = static_cast<std::size_t>(nl[2]);
+        const auto n3 = static_cast<std::size_t>(nl[3]);
+        const auto n4 = static_cast<std::size_t>(nl[4]);
+        const auto n5 = static_cast<std::size_t>(nl[5]);
+        const auto n6 = static_cast<std::size_t>(nl[6]);
+        const auto n7 = static_cast<std::size_t>(nl[7]);
+
+        const real_t x0 = d.x[n0], x1 = d.x[n1], x2 = d.x[n2], x3 = d.x[n3];
+        const real_t x4 = d.x[n4], x5 = d.x[n5], x6 = d.x[n6], x7 = d.x[n7];
+        const real_t y0 = d.y[n0], y1 = d.y[n1], y2 = d.y[n2], y3 = d.y[n3];
+        const real_t y4 = d.y[n4], y5 = d.y[n5], y6 = d.y[n6], y7 = d.y[n7];
+        const real_t z0 = d.z[n0], z1 = d.z[n1], z2 = d.z[n2], z3 = d.z[n3];
+        const real_t z4 = d.z[n4], z5 = d.z[n5], z6 = d.z[n6], z7 = d.z[n7];
+
+        const real_t xv0 = d.xd[n0], xv1 = d.xd[n1], xv2 = d.xd[n2],
+                     xv3 = d.xd[n3], xv4 = d.xd[n4], xv5 = d.xd[n5],
+                     xv6 = d.xd[n6], xv7 = d.xd[n7];
+        const real_t yv0 = d.yd[n0], yv1 = d.yd[n1], yv2 = d.yd[n2],
+                     yv3 = d.yd[n3], yv4 = d.yd[n4], yv5 = d.yd[n5],
+                     yv6 = d.yd[n6], yv7 = d.yd[n7];
+        const real_t zv0 = d.zd[n0], zv1 = d.zd[n1], zv2 = d.zd[n2],
+                     zv3 = d.zd[n3], zv4 = d.zd[n4], zv5 = d.zd[n5],
+                     zv6 = d.zd[n6], zv7 = d.zd[n7];
+
+        const auto k = static_cast<std::size_t>(i);
+        const real_t vol = d.volo[k] * d.vnew[k];
+        const real_t norm = real_t(1.0) / (vol + ptiny);
+
+        const real_t dxj = real_t(-0.25) * ((x0 + x1 + x5 + x4) - (x3 + x2 + x6 + x7));
+        const real_t dyj = real_t(-0.25) * ((y0 + y1 + y5 + y4) - (y3 + y2 + y6 + y7));
+        const real_t dzj = real_t(-0.25) * ((z0 + z1 + z5 + z4) - (z3 + z2 + z6 + z7));
+
+        const real_t dxi = real_t(0.25) * ((x1 + x2 + x6 + x5) - (x0 + x3 + x7 + x4));
+        const real_t dyi = real_t(0.25) * ((y1 + y2 + y6 + y5) - (y0 + y3 + y7 + y4));
+        const real_t dzi = real_t(0.25) * ((z1 + z2 + z6 + z5) - (z0 + z3 + z7 + z4));
+
+        const real_t dxk = real_t(0.25) * ((x4 + x5 + x6 + x7) - (x0 + x1 + x2 + x3));
+        const real_t dyk = real_t(0.25) * ((y4 + y5 + y6 + y7) - (y0 + y1 + y2 + y3));
+        const real_t dzk = real_t(0.25) * ((z4 + z5 + z6 + z7) - (z0 + z1 + z2 + z3));
+
+        // zeta direction: i cross j
+        {
+            real_t ax = dyi * dzj - dzi * dyj;
+            real_t ay = dzi * dxj - dxi * dzj;
+            real_t az = dxi * dyj - dyi * dxj;
+
+            d.delx_zeta[k] = vol / std::sqrt(ax * ax + ay * ay + az * az + ptiny);
+
+            ax *= norm;
+            ay *= norm;
+            az *= norm;
+
+            const real_t dxv = real_t(0.25) * ((xv4 + xv5 + xv6 + xv7) - (xv0 + xv1 + xv2 + xv3));
+            const real_t dyv = real_t(0.25) * ((yv4 + yv5 + yv6 + yv7) - (yv0 + yv1 + yv2 + yv3));
+            const real_t dzv = real_t(0.25) * ((zv4 + zv5 + zv6 + zv7) - (zv0 + zv1 + zv2 + zv3));
+
+            d.delv_zeta[k] = ax * dxv + ay * dyv + az * dzv;
+        }
+
+        // xi direction: j cross k
+        {
+            real_t ax = dyj * dzk - dzj * dyk;
+            real_t ay = dzj * dxk - dxj * dzk;
+            real_t az = dxj * dyk - dyj * dxk;
+
+            d.delx_xi[k] = vol / std::sqrt(ax * ax + ay * ay + az * az + ptiny);
+
+            ax *= norm;
+            ay *= norm;
+            az *= norm;
+
+            const real_t dxv = real_t(0.25) * ((xv1 + xv2 + xv6 + xv5) - (xv0 + xv3 + xv7 + xv4));
+            const real_t dyv = real_t(0.25) * ((yv1 + yv2 + yv6 + yv5) - (yv0 + yv3 + yv7 + yv4));
+            const real_t dzv = real_t(0.25) * ((zv1 + zv2 + zv6 + zv5) - (zv0 + zv3 + zv7 + zv4));
+
+            d.delv_xi[k] = ax * dxv + ay * dyv + az * dzv;
+        }
+
+        // eta direction: k cross i
+        {
+            real_t ax = dyk * dzi - dzk * dyi;
+            real_t ay = dzk * dxi - dxk * dzi;
+            real_t az = dxk * dyi - dyk * dxi;
+
+            d.delx_eta[k] = vol / std::sqrt(ax * ax + ay * ay + az * az + ptiny);
+
+            ax *= norm;
+            ay *= norm;
+            az *= norm;
+
+            const real_t dxv = real_t(-0.25) * ((xv0 + xv1 + xv5 + xv4) - (xv3 + xv2 + xv6 + xv7));
+            const real_t dyv = real_t(-0.25) * ((yv0 + yv1 + yv5 + yv4) - (yv3 + yv2 + yv6 + yv7));
+            const real_t dzv = real_t(-0.25) * ((zv0 + zv1 + zv5 + zv4) - (zv3 + zv2 + zv6 + zv7));
+
+            d.delv_eta[k] = ax * dxv + ay * dyv + az * dzv;
+        }
+    }
+}
+
+void calc_monotonic_q_region(domain& d, const index_t* reg_elem_list,
+                             index_t lo, index_t hi) {
+    constexpr real_t ptiny = real_t(1.e-36);
+    const real_t monoq_limiter_mult = d.monoq_limiter_mult;
+    const real_t monoq_max_slope = d.monoq_max_slope;
+    const real_t qlc_monoq = d.qlc_monoq;
+    const real_t qqc_monoq = d.qqc_monoq;
+
+    for (index_t idx = lo; idx < hi; ++idx) {
+        const index_t i = reg_elem_list[idx];
+        const auto k = static_cast<std::size_t>(i);
+        const int bc_mask = d.elemBC[k];
+        real_t delvm = 0, delvp = 0;
+
+        // phixi
+        real_t norm = real_t(1.0) / (d.delv_xi[k] + ptiny);
+        switch (bc_mask & XI_M) {
+            case XI_M_SYMM:
+                delvm = d.delv_xi[k];
+                break;
+            case XI_M_FREE:
+                delvm = real_t(0.0);
+                break;
+            default:
+                delvm = d.delv_xi[static_cast<std::size_t>(d.lxim[k])];
+                break;
+        }
+        switch (bc_mask & XI_P) {
+            case XI_P_SYMM:
+                delvp = d.delv_xi[k];
+                break;
+            case XI_P_FREE:
+                delvp = real_t(0.0);
+                break;
+            default:
+                delvp = d.delv_xi[static_cast<std::size_t>(d.lxip[k])];
+                break;
+        }
+
+        delvm = delvm * norm;
+        delvp = delvp * norm;
+
+        real_t phixi = real_t(0.5) * (delvm + delvp);
+
+        delvm *= monoq_limiter_mult;
+        delvp *= monoq_limiter_mult;
+
+        if (delvm < phixi) phixi = delvm;
+        if (delvp < phixi) phixi = delvp;
+        if (phixi < real_t(0.0)) phixi = real_t(0.0);
+        if (phixi > monoq_max_slope) phixi = monoq_max_slope;
+
+        // phieta
+        norm = real_t(1.0) / (d.delv_eta[k] + ptiny);
+        switch (bc_mask & ETA_M) {
+            case ETA_M_SYMM:
+                delvm = d.delv_eta[k];
+                break;
+            case ETA_M_FREE:
+                delvm = real_t(0.0);
+                break;
+            default:
+                delvm = d.delv_eta[static_cast<std::size_t>(d.letam[k])];
+                break;
+        }
+        switch (bc_mask & ETA_P) {
+            case ETA_P_SYMM:
+                delvp = d.delv_eta[k];
+                break;
+            case ETA_P_FREE:
+                delvp = real_t(0.0);
+                break;
+            default:
+                delvp = d.delv_eta[static_cast<std::size_t>(d.letap[k])];
+                break;
+        }
+
+        delvm = delvm * norm;
+        delvp = delvp * norm;
+
+        real_t phieta = real_t(0.5) * (delvm + delvp);
+
+        delvm *= monoq_limiter_mult;
+        delvp *= monoq_limiter_mult;
+
+        if (delvm < phieta) phieta = delvm;
+        if (delvp < phieta) phieta = delvp;
+        if (phieta < real_t(0.0)) phieta = real_t(0.0);
+        if (phieta > monoq_max_slope) phieta = monoq_max_slope;
+
+        // phizeta
+        norm = real_t(1.0) / (d.delv_zeta[k] + ptiny);
+        switch (bc_mask & ZETA_M) {
+            case ZETA_M_SYMM:
+                delvm = d.delv_zeta[k];
+                break;
+            case ZETA_M_FREE:
+                delvm = real_t(0.0);
+                break;
+            default:
+                delvm = d.delv_zeta[static_cast<std::size_t>(d.lzetam[k])];
+                break;
+        }
+        switch (bc_mask & ZETA_P) {
+            case ZETA_P_SYMM:
+                delvp = d.delv_zeta[k];
+                break;
+            case ZETA_P_FREE:
+                delvp = real_t(0.0);
+                break;
+            default:
+                delvp = d.delv_zeta[static_cast<std::size_t>(d.lzetap[k])];
+                break;
+        }
+
+        delvm = delvm * norm;
+        delvp = delvp * norm;
+
+        real_t phizeta = real_t(0.5) * (delvm + delvp);
+
+        delvm *= monoq_limiter_mult;
+        delvp *= monoq_limiter_mult;
+
+        if (delvm < phizeta) phizeta = delvm;
+        if (delvp < phizeta) phizeta = delvp;
+        if (phizeta < real_t(0.0)) phizeta = real_t(0.0);
+        if (phizeta > monoq_max_slope) phizeta = monoq_max_slope;
+
+        // Remove length scale.
+        real_t qlin, qquad;
+        if (d.vdov[k] > real_t(0.0)) {
+            qlin = real_t(0.0);
+            qquad = real_t(0.0);
+        } else {
+            real_t delvxxi = d.delv_xi[k] * d.delx_xi[k];
+            real_t delvxeta = d.delv_eta[k] * d.delx_eta[k];
+            real_t delvxzeta = d.delv_zeta[k] * d.delx_zeta[k];
+
+            if (delvxxi > real_t(0.0)) delvxxi = real_t(0.0);
+            if (delvxeta > real_t(0.0)) delvxeta = real_t(0.0);
+            if (delvxzeta > real_t(0.0)) delvxzeta = real_t(0.0);
+
+            const real_t rho = d.elemMass[k] / (d.volo[k] * d.vnew[k]);
+
+            qlin = -qlc_monoq * rho *
+                   (delvxxi * (real_t(1.0) - phixi) +
+                    delvxeta * (real_t(1.0) - phieta) +
+                    delvxzeta * (real_t(1.0) - phizeta));
+
+            qquad = qqc_monoq * rho *
+                    (delvxxi * delvxxi * (real_t(1.0) - phixi * phixi) +
+                     delvxeta * delvxeta * (real_t(1.0) - phieta * phieta) +
+                     delvxzeta * delvxzeta * (real_t(1.0) - phizeta * phizeta));
+        }
+
+        d.qq[k] = qquad;
+        d.ql[k] = qlin;
+    }
+}
+
+bool check_qstop(const domain& d, index_t lo, index_t hi) {
+    const real_t qstop = d.qstop;
+    for (index_t i = lo; i < hi; ++i) {
+        if (d.q[static_cast<std::size_t>(i)] > qstop) return false;
+    }
+    return true;
+}
+
+}  // namespace lulesh::kernels

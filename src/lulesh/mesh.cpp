@@ -1,0 +1,323 @@
+// lulesh/mesh.cpp — mesh geometry, connectivity, boundary conditions, and
+// the Sedov blast initial conditions, following the reference setup for the
+// single-node (tp = 1) case.  Slab-aware: a build for the z-plane range
+// [plane_begin, plane_end) of a larger problem produces the exact slice of
+// the global mesh, with ghost corner-list entries at interior boundaries so
+// that nodal force gathers sum in global element order (bitwise equal to the
+// single-domain build once the halo exchange has filled the ghosts).
+
+#include <cmath>
+
+#include "lulesh/domain.hpp"
+#include "lulesh/elem_geometry.hpp"
+
+namespace lulesh {
+
+namespace {
+
+/// Coordinate of global lattice plane/row/column `i` (identical expression
+/// everywhere so coordinates are bitwise equal across slab decompositions).
+real_t lattice_coord(index_t i, index_t edge_elems) {
+    return real_t(1.125) * static_cast<real_t>(i) /
+           static_cast<real_t>(edge_elems);
+}
+
+/// Volume of the global element (col, row, gplane), reconstructed from the
+/// lattice formula; used for ghost mass contributions and for the origin
+/// element's blast parameters on slabs that do not own it.
+real_t global_elem_volume(index_t col, index_t row, index_t gplane,
+                          index_t edge_elems) {
+    real_t ex[8], ey[8], ez[8];
+    const index_t ci[8] = {col, col + 1, col + 1, col,
+                           col, col + 1, col + 1, col};
+    const index_t ri[8] = {row, row, row + 1, row + 1,
+                           row, row, row + 1, row + 1};
+    const index_t pi[8] = {gplane,     gplane,     gplane,     gplane,
+                           gplane + 1, gplane + 1, gplane + 1, gplane + 1};
+    for (int c = 0; c < 8; ++c) {
+        ex[c] = lattice_coord(ci[c], edge_elems);
+        ey[c] = lattice_coord(ri[c], edge_elems);
+        ez[c] = lattice_coord(pi[c], edge_elems);
+    }
+    return geom::calc_elem_volume(ex, ey, ez);
+}
+
+/// Gathers one element's corner coordinates.
+void collect_domain_nodes(const domain& d, const index_t* elem_nodes,
+                          real_t ex[8], real_t ey[8], real_t ez[8]) {
+    for (int i = 0; i < 8; ++i) {
+        const auto n = static_cast<std::size_t>(elem_nodes[i]);
+        ex[i] = d.x[n];
+        ey[i] = d.y[n];
+        ez[i] = d.z[n];
+    }
+}
+
+}  // namespace
+
+void build_mesh(domain& d, const options& opts) {
+    (void)opts;
+    const index_t edge_elems = d.edge_elems_;
+    const index_t edge_nodes = d.edge_nodes_;
+    const slab_extent slab = d.slab();
+    const index_t local_planes = slab.local_planes();
+    const index_t plane_elems = d.elems_per_plane();
+
+    // --- nodal coordinates: uniform lattice spanning [0, 1.125]^3 -------
+    index_t nidx = 0;
+    for (index_t plane = 0; plane <= local_planes; ++plane) {
+        const real_t tz =
+            lattice_coord(slab.plane_begin + plane, edge_elems);
+        for (index_t row = 0; row < edge_nodes; ++row) {
+            const real_t ty = lattice_coord(row, edge_elems);
+            for (index_t col = 0; col < edge_nodes; ++col) {
+                const auto n = static_cast<std::size_t>(nidx);
+                d.x[n] = lattice_coord(col, edge_elems);
+                d.y[n] = ty;
+                d.z[n] = tz;
+                ++nidx;
+            }
+        }
+    }
+
+    // --- element → node connectivity (reference ordering) ----------------
+    index_t zidx = 0;
+    for (index_t plane = 0; plane < local_planes; ++plane) {
+        for (index_t row = 0; row < edge_elems; ++row) {
+            for (index_t col = 0; col < edge_elems; ++col) {
+                const index_t base =
+                    plane * edge_nodes * edge_nodes + row * edge_nodes + col;
+                index_t* local =
+                    &d.node_list_[static_cast<std::size_t>(zidx) * 8];
+                local[0] = base;
+                local[1] = base + 1;
+                local[2] = base + edge_nodes + 1;
+                local[3] = base + edge_nodes;
+                local[4] = base + edge_nodes * edge_nodes;
+                local[5] = base + edge_nodes * edge_nodes + 1;
+                local[6] = base + edge_nodes * edge_nodes + edge_nodes + 1;
+                local[7] = base + edge_nodes * edge_nodes + edge_nodes;
+                ++zidx;
+            }
+        }
+    }
+
+    // --- node → element-corner gather lists (CSR) -----------------------
+    // Entries are in ascending *global* element order: lower ghosts first,
+    // then local elements, then upper ghosts — which makes nodal force sums
+    // bitwise identical to the single-domain build.
+    const index_t num_elem = d.num_elem_;
+    const index_t num_node = d.num_node_;
+
+    struct contribution {
+        index_t node;
+        index_t corner_slot;  // slot*8 + corner into the corner arrays
+    };
+    std::vector<contribution> contribs;
+    contribs.reserve(static_cast<std::size_t>(num_elem) * 8 +
+                     static_cast<std::size_t>(plane_elems) * 8);
+
+    // Lower ghost plane: elements below the slab touch the bottom node plane
+    // via their top corners (4..7).
+    if (d.has_lower_neighbor()) {
+        const index_t slot_base = d.ghost_lower_slot();
+        for (index_t row = 0; row < edge_elems; ++row) {
+            for (index_t col = 0; col < edge_elems; ++col) {
+                const index_t slot = slot_base + row * edge_elems + col;
+                const index_t n00 = row * edge_nodes + col;
+                contribs.push_back({n00, slot * 8 + 4});
+                contribs.push_back({n00 + 1, slot * 8 + 5});
+                contribs.push_back({n00 + edge_nodes + 1, slot * 8 + 6});
+                contribs.push_back({n00 + edge_nodes, slot * 8 + 7});
+            }
+        }
+    }
+    for (index_t el = 0; el < num_elem; ++el) {
+        const index_t* nl = d.nodelist(el);
+        for (index_t c = 0; c < 8; ++c) {
+            contribs.push_back({nl[c], el * 8 + c});
+        }
+    }
+    // Upper ghost plane: elements above touch the top node plane via their
+    // bottom corners (0..3).
+    if (d.has_upper_neighbor()) {
+        const index_t slot_base = d.ghost_upper_slot();
+        const index_t top_nodes = local_planes * edge_nodes * edge_nodes;
+        for (index_t row = 0; row < edge_elems; ++row) {
+            for (index_t col = 0; col < edge_elems; ++col) {
+                const index_t slot = slot_base + row * edge_elems + col;
+                const index_t n00 = top_nodes + row * edge_nodes + col;
+                contribs.push_back({n00, slot * 8 + 0});
+                contribs.push_back({n00 + 1, slot * 8 + 1});
+                contribs.push_back({n00 + edge_nodes + 1, slot * 8 + 2});
+                contribs.push_back({n00 + edge_nodes, slot * 8 + 3});
+            }
+        }
+    }
+
+    std::vector<index_t> counts(static_cast<std::size_t>(num_node), 0);
+    for (const auto& c : contribs) ++counts[static_cast<std::size_t>(c.node)];
+    d.node_elem_start_.assign(static_cast<std::size_t>(num_node) + 1, 0);
+    for (index_t n = 0; n < num_node; ++n) {
+        d.node_elem_start_[static_cast<std::size_t>(n) + 1] =
+            d.node_elem_start_[static_cast<std::size_t>(n)] +
+            counts[static_cast<std::size_t>(n)];
+    }
+    d.node_elem_corner_list_.assign(contribs.size(), 0);
+    std::vector<index_t> fill(static_cast<std::size_t>(num_node), 0);
+    for (const auto& c : contribs) {
+        const auto n = static_cast<std::size_t>(c.node);
+        const index_t pos = d.node_elem_start_[n] + fill[n];
+        d.node_elem_corner_list_[static_cast<std::size_t>(pos)] = c.corner_slot;
+        ++fill[n];
+    }
+
+    // --- face adjacency (reference lxim/lxip/... construction) -----------
+    // Boundary entries reference the element itself (masked by elemBC),
+    // except interior slab boundaries in zeta, which point into the ghost
+    // slots the halo exchange fills.
+    d.lxim[0] = 0;
+    for (index_t i = 1; i < num_elem; ++i) {
+        d.lxim[static_cast<std::size_t>(i)] = i - 1;
+        d.lxip[static_cast<std::size_t>(i) - 1] = i;
+    }
+    d.lxip[static_cast<std::size_t>(num_elem) - 1] = num_elem - 1;
+
+    for (index_t i = 0; i < edge_elems; ++i) {
+        d.letam[static_cast<std::size_t>(i)] = i;
+        d.letap[static_cast<std::size_t>(num_elem - edge_elems + i)] =
+            num_elem - edge_elems + i;
+    }
+    for (index_t i = edge_elems; i < num_elem; ++i) {
+        d.letam[static_cast<std::size_t>(i)] = i - edge_elems;
+        d.letap[static_cast<std::size_t>(i) - static_cast<std::size_t>(edge_elems)] = i;
+    }
+
+    for (index_t i = 0; i < plane_elems; ++i) {
+        d.lzetam[static_cast<std::size_t>(i)] =
+            d.has_lower_neighbor() ? d.ghost_lower_slot() + i : i;
+        d.lzetap[static_cast<std::size_t>(num_elem - plane_elems + i)] =
+            d.has_upper_neighbor() ? d.ghost_upper_slot() + i
+                                   : num_elem - plane_elems + i;
+    }
+    for (index_t i = plane_elems; i < num_elem; ++i) {
+        d.lzetam[static_cast<std::size_t>(i)] = i - plane_elems;
+        d.lzetap[static_cast<std::size_t>(i) - static_cast<std::size_t>(plane_elems)] = i;
+    }
+
+    // --- boundary conditions ----------------------------------------------
+    // Symmetry at the three global minimum faces, free surfaces at the
+    // global maxima; interior slab boundaries carry no flags (the neighbor
+    // value arrives via the ghost slots).
+    for (index_t plane = 0; plane < local_planes; ++plane) {
+        const index_t gplane = slab.plane_begin + plane;
+        for (index_t row = 0; row < edge_elems; ++row) {
+            for (index_t col = 0; col < edge_elems; ++col) {
+                const auto el = static_cast<std::size_t>(
+                    plane * plane_elems + row * edge_elems + col);
+                int mask = 0;
+                if (col == 0) mask |= XI_M_SYMM;
+                if (col == edge_elems - 1) mask |= XI_P_FREE;
+                if (row == 0) mask |= ETA_M_SYMM;
+                if (row == edge_elems - 1) mask |= ETA_P_FREE;
+                if (gplane == 0) mask |= ZETA_M_SYMM;
+                if (gplane == slab.total_planes - 1) mask |= ZETA_P_FREE;
+                d.elemBC[el] = mask;
+            }
+        }
+    }
+
+    // Symmetry-plane node lists and per-node masks.  The z symmetry plane
+    // belongs to the bottom slab only.
+    const index_t local_nplanes = local_planes + 1;
+    d.symmX.reserve(static_cast<std::size_t>(edge_nodes) * local_nplanes);
+    d.symmY.reserve(static_cast<std::size_t>(edge_nodes) * local_nplanes);
+    for (index_t i = 0; i < local_nplanes; ++i) {
+        const index_t plane_inc = i * edge_nodes * edge_nodes;
+        for (index_t j = 0; j < edge_nodes; ++j) {
+            d.symmX.push_back(plane_inc + j * edge_nodes);
+            d.symmY.push_back(plane_inc + j);
+        }
+    }
+    if (slab.plane_begin == 0) {
+        d.symmZ.reserve(static_cast<std::size_t>(edge_nodes) * edge_nodes);
+        for (index_t i = 0; i < edge_nodes; ++i) {
+            const index_t row_inc = i * edge_nodes;
+            for (index_t j = 0; j < edge_nodes; ++j) {
+                d.symmZ.push_back(row_inc + j);
+            }
+        }
+    }
+    for (index_t n : d.symmX) d.symm_mask[static_cast<std::size_t>(n)] |= NODE_SYMM_X;
+    for (index_t n : d.symmY) d.symm_mask[static_cast<std::size_t>(n)] |= NODE_SYMM_Y;
+    for (index_t n : d.symmZ) d.symm_mask[static_cast<std::size_t>(n)] |= NODE_SYMM_Z;
+
+    // --- initial field values (Sedov) --------------------------------------
+    // Nodal mass accumulates element volumes / 8 in ascending global element
+    // order: lower ghosts, local elements, upper ghosts.
+    if (d.has_lower_neighbor()) {
+        const index_t gplane = slab.plane_begin - 1;
+        for (index_t row = 0; row < edge_elems; ++row) {
+            for (index_t col = 0; col < edge_elems; ++col) {
+                const real_t volume =
+                    global_elem_volume(col, row, gplane, edge_elems);
+                const index_t n00 = row * edge_nodes + col;
+                const index_t touched[4] = {n00, n00 + 1,
+                                            n00 + edge_nodes + 1,
+                                            n00 + edge_nodes};
+                for (index_t n : touched) {
+                    d.nodalMass[static_cast<std::size_t>(n)] +=
+                        volume / real_t(8.0);
+                }
+            }
+        }
+    }
+    for (index_t el = 0; el < num_elem; ++el) {
+        real_t ex[8], ey[8], ez[8];
+        collect_domain_nodes(d, d.nodelist(el), ex, ey, ez);
+        const real_t volume = geom::calc_elem_volume(ex, ey, ez);
+        const auto k = static_cast<std::size_t>(el);
+        d.volo[k] = volume;
+        d.elemMass[k] = volume;
+        const index_t* nl = d.nodelist(el);
+        for (int c = 0; c < 8; ++c) {
+            d.nodalMass[static_cast<std::size_t>(nl[c])] +=
+                volume / real_t(8.0);
+        }
+    }
+    if (d.has_upper_neighbor()) {
+        const index_t gplane = slab.plane_end;
+        const index_t top_nodes = local_planes * edge_nodes * edge_nodes;
+        for (index_t row = 0; row < edge_elems; ++row) {
+            for (index_t col = 0; col < edge_elems; ++col) {
+                const real_t volume =
+                    global_elem_volume(col, row, gplane, edge_elems);
+                const index_t n00 = top_nodes + row * edge_nodes + col;
+                const index_t touched[4] = {n00, n00 + 1,
+                                            n00 + edge_nodes + 1,
+                                            n00 + edge_nodes};
+                for (index_t n : touched) {
+                    d.nodalMass[static_cast<std::size_t>(n)] +=
+                        volume / real_t(8.0);
+                }
+            }
+        }
+    }
+
+    // Deposit the blast energy in the global origin element, scaled so the
+    // solution is size-independent (reference ebase 3.948746e+7 at s = 45).
+    const real_t ebase = real_t(3.948746e+7);
+    const real_t scale = static_cast<real_t>(edge_elems) / real_t(45.0);
+    const real_t einit = ebase * scale * scale * scale;
+    if (slab.plane_begin == 0) {
+        d.e[0] = einit;
+    }
+
+    // Initial time increment from the global origin element's size and
+    // energy; identical on every slab.
+    const real_t origin_volume = global_elem_volume(0, 0, 0, edge_elems);
+    d.deltatime =
+        (real_t(.5) * std::cbrt(origin_volume)) / std::sqrt(real_t(2.0) * einit);
+}
+
+}  // namespace lulesh

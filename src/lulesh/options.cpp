@@ -1,0 +1,115 @@
+// lulesh/options.cpp — command-line parsing for the examples and benchmark
+// executables, following the reference binary's flag names.
+
+#include "lulesh/options.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lulesh {
+
+namespace {
+
+long parse_long(const std::string& flag, const char* text) {
+    char* end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0') {
+        throw std::invalid_argument("lulesh: flag " + flag +
+                                    " expects an integer, got '" + text + "'");
+    }
+    return v;
+}
+
+const char* require_value(const std::string& flag, int argc,
+                          const char* const* argv, int& i) {
+    if (i + 1 >= argc) {
+        throw std::invalid_argument("lulesh: flag " + flag +
+                                    " requires a value");
+    }
+    return argv[++i];
+}
+
+}  // namespace
+
+cli_options parse_cli(int argc, const char* const* argv) {
+    cli_options cli;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-s" || arg == "--s") {
+            cli.problem.size =
+                static_cast<index_t>(parse_long(arg, require_value(arg, argc, argv, i)));
+        } else if (arg == "-r" || arg == "--r") {
+            cli.problem.num_regions =
+                static_cast<index_t>(parse_long(arg, require_value(arg, argc, argv, i)));
+        } else if (arg == "-i" || arg == "--i") {
+            cli.problem.max_cycles =
+                static_cast<int>(parse_long(arg, require_value(arg, argc, argv, i)));
+        } else if (arg == "-b" || arg == "--b") {
+            cli.problem.balance =
+                static_cast<int>(parse_long(arg, require_value(arg, argc, argv, i)));
+        } else if (arg == "-c" || arg == "--c") {
+            cli.problem.cost =
+                static_cast<int>(parse_long(arg, require_value(arg, argc, argv, i)));
+        } else if (arg == "-t" || arg == "--t" || arg == "--threads") {
+            cli.threads = static_cast<std::size_t>(
+                parse_long(arg, require_value(arg, argc, argv, i)));
+        } else if (arg == "-d" || arg == "--d" || arg == "--driver") {
+            cli.driver = require_value(arg, argc, argv, i);
+            if (cli.driver != "serial" && cli.driver != "parallel_for" &&
+                cli.driver != "taskgraph" && cli.driver != "foreach") {
+                throw std::invalid_argument(
+                    "lulesh: unknown driver '" + cli.driver +
+                    "' (expected serial|parallel_for|taskgraph|foreach)");
+            }
+        } else if (arg == "-p" || arg == "--p" || arg == "--partitions") {
+            partition_sizes p;
+            p.nodal = static_cast<index_t>(
+                parse_long(arg, require_value(arg, argc, argv, i)));
+            p.elems = static_cast<index_t>(
+                parse_long(arg, require_value(arg, argc, argv, i)));
+            cli.partitions = p;
+        } else if (arg == "--checkpoint-save") {
+            cli.checkpoint_save = require_value(arg, argc, argv, i);
+        } else if (arg == "--checkpoint-load") {
+            cli.checkpoint_load = require_value(arg, argc, argv, i);
+        } else if (arg == "-q" || arg == "--q" || arg == "--quiet") {
+            cli.quiet = true;
+        } else if (arg == "-h" || arg == "--help") {
+            cli.show_help = true;
+        } else {
+            throw std::invalid_argument("lulesh: unknown flag '" + arg + "'");
+        }
+    }
+    if (cli.problem.size < 1) {
+        throw std::invalid_argument("lulesh: -s must be >= 1");
+    }
+    if (cli.problem.num_regions < 1) {
+        throw std::invalid_argument("lulesh: -r must be >= 1");
+    }
+    if (cli.problem.max_cycles < 1) {
+        throw std::invalid_argument("lulesh: -i must be >= 1");
+    }
+    return cli;
+}
+
+std::string usage_text(const std::string& program) {
+    std::ostringstream os;
+    os << "Usage: " << program << " [options]\n"
+       << "  -s <n>          problem size (elements per edge, default 30)\n"
+       << "  -r <n>          number of material regions (default 11)\n"
+       << "  -i <n>          iteration cap (default: run to stoptime)\n"
+       << "  -b <n>          region balance exponent (default 1)\n"
+       << "  -c <n>          region cost multiplier (default 1)\n"
+       << "  -d <driver>     serial | parallel_for | taskgraph | foreach\n"
+       << "  -t <n>          execution threads (default: hardware)\n"
+       << "  -p <nod> <el>   task partition sizes (default: paper Table I)\n"
+       << "  -q              quiet (suppress per-run banner)\n"
+       << "  --checkpoint-save <path>   write a checkpoint after the run\n"
+       << "  --checkpoint-load <path>   restore state before the run\n"
+       << "  -h              this help\n";
+    return os.str();
+}
+
+}  // namespace lulesh

@@ -1,0 +1,32 @@
+// lulesh/run.cpp — the main iteration loop, mirroring the reference main():
+// TimeIncrement followed by LagrangeLeapFrog each cycle, until stoptime or
+// the iteration cap.
+
+#include <chrono>
+
+#include "lulesh/driver.hpp"
+#include "lulesh/kernels.hpp"
+
+namespace lulesh {
+
+run_result run_simulation(domain& d, driver& drv, int max_cycles) {
+    run_result result;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        while (d.time_ < d.stoptime && d.cycle < max_cycles) {
+            kernels::time_increment(d);
+            drv.advance(d);
+        }
+    } catch (const simulation_error& err) {
+        result.run_status = err.code();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    result.cycles = d.cycle;
+    result.final_time = d.time_;
+    result.final_dt = d.deltatime;
+    result.final_origin_energy = d.e[0];
+    result.elapsed_seconds = std::chrono::duration<double>(t1 - t0).count();
+    return result;
+}
+
+}  // namespace lulesh

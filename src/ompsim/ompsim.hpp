@@ -1,0 +1,5 @@
+// ompsim/ompsim.hpp — umbrella header for the ompsim fork-join runtime.
+
+#pragma once
+
+#include "ompsim/team.hpp"

@@ -1,0 +1,194 @@
+// Tests for bulk_async / parallel_for_each / parallel_reduce — including
+// property-style parameterized sweeps over range and chunk sizes verifying
+// that every index is covered exactly once (the invariant the LULESH task
+// partitioning relies on).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "amt/algorithms.hpp"
+#include "amt/scheduler.hpp"
+#include "amt/when_all.hpp"
+
+namespace {
+
+using amt::index_t;
+
+TEST(BulkAsync, EmptyRangeGivesNoTasks) {
+    amt::runtime rt(2);
+    auto fs = amt::bulk_async(0, 0, 16, [](index_t, index_t) { FAIL(); });
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(BulkAsync, ReversedRangeGivesNoTasks) {
+    amt::runtime rt(2);
+    auto fs = amt::bulk_async(10, 5, 16, [](index_t, index_t) { FAIL(); });
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(BulkAsync, ChunkCountMatchesCeilDiv) {
+    amt::runtime rt(2);
+    auto fs = amt::bulk_async(0, 100, 16, [](index_t, index_t) {});
+    EXPECT_EQ(fs.size(), 7u);  // ceil(100/16)
+    amt::wait_all(fs);
+}
+
+TEST(BulkAsync, NonPositiveChunkClampedToOne) {
+    amt::runtime rt(2);
+    auto fs = amt::bulk_async(0, 5, 0, [](index_t lo, index_t hi) {
+        EXPECT_EQ(hi - lo, 1);
+    });
+    EXPECT_EQ(fs.size(), 5u);
+    amt::wait_all(fs);
+}
+
+TEST(BulkAsync, ThrowsWithoutRuntime) {
+    ASSERT_EQ(amt::runtime::active(), nullptr);
+    EXPECT_THROW((void)amt::bulk_async(0, 10, 2, [](index_t, index_t) {}),
+                 std::runtime_error);
+}
+
+struct RangeChunkParam {
+    index_t n;
+    index_t chunk;
+};
+
+class BulkAsyncCoverage : public ::testing::TestWithParam<RangeChunkParam> {};
+
+// Property: each index in [0, n) is visited exactly once, regardless of how
+// n relates to the chunk size.
+TEST_P(BulkAsyncCoverage, EveryIndexVisitedExactlyOnce) {
+    const auto [n, chunk] = GetParam();
+    amt::runtime rt(3);
+    std::vector<std::atomic<int>> visits(static_cast<std::size_t>(n));
+    auto fs = amt::bulk_async(0, n, chunk, [&visits](index_t lo, index_t hi) {
+        for (index_t i = lo; i < hi; ++i) {
+            visits[static_cast<std::size_t>(i)].fetch_add(1,
+                                                          std::memory_order_relaxed);
+        }
+    });
+    amt::when_all_void(std::move(fs)).get();
+    for (index_t i = 0; i < n; ++i) {
+        EXPECT_EQ(visits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RangeChunkSweep, BulkAsyncCoverage,
+    ::testing::Values(RangeChunkParam{1, 1}, RangeChunkParam{1, 100},
+                      RangeChunkParam{7, 3}, RangeChunkParam{64, 64},
+                      RangeChunkParam{65, 64}, RangeChunkParam{100, 1},
+                      RangeChunkParam{1000, 128}, RangeChunkParam{1000, 999},
+                      RangeChunkParam{1024, 256}, RangeChunkParam{12345, 1000}),
+    [](const ::testing::TestParamInfo<RangeChunkParam>& pinfo) {
+        return "n" + std::to_string(pinfo.param.n) + "_c" +
+               std::to_string(pinfo.param.chunk);
+    });
+
+TEST(ParallelForEach, AppliesFunctionToEachIndex) {
+    amt::runtime rt(3);
+    std::vector<int> data(1000, 0);
+    amt::parallel_for_each(rt, 0, 1000, 64,
+                           [&data](index_t i) { data[static_cast<std::size_t>(i)] = static_cast<int>(i); });
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(data[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ParallelForEach, PropagatesExceptions) {
+    amt::runtime rt(2);
+    EXPECT_THROW(amt::parallel_for_each(rt, 0, 100, 10,
+                                        [](index_t i) {
+                                            if (i == 55) {
+                                                throw std::runtime_error("bad index");
+                                            }
+                                        }),
+                 std::runtime_error);
+}
+
+TEST(ParallelReduce, SumsRange) {
+    amt::runtime rt(3);
+    const long long n = 10000;
+    auto sum = amt::parallel_reduce<long long>(
+        rt, 0, n, 128, 0LL, [](index_t i) { return static_cast<long long>(i); },
+        [](long long a, long long b) { return a + b; });
+    EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+    amt::runtime rt(2);
+    auto v = amt::parallel_reduce<int>(
+        rt, 5, 5, 8, -7, [](index_t) { return 1; },
+        [](int a, int b) { return a + b; });
+    EXPECT_EQ(v, -7);
+}
+
+TEST(ParallelReduce, MinReductionMatchesSerial) {
+    amt::runtime rt(3);
+    std::vector<double> data(5000);
+    // Deterministic pseudo-random content.
+    std::uint64_t s = 12345;
+    for (auto& v : data) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        v = static_cast<double>(s >> 11) / static_cast<double>(1ULL << 53);
+    }
+    const double serial_min = *std::min_element(data.begin(), data.end());
+    auto parallel_min = amt::parallel_reduce<double>(
+        rt, 0, static_cast<index_t>(data.size()), 97, 1e300,
+        [&data](index_t i) { return data[static_cast<std::size_t>(i)]; },
+        [](double a, double b) { return std::min(a, b); });
+    EXPECT_DOUBLE_EQ(parallel_min, serial_min);
+}
+
+class ParallelReduceChunks : public ::testing::TestWithParam<index_t> {};
+
+// Property: for an associative+commutative op the result is chunk-size
+// independent; for float sums with fixed chunking it is deterministic.
+TEST_P(ParallelReduceChunks, SumIndependentOfChunkSize) {
+    amt::runtime rt(2);
+    const index_t n = 4097;
+    auto sum = amt::parallel_reduce<long long>(
+        rt, 0, n, GetParam(), 0LL,
+        [](index_t i) { return static_cast<long long>(i * i % 97); },
+        [](long long a, long long b) { return a + b; });
+    long long expect = 0;
+    for (index_t i = 0; i < n; ++i) expect += static_cast<long long>(i * i % 97);
+    EXPECT_EQ(sum, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSweep, ParallelReduceChunks,
+                         ::testing::Values(1, 2, 16, 100, 1000, 4096, 5000));
+
+TEST(BulkAsyncChains, ContinuationPerChunkWithoutIntermediateBarrier) {
+    // The paper's Figure 6 pattern: two dependent element-wise kernels as a
+    // per-chunk chain with a single final barrier.
+    amt::runtime rt(3);
+    const index_t n = 2048;
+    std::vector<double> vel(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> pos(static_cast<std::size_t>(n), 0.0);
+
+    std::vector<amt::future<void>> chains;
+    const index_t chunk = 256;
+    for (index_t lo = 0; lo < n; lo += chunk) {
+        const index_t hi = std::min<index_t>(lo + chunk, n);
+        chains.push_back(
+            amt::async([&vel, lo, hi] {
+                for (index_t i = lo; i < hi; ++i) {
+                    vel[static_cast<std::size_t>(i)] = static_cast<double>(i);
+                }
+            }).then([&vel, &pos, lo, hi](amt::future<void>&& f) {
+                f.get();
+                for (index_t i = lo; i < hi; ++i) {
+                    pos[static_cast<std::size_t>(i)] =
+                        2.0 * vel[static_cast<std::size_t>(i)];
+                }
+            }));
+    }
+    amt::when_all_void(std::move(chains)).get();
+    for (index_t i = 0; i < n; ++i) {
+        EXPECT_DOUBLE_EQ(pos[static_cast<std::size_t>(i)], 2.0 * static_cast<double>(i));
+    }
+}
+
+}  // namespace

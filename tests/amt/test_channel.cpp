@@ -1,0 +1,214 @@
+// Tests for amt::channel and amt::when_any — the communication primitives
+// the distributed LULESH extension builds its halo exchange from.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "amt/async.hpp"
+#include "amt/channel.hpp"
+#include "amt/scheduler.hpp"
+#include "amt/when_all.hpp"
+#include "amt/when_any.hpp"
+
+namespace {
+
+using amt::channel;
+using amt::channel_closed;
+using amt::future;
+
+TEST(Channel, SetThenGetDeliversValue) {
+    channel<int> ch;
+    ch.set(42);
+    auto f = ch.get();
+    ASSERT_TRUE(f.is_ready());
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(Channel, GetThenSetCompletesPendingFuture) {
+    channel<int> ch;
+    auto f = ch.get();
+    EXPECT_FALSE(f.is_ready());
+    ch.set(7);
+    ASSERT_TRUE(f.is_ready());
+    EXPECT_EQ(f.get(), 7);
+}
+
+TEST(Channel, ValuesDeliveredInFifoOrder) {
+    channel<int> ch;
+    ch.set(1);
+    ch.set(2);
+    ch.set(3);
+    EXPECT_EQ(ch.get().get(), 1);
+    EXPECT_EQ(ch.get().get(), 2);
+    EXPECT_EQ(ch.get().get(), 3);
+}
+
+TEST(Channel, GettersServedInFifoOrder) {
+    channel<int> ch;
+    auto f1 = ch.get();
+    auto f2 = ch.get();
+    ch.set(10);
+    EXPECT_TRUE(f1.is_ready());
+    EXPECT_FALSE(f2.is_ready());
+    ch.set(20);
+    EXPECT_EQ(f1.get(), 10);
+    EXPECT_EQ(f2.get(), 20);
+}
+
+TEST(Channel, MoveOnlyValues) {
+    channel<std::unique_ptr<int>> ch;
+    ch.set(std::make_unique<int>(5));
+    auto v = ch.get().get();
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, 5);
+}
+
+TEST(Channel, HandleCopiesShareTheQueue) {
+    channel<int> a;
+    channel<int> b = a;
+    a.set(99);
+    EXPECT_EQ(b.get().get(), 99);
+}
+
+TEST(Channel, SizeApproxCountsBufferedValues) {
+    channel<int> ch;
+    EXPECT_EQ(ch.size_approx(), 0u);
+    ch.set(1);
+    ch.set(2);
+    EXPECT_EQ(ch.size_approx(), 2u);
+    (void)ch.get().get();
+    EXPECT_EQ(ch.size_approx(), 1u);
+}
+
+TEST(Channel, CloseFailsPendingGetters) {
+    channel<int> ch;
+    auto f = ch.get();
+    ch.close();
+    ASSERT_TRUE(f.is_ready());
+    EXPECT_THROW(f.get(), channel_closed);
+}
+
+TEST(Channel, CloseFailsSubsequentGetters) {
+    channel<int> ch;
+    ch.close();
+    EXPECT_THROW(ch.get().get(), channel_closed);
+}
+
+TEST(Channel, SetOnClosedChannelThrows) {
+    channel<int> ch;
+    ch.close();
+    EXPECT_THROW(ch.set(1), channel_closed);
+}
+
+TEST(Channel, CloseIsIdempotent) {
+    channel<int> ch;
+    ch.close();
+    EXPECT_NO_THROW(ch.close());
+}
+
+TEST(Channel, ProducerConsumerAcrossThreads) {
+    channel<int> ch;
+    constexpr int n = 1000;
+    std::thread producer([&ch] {
+        for (int i = 0; i < n; ++i) ch.set(i);
+    });
+    long long sum = 0;
+    for (int i = 0; i < n; ++i) {
+        auto f = ch.get();
+        sum += f.get();
+    }
+    producer.join();
+    EXPECT_EQ(sum, static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(Channel, HaloExchangePatternWithContinuations) {
+    // Two "localities" exchange boundary planes and each continues with a
+    // dependent computation — the distributed-LULESH communication pattern.
+    amt::runtime rt(2);
+    channel<std::vector<double>> a_to_b;
+    channel<std::vector<double>> b_to_a;
+
+    auto locality = [](channel<std::vector<double>> send,
+                       channel<std::vector<double>> recv, double base) {
+        // Produce the boundary, send it, then combine with the neighbor's.
+        return amt::async([send, base]() mutable {
+                   std::vector<double> boundary(8, base);
+                   send.set(boundary);
+                   return boundary;
+               })
+            .then([recv](future<std::vector<double>>&& own) mutable {
+                auto mine = own.get();
+                auto theirs = recv.get().get();  // future chained; may wait
+                double sum = 0;
+                for (std::size_t i = 0; i < mine.size(); ++i) {
+                    sum += mine[i] + theirs[i];
+                }
+                return sum;
+            });
+    };
+
+    auto fa = locality(a_to_b, b_to_a, 1.0);
+    auto fb = locality(b_to_a, a_to_b, 2.0);
+    EXPECT_DOUBLE_EQ(fa.get(), 8 * 3.0);
+    EXPECT_DOUBLE_EQ(fb.get(), 8 * 3.0);
+}
+
+// ---------------- when_any ----------------
+
+TEST(WhenAny, EmptyInputIsReady) {
+    std::vector<future<int>> fs;
+    auto any = amt::when_any(std::move(fs));
+    ASSERT_TRUE(any.is_ready());
+    EXPECT_TRUE(any.get().futures.empty());
+}
+
+TEST(WhenAny, FiresOnFirstCompletion) {
+    amt::promise<int> p1;
+    amt::promise<int> p2;
+    std::vector<future<int>> fs;
+    fs.push_back(p1.get_future());
+    fs.push_back(p2.get_future());
+    auto any = amt::when_any(std::move(fs));
+    EXPECT_FALSE(any.is_ready());
+    p2.set_value(20);
+    ASSERT_TRUE(any.is_ready());
+    auto result = any.get();
+    EXPECT_EQ(result.index, 1u);
+    EXPECT_EQ(result.futures[1].get(), 20);
+    EXPECT_TRUE(result.futures[0].valid());  // still pending, still owned
+    p1.set_value(10);
+    EXPECT_EQ(result.futures[0].get(), 10);
+}
+
+TEST(WhenAny, AlreadyReadyInputWinsImmediately) {
+    std::vector<future<int>> fs;
+    fs.push_back(amt::make_ready_future(5));
+    amt::promise<int> p;
+    fs.push_back(p.get_future());
+    auto any = amt::when_any(std::move(fs));
+    ASSERT_TRUE(any.is_ready());
+    EXPECT_EQ(any.get().index, 0u);
+    p.set_value(0);  // avoid broken-promise noise
+}
+
+TEST(WhenAny, WithRuntimeTasks) {
+    amt::runtime rt(2);
+    std::atomic<bool> release{false};
+    std::vector<future<int>> fs;
+    fs.push_back(amt::async([&release] {
+        while (!release.load()) std::this_thread::yield();
+        return 1;
+    }));
+    fs.push_back(amt::async([] { return 2; }));
+    auto result = amt::when_any(std::move(fs)).get();
+    EXPECT_EQ(result.index, 1u);
+    release.store(true);
+    EXPECT_EQ(result.futures[0].get(), 1);
+    EXPECT_EQ(result.futures[1].get(), 2);
+}
+
+}  // namespace

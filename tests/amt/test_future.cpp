@@ -1,0 +1,241 @@
+// Unit tests for amt::future / amt::promise — readiness, value and exception
+// propagation, one-shot semantics, and continuation behaviour without a
+// scheduler (continuations run inline when no runtime is active).
+
+#include "amt/future.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace {
+
+using amt::future;
+using amt::launch;
+using amt::make_exceptional_future;
+using amt::make_ready_future;
+using amt::promise;
+
+TEST(Future, DefaultConstructedIsInvalid) {
+    future<int> f;
+    EXPECT_FALSE(f.valid());
+    EXPECT_FALSE(f.is_ready());
+}
+
+TEST(Future, GetOnInvalidThrowsNoState) {
+    future<int> f;
+    EXPECT_THROW(f.get(), std::future_error);
+}
+
+TEST(Future, PromiseSetValueMakesFutureReady) {
+    promise<int> p;
+    future<int> f = p.get_future();
+    EXPECT_TRUE(f.valid());
+    EXPECT_FALSE(f.is_ready());
+    p.set_value(42);
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(Future, GetConsumesTheFuture) {
+    promise<int> p;
+    future<int> f = p.get_future();
+    p.set_value(1);
+    (void)f.get();
+    EXPECT_FALSE(f.valid());
+}
+
+TEST(Future, VoidSpecializationRoundTrips) {
+    promise<void> p;
+    future<void> f = p.get_future();
+    EXPECT_FALSE(f.is_ready());
+    p.set_value();
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_NO_THROW(f.get());
+}
+
+TEST(Future, MoveOnlyValueTypeRoundTrips) {
+    promise<std::unique_ptr<int>> p;
+    auto f = p.get_future();
+    p.set_value(std::make_unique<int>(5));
+    auto v = f.get();
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, 5);
+}
+
+TEST(Future, ExceptionPropagatesThroughGet) {
+    promise<int> p;
+    future<int> f = p.get_future();
+    p.set_exception(std::make_exception_ptr(std::runtime_error("boom")));
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_THROW(
+        {
+            try {
+                f.get();
+            } catch (const std::runtime_error& e) {
+                EXPECT_STREQ(e.what(), "boom");
+                throw;
+            }
+        },
+        std::runtime_error);
+}
+
+TEST(Future, MakeReadyFutureIsImmediatelyReady) {
+    auto f = make_ready_future(std::string("ready"));
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_EQ(f.get(), "ready");
+}
+
+TEST(Future, MakeReadyFutureVoid) {
+    auto f = make_ready_future();
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_NO_THROW(f.get());
+}
+
+TEST(Future, MakeExceptionalFuture) {
+    auto f = make_exceptional_future<int>(
+        std::make_exception_ptr(std::logic_error("bad")));
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(Future, WaitBlocksUntilValueSetFromAnotherThread) {
+    promise<int> p;
+    future<int> f = p.get_future();
+    std::thread producer([&p] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        p.set_value(7);
+    });
+    f.wait();
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_EQ(f.get(), 7);
+    producer.join();
+}
+
+TEST(Promise, DoubleSetValueThrows) {
+    promise<int> p;
+    auto f = p.get_future();
+    p.set_value(1);
+    EXPECT_THROW(p.set_value(2), std::future_error);
+    EXPECT_EQ(f.get(), 1);
+}
+
+TEST(Promise, GetFutureTwiceThrows) {
+    promise<int> p;
+    auto f = p.get_future();
+    EXPECT_THROW((void)p.get_future(), std::future_error);
+}
+
+TEST(Promise, BrokenPromiseDeliversFutureError) {
+    future<int> f;
+    {
+        promise<int> p;
+        f = p.get_future();
+    }
+    ASSERT_TRUE(f.is_ready());
+    EXPECT_THROW(f.get(), std::future_error);
+}
+
+TEST(Promise, AbandonedWithoutFutureIsHarmless) {
+    promise<int> p;
+    // No get_future() call; destruction must not throw or set anything.
+}
+
+// --- continuations with no runtime (inline execution) ------------------
+
+TEST(FutureThen, ContinuationOnReadyFutureRunsInlineWithoutRuntime) {
+    auto f = make_ready_future(10);
+    bool ran = false;
+    auto g = f.then([&ran](future<int>&& v) {
+        ran = true;
+        return v.get() * 2;
+    });
+    EXPECT_FALSE(f.valid());  // consumed
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(g.get(), 20);
+}
+
+TEST(FutureThen, ContinuationDeferredUntilPromiseSet) {
+    promise<int> p;
+    auto f = p.get_future();
+    bool ran = false;
+    auto g = f.then([&ran](future<int>&& v) {
+        ran = true;
+        return v.get() + 1;
+    });
+    EXPECT_FALSE(ran);
+    p.set_value(41);
+    EXPECT_TRUE(ran);  // inline: no runtime active
+    EXPECT_EQ(g.get(), 42);
+}
+
+TEST(FutureThen, SyncPolicyRunsOnCompletingThread) {
+    promise<int> p;
+    auto f = p.get_future();
+    std::thread::id completer_id;
+    std::thread::id continuation_id;
+    auto g = f.then(launch::sync, [&continuation_id](future<int>&& v) {
+        continuation_id = std::this_thread::get_id();
+        return v.get();
+    });
+    std::thread producer([&] {
+        completer_id = std::this_thread::get_id();
+        p.set_value(3);
+    });
+    producer.join();
+    EXPECT_EQ(g.get(), 3);
+    EXPECT_EQ(continuation_id, completer_id);
+}
+
+TEST(FutureThen, ChainsPropagateValues) {
+    auto f = make_ready_future(1)
+                 .then([](future<int>&& v) { return v.get() + 1; })
+                 .then([](future<int>&& v) { return v.get() * 10; })
+                 .then([](future<int>&& v) { return v.get() - 5; });
+    EXPECT_EQ(f.get(), 15);
+}
+
+TEST(FutureThen, VoidToValueAndBack) {
+    auto f = make_ready_future()
+                 .then([](future<void>&& v) {
+                     v.get();
+                     return 5;
+                 })
+                 .then([](future<int>&& v) { (void)v.get(); });
+    EXPECT_NO_THROW(f.get());
+}
+
+TEST(FutureThen, ExceptionInAntecedentReachesContinuation) {
+    auto f = make_exceptional_future<int>(
+        std::make_exception_ptr(std::runtime_error("upstream")));
+    bool saw_exception = false;
+    auto g = f.then([&saw_exception](future<int>&& v) {
+        try {
+            (void)v.get();
+        } catch (const std::runtime_error&) {
+            saw_exception = true;
+        }
+        return 0;
+    });
+    EXPECT_EQ(g.get(), 0);
+    EXPECT_TRUE(saw_exception);
+}
+
+TEST(FutureThen, ExceptionThrownInContinuationStoredInResult) {
+    auto g = make_ready_future(1).then([](future<int>&& v) -> int {
+        (void)v.get();
+        throw std::domain_error("from continuation");
+    });
+    EXPECT_THROW(g.get(), std::domain_error);
+}
+
+TEST(FutureThen, ThenOnInvalidFutureThrows) {
+    future<int> f;
+    EXPECT_THROW((void)f.then([](future<int>&&) {}), std::future_error);
+}
+
+}  // namespace

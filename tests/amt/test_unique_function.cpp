@@ -1,0 +1,144 @@
+// Unit tests for amt::unique_function — the move-only callable wrapper the
+// scheduler stores task bodies and future continuations in.
+
+#include "amt/unique_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using amt::unique_function;
+
+TEST(UniqueFunction, DefaultConstructedIsEmpty) {
+    unique_function<void()> f;
+    EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunction, NullptrConstructedIsEmpty) {
+    unique_function<void()> f(nullptr);
+    EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunction, InvokesSmallLambda) {
+    int x = 0;
+    unique_function<void()> f([&x] { x = 42; });
+    ASSERT_TRUE(static_cast<bool>(f));
+    f();
+    EXPECT_EQ(x, 42);
+}
+
+TEST(UniqueFunction, ReturnsValue) {
+    unique_function<int(int)> f([](int v) { return v * 2; });
+    EXPECT_EQ(f(21), 42);
+}
+
+TEST(UniqueFunction, HoldsMoveOnlyCapture) {
+    auto p = std::make_unique<int>(7);
+    unique_function<int()> f([p = std::move(p)] { return *p; });
+    EXPECT_EQ(f(), 7);
+}
+
+TEST(UniqueFunction, MoveConstructTransfersCallable) {
+    int calls = 0;
+    unique_function<void()> f([&calls] { ++calls; });
+    unique_function<void()> g(std::move(f));
+    EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+    ASSERT_TRUE(static_cast<bool>(g));
+    g();
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(UniqueFunction, MoveAssignReplacesCallable) {
+    int a = 0;
+    int b = 0;
+    unique_function<void()> f([&a] { ++a; });
+    unique_function<void()> g([&b] { ++b; });
+    g = std::move(f);
+    g();
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 0);
+}
+
+TEST(UniqueFunction, LargeCallableGoesToHeapAndWorks) {
+    // Capture well beyond the SBO size to force the heap path.
+    std::vector<double> big(64, 1.5);
+    unique_function<double()> f([big] {
+        double s = 0.0;
+        for (double v : big) s += v;
+        return s;
+    });
+    EXPECT_DOUBLE_EQ(f(), 96.0);
+}
+
+TEST(UniqueFunction, LargeCallableMoves) {
+    std::vector<int> big(100, 3);
+    unique_function<int()> f([big] { return big[0] + static_cast<int>(big.size()); });
+    unique_function<int()> g(std::move(f));
+    EXPECT_EQ(g(), 103);
+}
+
+TEST(UniqueFunction, DestructorReleasesCapturedState) {
+    auto shared = std::make_shared<int>(5);
+    std::weak_ptr<int> weak = shared;
+    {
+        unique_function<void()> f([shared] { (void)*shared; });
+        shared.reset();
+        EXPECT_FALSE(weak.expired());
+    }
+    EXPECT_TRUE(weak.expired());
+}
+
+TEST(UniqueFunction, ResetReleasesCapturedState) {
+    auto shared = std::make_shared<int>(5);
+    std::weak_ptr<int> weak = shared;
+    unique_function<void()> f([shared] { (void)*shared; });
+    shared.reset();
+    f.reset();
+    EXPECT_TRUE(weak.expired());
+    EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunction, TakesArgumentsByValueAndReference) {
+    unique_function<void(int&, int)> f([](int& out, int in) { out = in + 1; });
+    int out = 0;
+    f(out, 9);
+    EXPECT_EQ(out, 10);
+}
+
+TEST(UniqueFunction, SelfContainedAfterSourceScopeEnds) {
+    unique_function<std::string()> f;
+    {
+        std::string payload = "hello amt";
+        f = unique_function<std::string()>([payload] { return payload; });
+    }
+    EXPECT_EQ(f(), "hello amt");
+}
+
+TEST(UniqueFunction, SwapExchangesCallables) {
+    unique_function<int()> f([] { return 1; });
+    unique_function<int()> g([] { return 2; });
+    f.swap(g);
+    EXPECT_EQ(f(), 2);
+    EXPECT_EQ(g(), 1);
+}
+
+TEST(UniqueFunction, ManySequentialAssignmentsDoNotLeak) {
+    auto shared = std::make_shared<int>(0);
+    std::weak_ptr<int> weak = shared;
+    unique_function<void()> f;
+    for (int i = 0; i < 100; ++i) {
+        f = unique_function<void()>([shared, i] { *shared = i; });
+    }
+    f();
+    EXPECT_EQ(*shared, 99);
+    shared.reset();
+    f.reset();
+    EXPECT_TRUE(weak.expired());
+}
+
+}  // namespace

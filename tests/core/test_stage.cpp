@@ -1,0 +1,134 @@
+// Unit tests for graph::stage_after — the barrier-to-wave chaining
+// primitive both task-graph drivers are built from.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "amt/amt.hpp"
+#include "core/stage.hpp"
+
+namespace {
+
+using lulesh::graph::stage_after;
+
+TEST(StageAfter, SpawnRunsOnlyAfterPrevCompletes) {
+    amt::runtime rt(2);
+    amt::promise<void> gate;
+    std::atomic<bool> spawned{false};
+    auto done = stage_after(gate.get_future(), [&spawned] {
+        spawned.store(true);
+        std::vector<amt::future<void>> wave;
+        wave.push_back(amt::make_ready_future());
+        return wave;
+    });
+    EXPECT_FALSE(spawned.load());
+    EXPECT_FALSE(done.is_ready());
+    gate.set_value();
+    done.get();
+    EXPECT_TRUE(spawned.load());
+}
+
+TEST(StageAfter, CompletesOnlyAfterWholeWave) {
+    amt::runtime rt(2);
+    std::atomic<int> completed{0};
+    auto done = stage_after(amt::make_ready_future(), [&completed] {
+        std::vector<amt::future<void>> wave;
+        for (int i = 0; i < 16; ++i) {
+            wave.push_back(amt::async([&completed] {
+                completed.fetch_add(1, std::memory_order_relaxed);
+            }));
+        }
+        return wave;
+    });
+    done.get();
+    EXPECT_EQ(completed.load(), 16);
+}
+
+TEST(StageAfter, EmptyWaveIsImmediatelyDone) {
+    amt::runtime rt(1);
+    auto done = stage_after(amt::make_ready_future(),
+                            [] { return std::vector<amt::future<void>>{}; });
+    EXPECT_NO_THROW(done.get());
+}
+
+TEST(StageAfter, ChainsOfStagesRunInOrder) {
+    amt::runtime rt(2);
+    std::vector<int> order;
+    std::mutex mu;
+    auto record = [&](int id) {
+        return [&, id] {
+            std::vector<amt::future<void>> wave;
+            wave.push_back(amt::async([&, id] {
+                std::lock_guard lk(mu);
+                order.push_back(id);
+            }));
+            return wave;
+        };
+    };
+    auto s1 = stage_after(amt::make_ready_future(), record(1));
+    auto s2 = stage_after(std::move(s1), record(2));
+    auto s3 = stage_after(std::move(s2), record(3));
+    s3.get();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(StageAfter, PrevErrorSkipsSpawnAndPropagates) {
+    amt::runtime rt(1);
+    std::atomic<bool> spawned{false};
+    auto bad = amt::make_exceptional_future<void>(
+        std::make_exception_ptr(std::runtime_error("upstream")));
+    auto done = stage_after(std::move(bad), [&spawned] {
+        spawned.store(true);
+        return std::vector<amt::future<void>>{};
+    });
+    EXPECT_THROW(done.get(), std::runtime_error);
+    EXPECT_FALSE(spawned.load());
+}
+
+TEST(StageAfter, SpawnErrorPropagates) {
+    amt::runtime rt(1);
+    auto done = stage_after(amt::make_ready_future(),
+                            []() -> std::vector<amt::future<void>> {
+                                throw std::logic_error("spawn failed");
+                            });
+    EXPECT_THROW(done.get(), std::logic_error);
+}
+
+TEST(StageAfter, WaveTaskErrorPropagates) {
+    amt::runtime rt(2);
+    auto done = stage_after(amt::make_ready_future(), [] {
+        std::vector<amt::future<void>> wave;
+        wave.push_back(amt::async([] { throw std::runtime_error("task"); }));
+        wave.push_back(amt::async([] {}));
+        return wave;
+    });
+    EXPECT_THROW(done.get(), std::runtime_error);
+}
+
+TEST(StageAfter, ManyIterationsOfFiveStagePipelines) {
+    // The drivers' usage pattern: five chained stages per iteration, many
+    // iterations back-to-back.
+    amt::runtime rt(2);
+    std::atomic<int> total{0};
+    for (int iter = 0; iter < 50; ++iter) {
+        auto spawn = [&total] {
+            std::vector<amt::future<void>> wave;
+            for (int i = 0; i < 4; ++i) {
+                wave.push_back(amt::async(
+                    [&total] { total.fetch_add(1, std::memory_order_relaxed); }));
+            }
+            return wave;
+        };
+        auto stage = stage_after(amt::make_ready_future(), spawn);
+        for (int s = 1; s < 5; ++s) {
+            stage = stage_after(std::move(stage), spawn);
+        }
+        stage.get();
+    }
+    EXPECT_EQ(total.load(), 50 * 5 * 4);
+}
+
+}  // namespace

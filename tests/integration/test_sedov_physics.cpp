@@ -1,0 +1,93 @@
+// Physics validation against the analytic Sedov-Taylor solution: the blast
+// front of a point explosion expands self-similarly as R(t) ∝ t^(2/5).
+// On the coarse meshes a test can afford, the measured exponent is rough
+// (the front is smeared over ~2 elements), so the check uses a generous
+// band around 0.4 — it still catches sign errors, wrong EOS scalings, or a
+// stalled shock, which typical unit tests cannot.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lulesh/driver.hpp"
+#include "lulesh/kernels.hpp"
+
+namespace {
+
+using lulesh::domain;
+using lulesh::index_t;
+using lulesh::options;
+using lulesh::real_t;
+
+/// Radius (element-center distance from the origin) of the pressure peak —
+/// a proxy for the shock-front position.
+real_t pressure_peak_radius(const domain& d) {
+    const index_t s = d.size_per_edge();
+    const index_t en = s + 1;
+    real_t best_p = -1.0;
+    real_t best_r = 0.0;
+    for (index_t k = 0; k < s; ++k) {
+        for (index_t j = 0; j < s; ++j) {
+            for (index_t i = 0; i < s; ++i) {
+                const auto el = static_cast<std::size_t>(k * s * s + j * s + i);
+                if (d.p[el] > best_p) {
+                    best_p = d.p[el];
+                    // Low-corner node position + half an element.
+                    const auto n = static_cast<std::size_t>(k * en * en +
+                                                            j * en + i);
+                    const real_t h = real_t(1.125) / static_cast<real_t>(s);
+                    const real_t cx = d.x[n] + h / 2;
+                    const real_t cy = d.y[n] + h / 2;
+                    const real_t cz = d.z[n] + h / 2;
+                    best_r = std::sqrt(cx * cx + cy * cy + cz * cz);
+                }
+            }
+        }
+    }
+    return best_r;
+}
+
+/// Runs the Sedov problem to `stoptime` and returns the shock radius.
+real_t shock_radius_at(real_t stoptime, index_t size) {
+    options o;
+    o.size = size;
+    o.num_regions = 1;
+    domain d(o);
+    d.stoptime = stoptime;
+    lulesh::serial_driver drv;
+    const auto result = lulesh::run_simulation(d, drv);
+    EXPECT_EQ(result.run_status, lulesh::status::ok);
+    return pressure_peak_radius(d);
+}
+
+TEST(SedovPhysics, ShockExpandsOutward) {
+    const real_t r1 = shock_radius_at(2.5e-3, 12);
+    const real_t r2 = shock_radius_at(1.0e-2, 12);
+    EXPECT_GT(r1, 0.0);
+    EXPECT_GT(r2, r1);
+}
+
+TEST(SedovPhysics, SelfSimilarExponentNearTwoFifths) {
+    // R(t) = xi0 * (E t^2 / rho)^(1/5): between t1 and t2 the radius grows
+    // by (t2/t1)^(2/5).  With t2/t1 = 4 the analytic factor is 1.741; the
+    // measured factor must land in a generous band around it.
+    const real_t t1 = 2.5e-3;
+    const real_t t2 = 1.0e-2;
+    const real_t r1 = shock_radius_at(t1, 16);
+    const real_t r2 = shock_radius_at(t2, 16);
+    ASSERT_GT(r1, 0.0);
+    const real_t measured = std::log(r2 / r1) / std::log(t2 / t1);
+    EXPECT_GT(measured, 0.25) << "r1=" << r1 << " r2=" << r2;
+    EXPECT_LT(measured, 0.55) << "r1=" << r1 << " r2=" << r2;
+}
+
+TEST(SedovPhysics, ShockRadiusConvergesWithResolution) {
+    // The front position at fixed time should agree between two mesh
+    // resolutions to within the coarse mesh's element size.
+    const real_t coarse = shock_radius_at(1.0e-2, 10);
+    const real_t fine = shock_radius_at(1.0e-2, 16);
+    const real_t h_coarse = real_t(1.125) / real_t(10.0);
+    EXPECT_NEAR(coarse, fine, 2.0 * h_coarse);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// Tests for checkpoint/restart: bitwise-exact resume across drivers,
+// format validation, and error paths.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "amt/amt.hpp"
+#include "core/driver_taskgraph.hpp"
+#include "lulesh/checkpoint.hpp"
+#include "lulesh/driver.hpp"
+#include "lulesh/validate.hpp"
+
+namespace {
+
+using lulesh::checkpoint_error;
+using lulesh::domain;
+using lulesh::index_t;
+using lulesh::options;
+
+options opts(index_t size, index_t regions = 5) {
+    options o;
+    o.size = size;
+    o.num_regions = regions;
+    return o;
+}
+
+TEST(Checkpoint, RoundTripPreservesState) {
+    domain d(opts(6));
+    lulesh::serial_driver drv;
+    lulesh::run_simulation(d, drv, 15);
+
+    std::stringstream buf;
+    lulesh::save_checkpoint(d, buf);
+
+    domain restored(opts(6));
+    lulesh::load_checkpoint(restored, buf);
+
+    EXPECT_EQ(lulesh::max_field_difference(d, restored), 0.0);
+    EXPECT_EQ(restored.cycle, d.cycle);
+    EXPECT_EQ(restored.time_, d.time_);
+    EXPECT_EQ(restored.deltatime, d.deltatime);
+    EXPECT_EQ(restored.dtcourant, d.dtcourant);
+    EXPECT_EQ(restored.dthydro, d.dthydro);
+}
+
+TEST(Checkpoint, RestartContinuesBitwiseIdentically) {
+    const options o = opts(6);
+    // Uninterrupted 30-iteration run.
+    domain whole(o);
+    lulesh::serial_driver drv;
+    lulesh::run_simulation(whole, drv, 30);
+
+    // 15 iterations, checkpoint, restore into a fresh domain, 15 more.
+    domain first_half(o);
+    lulesh::serial_driver drv2;
+    lulesh::run_simulation(first_half, drv2, 15);
+    std::stringstream buf;
+    lulesh::save_checkpoint(first_half, buf);
+
+    domain resumed(o);
+    lulesh::load_checkpoint(resumed, buf);
+    lulesh::serial_driver drv3;
+    lulesh::run_simulation(resumed, drv3, 30);
+
+    EXPECT_EQ(resumed.cycle, whole.cycle);
+    EXPECT_EQ(lulesh::max_field_difference(whole, resumed), 0.0);
+}
+
+TEST(Checkpoint, RestartWorksAcrossDrivers) {
+    // Checkpoint from the serial driver, resume on the task graph.
+    const options o = opts(6);
+    domain whole(o);
+    {
+        lulesh::serial_driver drv;
+        lulesh::run_simulation(whole, drv, 24);
+    }
+    domain part(o);
+    {
+        lulesh::serial_driver drv;
+        lulesh::run_simulation(part, drv, 12);
+    }
+    std::stringstream buf;
+    lulesh::save_checkpoint(part, buf);
+
+    domain resumed(o);
+    lulesh::load_checkpoint(resumed, buf);
+    {
+        amt::runtime rt(3);
+        lulesh::taskgraph_driver drv(rt, {48, 48});
+        lulesh::run_simulation(resumed, drv, 24);
+    }
+    EXPECT_EQ(lulesh::max_field_difference(whole, resumed), 0.0);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+    const std::string path = "/tmp/lulesh_ckpt_test.bin";
+    domain d(opts(5));
+    lulesh::serial_driver drv;
+    lulesh::run_simulation(d, drv, 8);
+    lulesh::save_checkpoint_file(d, path);
+
+    domain restored(opts(5));
+    lulesh::load_checkpoint_file(restored, path);
+    EXPECT_EQ(lulesh::max_field_difference(d, restored), 0.0);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+    domain d(opts(4));
+    std::stringstream buf;
+    buf << "this is not a checkpoint at all, sorry";
+    EXPECT_THROW(lulesh::load_checkpoint(d, buf), checkpoint_error);
+}
+
+TEST(Checkpoint, RejectsTruncatedStream) {
+    domain d(opts(4));
+    std::stringstream buf;
+    lulesh::save_checkpoint(d, buf);
+    const std::string full = buf.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    domain restored(opts(4));
+    EXPECT_THROW(lulesh::load_checkpoint(restored, cut), checkpoint_error);
+}
+
+TEST(Checkpoint, RejectsShapeMismatch) {
+    domain small(opts(4));
+    std::stringstream buf;
+    lulesh::save_checkpoint(small, buf);
+    domain big(opts(5));
+    EXPECT_THROW(lulesh::load_checkpoint(big, buf), checkpoint_error);
+}
+
+TEST(Checkpoint, RejectsSlabShapeMismatch) {
+    const options o = opts(6);
+    domain whole(o);
+    std::stringstream buf;
+    lulesh::save_checkpoint(whole, buf);
+    domain slab(o, lulesh::slab_extent{0, 3, 6});
+    EXPECT_THROW(lulesh::load_checkpoint(slab, buf), checkpoint_error);
+}
+
+TEST(Checkpoint, SlabDomainsCheckpointIndividually) {
+    const options o = opts(6);
+    domain slab(o, lulesh::slab_extent{2, 4, 6});
+    std::stringstream buf;
+    lulesh::save_checkpoint(slab, buf);
+    domain restored(o, lulesh::slab_extent{2, 4, 6});
+    lulesh::load_checkpoint(restored, buf);
+    EXPECT_EQ(lulesh::max_field_difference(slab, restored), 0.0);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+    domain d(opts(4));
+    EXPECT_THROW(lulesh::load_checkpoint_file(d, "/nonexistent/nope.bin"),
+                 checkpoint_error);
+    EXPECT_THROW(lulesh::save_checkpoint_file(d, "/nonexistent/nope.bin"),
+                 checkpoint_error);
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Tests for the CSV field dumps.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "lulesh/driver.hpp"
+#include "lulesh/io.hpp"
+
+namespace {
+
+using lulesh::domain;
+using lulesh::index_t;
+using lulesh::options;
+
+options opts(index_t size) {
+    options o;
+    o.size = size;
+    o.num_regions = 2;
+    return o;
+}
+
+int count_lines(const std::string& s) {
+    int n = 0;
+    for (char c : s) {
+        if (c == '\n') ++n;
+    }
+    return n;
+}
+
+TEST(IoDump, PlaneDumpHasHeaderAndOneRowPerElement) {
+    domain d(opts(4));
+    std::ostringstream out;
+    lulesh::dump_plane_csv(d, 0, out);
+    const std::string text = out.str();
+    EXPECT_EQ(count_lines(text), 1 + 16);  // header + 4x4 elements
+    EXPECT_EQ(text.rfind("x,y,z,e,p,q,v,ss\n", 0), 0u);
+}
+
+TEST(IoDump, AllElementsDump) {
+    domain d(opts(3));
+    std::ostringstream out;
+    lulesh::dump_elements_csv(d, out);
+    EXPECT_EQ(count_lines(out.str()), 1 + 27);
+}
+
+TEST(IoDump, InitialEnergyOnlyInFirstRow) {
+    domain d(opts(3));
+    std::ostringstream out;
+    lulesh::dump_plane_csv(d, 0, out);
+    std::istringstream in(out.str());
+    std::string line;
+    std::getline(in, line);  // header
+    std::getline(in, line);  // element 0
+    EXPECT_NE(line.find(",0,0,1,"), std::string::npos)
+        << "element 0 should have p=0,q=0,v=1: " << line;
+    // e column (4th) of element 0 is large.
+    std::istringstream cols(line);
+    std::string cell;
+    for (int i = 0; i < 4; ++i) std::getline(cols, cell, ',');
+    EXPECT_GT(std::stod(cell), 1.0);
+}
+
+TEST(IoDump, RadialProfileBinsCoverAllElements) {
+    domain d(opts(5));
+    lulesh::serial_driver drv;
+    lulesh::run_simulation(d, drv, 20);
+    std::ostringstream out;
+    lulesh::dump_radial_profile_csv(d, 8, out);
+    std::istringstream in(out.str());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "r,e_mean,p_mean,v_mean,count");
+    long long total = 0;
+    while (std::getline(in, line)) {
+        const auto pos = line.rfind(',');
+        total += std::stoll(line.substr(pos + 1));
+    }
+    EXPECT_EQ(total, 125);
+}
+
+TEST(IoDump, ProfileShowsBlastNearOrigin) {
+    domain d(opts(6));
+    lulesh::serial_driver drv;
+    lulesh::run_simulation(d, drv, 40);
+    std::ostringstream out;
+    lulesh::dump_radial_profile_csv(d, 6, out);
+    std::istringstream in(out.str());
+    std::string line;
+    std::getline(in, line);  // header
+    std::getline(in, line);  // innermost bin
+    std::istringstream cols(line);
+    std::string cell;
+    std::getline(cols, cell, ',');  // r
+    std::getline(cols, cell, ',');  // e_mean
+    const double e_inner = std::stod(cell);
+    // Innermost bin carries blast energy.
+    EXPECT_GT(e_inner, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Unit tests for the kinematics kernels: new volumes, strain rates, and the
+// deviatoric split, on analytically known velocity fields.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lulesh/domain.hpp"
+#include "lulesh/driver.hpp"
+#include "lulesh/kernels.hpp"
+
+namespace {
+
+using lulesh::domain;
+using lulesh::index_t;
+using lulesh::options;
+using lulesh::real_t;
+namespace k = lulesh::kernels;
+
+domain make_domain(index_t size = 3) {
+    options o;
+    o.size = size;
+    o.num_regions = 1;
+    return domain(o);
+}
+
+TEST(Kinematics, RestStateKeepsUnitVolumeAndZeroStrain) {
+    domain d = make_domain();
+    k::calc_kinematics(d, 0, d.numElem(), 1e-7);
+    for (index_t i = 0; i < d.numElem(); ++i) {
+        const auto e = static_cast<std::size_t>(i);
+        EXPECT_DOUBLE_EQ(d.vnew[e], 1.0);
+        EXPECT_DOUBLE_EQ(d.delv[e], 0.0);
+        EXPECT_DOUBLE_EQ(d.dxx[e], 0.0);
+        EXPECT_DOUBLE_EQ(d.dyy[e], 0.0);
+        EXPECT_DOUBLE_EQ(d.dzz[e], 0.0);
+    }
+}
+
+TEST(Kinematics, CharacteristicLengthIsElementEdge) {
+    domain d = make_domain(3);
+    k::calc_kinematics(d, 0, d.numElem(), 1e-7);
+    const real_t h = 1.125 / 3.0;  // uniform cubic elements
+    for (index_t i = 0; i < d.numElem(); ++i) {
+        EXPECT_NEAR(d.arealg[static_cast<std::size_t>(i)], h, 1e-12);
+    }
+}
+
+TEST(Kinematics, UniformTranslationIsStrainFree) {
+    domain d = make_domain();
+    for (std::size_t n = 0; n < d.xd.size(); ++n) {
+        d.xd[n] = 2.0;
+        d.yd[n] = -1.0;
+        d.zd[n] = 0.5;
+    }
+    k::calc_kinematics(d, 0, d.numElem(), 1e-6);
+    for (index_t i = 0; i < d.numElem(); ++i) {
+        const auto e = static_cast<std::size_t>(i);
+        EXPECT_NEAR(d.dxx[e], 0.0, 1e-12);
+        EXPECT_NEAR(d.dyy[e], 0.0, 1e-12);
+        EXPECT_NEAR(d.dzz[e], 0.0, 1e-12);
+        EXPECT_DOUBLE_EQ(d.vnew[e], 1.0);  // positions not moved here
+    }
+}
+
+TEST(Kinematics, UniformContractionGivesExpectedStrainRate) {
+    // v = -alpha * position: dxx = dyy = dzz = -alpha (evaluated at the
+    // half-step coordinates, exact for this affine field).
+    domain d = make_domain();
+    const real_t alpha = 0.25;
+    for (std::size_t n = 0; n < d.xd.size(); ++n) {
+        d.xd[n] = -alpha * d.x[n];
+        d.yd[n] = -alpha * d.y[n];
+        d.zd[n] = -alpha * d.z[n];
+    }
+    const real_t dt = 1e-4;
+    k::calc_kinematics(d, 0, d.numElem(), dt);
+    for (index_t i = 0; i < d.numElem(); ++i) {
+        const auto e = static_cast<std::size_t>(i);
+        // Half-step backtracking rescales coordinates by (1 + alpha*dt/2);
+        // the gradient of the affine field scales inversely.
+        const real_t expected = -alpha / (1.0 + alpha * dt / 2.0);
+        EXPECT_NEAR(d.dxx[e], expected, 1e-9);
+        EXPECT_NEAR(d.dyy[e], expected, 1e-9);
+        EXPECT_NEAR(d.dzz[e], expected, 1e-9);
+    }
+}
+
+TEST(Kinematics, StretchedPositionsChangeVolume) {
+    // Scale all x coordinates by 1.1: volumes grow 1.1x.
+    domain d = make_domain();
+    for (std::size_t n = 0; n < d.x.size(); ++n) d.x[n] *= 1.1;
+    k::calc_kinematics(d, 0, d.numElem(), 1e-7);
+    for (index_t i = 0; i < d.numElem(); ++i) {
+        const auto e = static_cast<std::size_t>(i);
+        EXPECT_NEAR(d.vnew[e], 1.1, 1e-9);
+        EXPECT_NEAR(d.delv[e], 0.1, 1e-9);
+    }
+}
+
+TEST(Deviatoric, SplitsTraceIntoVdov) {
+    domain d = make_domain();
+    d.dxx[0] = 0.3;
+    d.dyy[0] = -0.1;
+    d.dzz[0] = 0.1;
+    d.vnew[0] = 1.0;
+    ASSERT_TRUE(k::calc_lagrange_deviatoric(d, 0, 1));
+    EXPECT_NEAR(d.vdov[0], 0.3, 1e-15);
+    EXPECT_NEAR(d.dxx[0], 0.3 - 0.1, 1e-15);
+    EXPECT_NEAR(d.dyy[0], -0.1 - 0.1, 1e-15);
+    EXPECT_NEAR(d.dzz[0], 0.1 - 0.1, 1e-15);
+    // Deviators sum to zero by construction.
+    EXPECT_NEAR(d.dxx[0] + d.dyy[0] + d.dzz[0], 0.0, 1e-15);
+}
+
+TEST(Deviatoric, FlagsNonPositiveNewVolume) {
+    domain d = make_domain();
+    std::fill(d.vnew.begin(), d.vnew.end(), 1.0);
+    d.vnew[2] = -0.1;
+    EXPECT_FALSE(k::calc_lagrange_deviatoric(d, 0, d.numElem()));
+    d.vnew[2] = 0.0;
+    EXPECT_FALSE(k::calc_lagrange_deviatoric(d, 0, d.numElem()));
+    d.vnew[2] = 0.5;
+    EXPECT_TRUE(k::calc_lagrange_deviatoric(d, 0, d.numElem()));
+}
+
+TEST(Kinematics, BlastDynamicsShowUpInSimulation) {
+    // The heated origin element expands (v > 1) while the shock compresses
+    // material ahead of it (some v < 1, viscosity active somewhere).
+    options o;
+    o.size = 6;
+    o.num_regions = 1;
+    domain d(o);
+    lulesh::serial_driver drv;
+    lulesh::run_simulation(d, drv, 30);
+    EXPECT_GT(d.v[0], 1.0);  // origin element expanded by the blast
+    bool any_compressed = false;
+    bool any_viscous = false;
+    for (index_t i = 0; i < d.numElem(); ++i) {
+        const auto e = static_cast<std::size_t>(i);
+        if (d.v[e] < 1.0) any_compressed = true;
+        if (d.q[e] > 0.0) any_viscous = true;
+    }
+    EXPECT_TRUE(any_compressed);
+    EXPECT_TRUE(any_viscous);
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+// Tests for mesh construction: geometry, connectivity, gather lists,
+// boundary conditions, and Sedov initial conditions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "lulesh/domain.hpp"
+#include "lulesh/elem_geometry.hpp"
+
+namespace {
+
+using lulesh::domain;
+using lulesh::index_t;
+using lulesh::options;
+using lulesh::real_t;
+
+options opts(index_t size, index_t regions = 11) {
+    options o;
+    o.size = size;
+    o.num_regions = regions;
+    return o;
+}
+
+TEST(Mesh, CountsMatchProblemSize) {
+    const domain d(opts(5));
+    EXPECT_EQ(d.size_per_edge(), 5);
+    EXPECT_EQ(d.numElem(), 125);
+    EXPECT_EQ(d.numNode(), 216);
+}
+
+TEST(Mesh, SizeOneMesh) {
+    const domain d(opts(1, 1));
+    EXPECT_EQ(d.numElem(), 1);
+    EXPECT_EQ(d.numNode(), 8);
+}
+
+TEST(Mesh, InvalidSizeThrows) {
+    EXPECT_THROW(domain d(opts(0)), std::invalid_argument);
+    options bad = opts(4);
+    bad.num_regions = 0;
+    EXPECT_THROW(domain d(bad), std::invalid_argument);
+}
+
+TEST(Mesh, CoordinatesSpanExpectedCube) {
+    const domain d(opts(4));
+    real_t max_c = 0;
+    real_t min_c = 1e30;
+    for (std::size_t i = 0; i < d.x.size(); ++i) {
+        max_c = std::max({max_c, d.x[i], d.y[i], d.z[i]});
+        min_c = std::min({min_c, d.x[i], d.y[i], d.z[i]});
+    }
+    EXPECT_DOUBLE_EQ(min_c, 0.0);
+    EXPECT_DOUBLE_EQ(max_c, 1.125);
+}
+
+TEST(Mesh, NodeSpacingIsUniform) {
+    const domain d(opts(3));
+    const real_t h = 1.125 / 3.0;
+    // First row of nodes along x.
+    EXPECT_DOUBLE_EQ(d.x[0], 0.0);
+    EXPECT_DOUBLE_EQ(d.x[1], h);
+    EXPECT_DOUBLE_EQ(d.x[2], 2 * h);
+    EXPECT_DOUBLE_EQ(d.x[3], 3 * h);
+}
+
+TEST(Mesh, NodelistIndicesAreValidAndDistinct) {
+    const domain d(opts(4));
+    for (index_t e = 0; e < d.numElem(); ++e) {
+        const index_t* nl = d.nodelist(e);
+        std::set<index_t> unique(nl, nl + 8);
+        EXPECT_EQ(unique.size(), 8u) << "element " << e;
+        for (int c = 0; c < 8; ++c) {
+            EXPECT_GE(nl[c], 0);
+            EXPECT_LT(nl[c], d.numNode());
+        }
+    }
+}
+
+TEST(Mesh, ElementVolumesArePositiveAndUniform) {
+    const domain d(opts(4));
+    const real_t expected = std::pow(1.125 / 4.0, 3);
+    for (index_t e = 0; e < d.numElem(); ++e) {
+        EXPECT_NEAR(d.volo[static_cast<std::size_t>(e)], expected, 1e-12);
+        EXPECT_DOUBLE_EQ(d.v[static_cast<std::size_t>(e)], 1.0);
+    }
+}
+
+TEST(Mesh, TotalVolumeEqualsDomainCube) {
+    const domain d(opts(6));
+    real_t total = 0;
+    for (real_t v : d.volo) total += v;
+    EXPECT_NEAR(total, std::pow(1.125, 3), 1e-9);
+}
+
+TEST(Mesh, NodalMassSumsToTotalVolume) {
+    const domain d(opts(5));
+    real_t total = 0;
+    for (real_t m : d.nodalMass) total += m;
+    EXPECT_NEAR(total, std::pow(1.125, 3), 1e-9);
+}
+
+TEST(Mesh, InteriorNodeTouchesEightElements) {
+    const domain d(opts(4));
+    const index_t en = 5;
+    const index_t interior = 2 * en * en + 2 * en + 2;  // node (2,2,2)
+    EXPECT_EQ(d.nodeElemCount(interior), 8);
+    const index_t corner = 0;  // node (0,0,0) touches exactly 1 element
+    EXPECT_EQ(d.nodeElemCount(corner), 1);
+}
+
+TEST(Mesh, CornerListsAreConsistentWithNodelist) {
+    const domain d(opts(3));
+    // Every (elem, corner) pair appears exactly once across all nodes, and
+    // at the node the nodelist names.
+    std::set<index_t> seen;
+    for (index_t n = 0; n < d.numNode(); ++n) {
+        const index_t count = d.nodeElemCount(n);
+        const index_t* corners = d.nodeElemCornerList(n);
+        for (index_t c = 0; c < count; ++c) {
+            const index_t corner_id = corners[c];
+            EXPECT_TRUE(seen.insert(corner_id).second) << "duplicate corner";
+            const index_t elem = corner_id / 8;
+            const index_t corner = corner_id % 8;
+            EXPECT_EQ(d.nodelist(elem)[corner], n);
+        }
+    }
+    EXPECT_EQ(static_cast<index_t>(seen.size()), d.numElem() * 8);
+}
+
+TEST(Mesh, FaceAdjacencyInterior) {
+    const domain d(opts(4));
+    const index_t s = 4;
+    // Interior element (1,1,1) = 1*16 + 1*4 + 1 = 21.
+    const index_t e = 21;
+    const auto k = static_cast<std::size_t>(e);
+    EXPECT_EQ(d.lxim[k], e - 1);
+    EXPECT_EQ(d.lxip[k], e + 1);
+    EXPECT_EQ(d.letam[k], e - s);
+    EXPECT_EQ(d.letap[k], e + s);
+    EXPECT_EQ(d.lzetam[k], e - s * s);
+    EXPECT_EQ(d.lzetap[k], e + s * s);
+    EXPECT_EQ(d.elemBC[k], 0);
+}
+
+TEST(Mesh, BoundaryConditionFlags) {
+    const domain d(opts(3));
+    // Element (0,0,0): symmetry on all three minus faces.
+    EXPECT_EQ(d.elemBC[0],
+              lulesh::XI_M_SYMM | lulesh::ETA_M_SYMM | lulesh::ZETA_M_SYMM);
+    // Element (2,2,2) (last): free on all three plus faces.
+    const auto last = static_cast<std::size_t>(d.numElem() - 1);
+    EXPECT_EQ(d.elemBC[last],
+              lulesh::XI_P_FREE | lulesh::ETA_P_FREE | lulesh::ZETA_P_FREE);
+}
+
+TEST(Mesh, EveryBoundaryElementFlagged) {
+    const domain d(opts(4));
+    int flagged = 0;
+    for (index_t e = 0; e < d.numElem(); ++e) {
+        if (d.elemBC[static_cast<std::size_t>(e)] != 0) ++flagged;
+    }
+    // 4^3 = 64 elements; interior is 2^3 = 8, so 56 are on some face.
+    EXPECT_EQ(flagged, 56);
+}
+
+TEST(Mesh, SymmetryNodeLists) {
+    const domain d(opts(4));
+    const std::size_t expect = 5 * 5;
+    EXPECT_EQ(d.symmX.size(), expect);
+    EXPECT_EQ(d.symmY.size(), expect);
+    EXPECT_EQ(d.symmZ.size(), expect);
+    for (index_t n : d.symmX) {
+        EXPECT_DOUBLE_EQ(d.x[static_cast<std::size_t>(n)], 0.0);
+    }
+    for (index_t n : d.symmY) {
+        EXPECT_DOUBLE_EQ(d.y[static_cast<std::size_t>(n)], 0.0);
+    }
+    for (index_t n : d.symmZ) {
+        EXPECT_DOUBLE_EQ(d.z[static_cast<std::size_t>(n)], 0.0);
+    }
+}
+
+TEST(Mesh, SymmetryMaskMatchesLists) {
+    const domain d(opts(4));
+    for (index_t n = 0; n < d.numNode(); ++n) {
+        const auto i = static_cast<std::size_t>(n);
+        const bool on_x = d.x[i] == 0.0;
+        const bool on_y = d.y[i] == 0.0;
+        const bool on_z = d.z[i] == 0.0;
+        EXPECT_EQ((d.symm_mask[i] & lulesh::NODE_SYMM_X) != 0, on_x);
+        EXPECT_EQ((d.symm_mask[i] & lulesh::NODE_SYMM_Y) != 0, on_y);
+        EXPECT_EQ((d.symm_mask[i] & lulesh::NODE_SYMM_Z) != 0, on_z);
+    }
+}
+
+TEST(Sedov, EnergyDepositedOnlyInOriginElement) {
+    const domain d(opts(6));
+    EXPECT_GT(d.e[0], 0.0);
+    for (index_t e = 1; e < d.numElem(); ++e) {
+        EXPECT_DOUBLE_EQ(d.e[static_cast<std::size_t>(e)], 0.0);
+    }
+}
+
+TEST(Sedov, InitialEnergyScalesWithSizeCubed) {
+    const domain d45(opts(45));
+    const domain d90(opts(90));
+    EXPECT_NEAR(d45.e[0], 3.948746e+7, 1.0);
+    EXPECT_NEAR(d90.e[0] / d45.e[0], 8.0, 1e-9);
+}
+
+TEST(Sedov, InitialDeltatimeMatchesFormula) {
+    const domain d(opts(45));
+    const real_t expected =
+        0.5 * std::cbrt(d.volo[0]) / std::sqrt(2.0 * d.e[0]);
+    EXPECT_DOUBLE_EQ(d.deltatime, expected);
+    EXPECT_GT(d.deltatime, 0.0);
+}
+
+TEST(Sedov, InitialStateAtRest) {
+    const domain d(opts(4));
+    for (std::size_t i = 0; i < d.xd.size(); ++i) {
+        EXPECT_EQ(d.xd[i], 0.0);
+        EXPECT_EQ(d.yd[i], 0.0);
+        EXPECT_EQ(d.zd[i], 0.0);
+    }
+    for (std::size_t i = 0; i < d.p.size(); ++i) {
+        EXPECT_EQ(d.p[i], 0.0);
+        EXPECT_EQ(d.q[i], 0.0);
+    }
+    EXPECT_EQ(d.cycle, 0);
+    EXPECT_EQ(d.time_, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Tests for command-line parsing and the Table I partition-size defaults.
+
+#include <gtest/gtest.h>
+
+#include "lulesh/options.hpp"
+
+namespace {
+
+using lulesh::cli_options;
+using lulesh::parse_cli;
+using lulesh::partition_sizes;
+
+cli_options parse(std::initializer_list<const char*> args) {
+    std::vector<const char*> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return parse_cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, DefaultsMatchReference) {
+    const auto cli = parse({});
+    EXPECT_EQ(cli.problem.size, 30);
+    EXPECT_EQ(cli.problem.num_regions, 11);
+    EXPECT_EQ(cli.problem.balance, 1);
+    EXPECT_EQ(cli.problem.cost, 1);
+    EXPECT_EQ(cli.driver, "taskgraph");
+    EXPECT_EQ(cli.threads, 0u);
+    EXPECT_FALSE(cli.quiet);
+    EXPECT_FALSE(cli.partitions.has_value());
+}
+
+TEST(Cli, ParsesReferenceStyleFlags) {
+    const auto cli = parse({"-s", "90", "-r", "16", "-i", "770", "-q"});
+    EXPECT_EQ(cli.problem.size, 90);
+    EXPECT_EQ(cli.problem.num_regions, 16);
+    EXPECT_EQ(cli.problem.max_cycles, 770);
+    EXPECT_TRUE(cli.quiet);
+}
+
+TEST(Cli, ParsesDoubleDashVariants) {
+    const auto cli = parse({"--s", "45", "--r", "21", "--q"});
+    EXPECT_EQ(cli.problem.size, 45);
+    EXPECT_EQ(cli.problem.num_regions, 21);
+    EXPECT_TRUE(cli.quiet);
+}
+
+TEST(Cli, ParsesDriverAndThreads) {
+    const auto cli = parse({"-d", "parallel_for", "-t", "24"});
+    EXPECT_EQ(cli.driver, "parallel_for");
+    EXPECT_EQ(cli.threads, 24u);
+}
+
+TEST(Cli, ParsesPartitionPair) {
+    const auto cli = parse({"-p", "4096", "2048"});
+    ASSERT_TRUE(cli.partitions.has_value());
+    EXPECT_EQ(cli.partitions->nodal, 4096);
+    EXPECT_EQ(cli.partitions->elems, 2048);
+}
+
+TEST(Cli, ParsesBalanceAndCost) {
+    const auto cli = parse({"-b", "2", "-c", "3"});
+    EXPECT_EQ(cli.problem.balance, 2);
+    EXPECT_EQ(cli.problem.cost, 3);
+}
+
+TEST(Cli, HelpFlagSetsShowHelp) {
+    EXPECT_TRUE(parse({"-h"}).show_help);
+    EXPECT_TRUE(parse({"--help"}).show_help);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+    EXPECT_THROW(parse({"--bogus"}), std::invalid_argument);
+}
+
+TEST(Cli, RejectsMissingValue) {
+    EXPECT_THROW(parse({"-s"}), std::invalid_argument);
+    EXPECT_THROW(parse({"-p", "1024"}), std::invalid_argument);
+}
+
+TEST(Cli, RejectsNonNumericValue) {
+    EXPECT_THROW(parse({"-s", "abc"}), std::invalid_argument);
+}
+
+TEST(Cli, RejectsInvalidDriver) {
+    EXPECT_THROW(parse({"-d", "cuda"}), std::invalid_argument);
+}
+
+TEST(Cli, RejectsOutOfRangeValues) {
+    EXPECT_THROW(parse({"-s", "0"}), std::invalid_argument);
+    EXPECT_THROW(parse({"-r", "0"}), std::invalid_argument);
+    EXPECT_THROW(parse({"-i", "0"}), std::invalid_argument);
+}
+
+TEST(Cli, UsageTextMentionsAllFlags) {
+    const auto text = lulesh::usage_text("prog");
+    for (const char* flag : {"-s", "-r", "-i", "-b", "-c", "-d", "-t", "-p", "-q"}) {
+        EXPECT_NE(text.find(flag), std::string::npos) << flag;
+    }
+}
+
+TEST(PartitionSizes, TunedValuesMatchPaperTableI) {
+    struct row {
+        lulesh::index_t size, nodal, elems;
+    };
+    // Table I of the paper.
+    const row table[] = {{45, 2048, 2048},  {60, 4096, 2048},
+                         {75, 8192, 4096},  {90, 8192, 4096},
+                         {120, 8192, 2048}, {150, 8192, 2048}};
+    for (const auto& r : table) {
+        const auto p = partition_sizes::tuned_for(r.size);
+        EXPECT_EQ(p.nodal, r.nodal) << "size " << r.size;
+        EXPECT_EQ(p.elems, r.elems) << "size " << r.size;
+    }
+}
+
+TEST(PartitionSizes, SmallProblemsGetSmallPartitions) {
+    const auto p = partition_sizes::tuned_for(10);
+    EXPECT_LE(p.nodal, 512);
+    EXPECT_LE(p.elems, 512);
+    EXPECT_GE(p.nodal, 1);
+}
+
+}  // namespace

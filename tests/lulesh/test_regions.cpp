@@ -1,0 +1,158 @@
+// Tests for the element → region decomposition and the EOS cost model.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "lulesh/domain.hpp"
+#include "lulesh/kernels.hpp"
+
+namespace {
+
+using lulesh::domain;
+using lulesh::index_t;
+using lulesh::options;
+
+options opts(index_t size, index_t regions, int cost = 1, int balance = 1) {
+    options o;
+    o.size = size;
+    o.num_regions = regions;
+    o.cost = cost;
+    o.balance = balance;
+    return o;
+}
+
+TEST(Regions, EveryElementAssignedExactlyOnce) {
+    const domain d(opts(8, 11));
+    std::vector<int> seen(static_cast<std::size_t>(d.numElem()), 0);
+    for (index_t r = 0; r < d.numReg(); ++r) {
+        for (index_t e : d.regElemList(r)) {
+            ASSERT_GE(e, 0);
+            ASSERT_LT(e, d.numElem());
+            ++seen[static_cast<std::size_t>(e)];
+        }
+    }
+    for (index_t e = 0; e < d.numElem(); ++e) {
+        EXPECT_EQ(seen[static_cast<std::size_t>(e)], 1) << "element " << e;
+    }
+}
+
+TEST(Regions, RegNumMatchesLists) {
+    const domain d(opts(6, 7));
+    for (index_t r = 0; r < d.numReg(); ++r) {
+        for (index_t e : d.regElemList(r)) {
+            EXPECT_EQ(d.regNum(e), r);
+        }
+    }
+}
+
+TEST(Regions, SingleRegionGetsEverything) {
+    const domain d(opts(5, 1));
+    EXPECT_EQ(d.numReg(), 1);
+    EXPECT_EQ(static_cast<index_t>(d.regElemList(0).size()), d.numElem());
+}
+
+TEST(Regions, RequestedCountIsHonored) {
+    for (index_t r : {2, 11, 16, 21}) {
+        const domain d(opts(10, r));
+        EXPECT_EQ(d.numReg(), r);
+    }
+}
+
+TEST(Regions, AssignmentIsDeterministic) {
+    const domain a(opts(8, 11));
+    const domain b(opts(8, 11));
+    for (index_t e = 0; e < a.numElem(); ++e) {
+        EXPECT_EQ(a.regNum(e), b.regNum(e));
+    }
+}
+
+TEST(Regions, DifferentSeedGivesDifferentMap) {
+    options o1 = opts(8, 11);
+    options o2 = opts(8, 11);
+    o2.region_seed = 42;
+    const domain a(o1);
+    const domain b(o2);
+    int differing = 0;
+    for (index_t e = 0; e < a.numElem(); ++e) {
+        if (a.regNum(e) != b.regNum(e)) ++differing;
+    }
+    EXPECT_GT(differing, 0);
+}
+
+TEST(Regions, RunsAreContiguous) {
+    // The reference assigns consecutive runs of elements to each region;
+    // verify the run-length structure (at least some multi-element runs).
+    const domain d(opts(10, 11));
+    int runs = 0;
+    int run_elems = 0;
+    index_t last = -1;
+    for (index_t e = 0; e < d.numElem(); ++e) {
+        if (d.regNum(e) != last) {
+            ++runs;
+            last = d.regNum(e);
+        }
+        ++run_elems;
+    }
+    EXPECT_LT(runs, d.numElem() / 2) << "regions should come in runs";
+}
+
+TEST(Regions, MostRegionsNonEmptyAtRealisticSizes) {
+    const domain d(opts(12, 11));
+    int non_empty = 0;
+    for (index_t r = 0; r < d.numReg(); ++r) {
+        if (!d.regElemList(r).empty()) ++non_empty;
+    }
+    EXPECT_GE(non_empty, 10);
+}
+
+TEST(RegionCost, DefaultTiersMatchPaper) {
+    // 11 regions, cost 1: first 5 regions 1x, next 5 regions 2x, last 1
+    // region 20x — the paper's "2x for 45%, 20x for 5%".
+    const domain d(opts(6, 11, /*cost=*/1));
+    namespace k = lulesh::kernels;
+    for (index_t r = 0; r < 5; ++r) EXPECT_EQ(k::eos_rep_for_region(d, r), 1);
+    for (index_t r = 5; r < 10; ++r) EXPECT_EQ(k::eos_rep_for_region(d, r), 2);
+    EXPECT_EQ(k::eos_rep_for_region(d, 10), 20);
+}
+
+TEST(RegionCost, CostFlagScalesExpensiveTiers) {
+    const domain d(opts(6, 11, /*cost=*/3));
+    namespace k = lulesh::kernels;
+    EXPECT_EQ(k::eos_rep_for_region(d, 0), 1);
+    EXPECT_EQ(k::eos_rep_for_region(d, 7), 4);    // 1 + cost
+    EXPECT_EQ(k::eos_rep_for_region(d, 10), 40);  // 10 * (1 + cost)
+}
+
+TEST(RegionCost, TwentyOneRegions) {
+    const domain d(opts(6, 21));
+    namespace k = lulesh::kernels;
+    // floor(21/2)=10 cheap; 21-(36/20=1)=20 → regions 10..19 are 2x; region
+    // 20 is 20x.
+    EXPECT_EQ(k::eos_rep_for_region(d, 9), 1);
+    EXPECT_EQ(k::eos_rep_for_region(d, 10), 2);
+    EXPECT_EQ(k::eos_rep_for_region(d, 19), 2);
+    EXPECT_EQ(k::eos_rep_for_region(d, 20), 20);
+}
+
+TEST(RegionBalance, HigherBalanceSkewsSizes) {
+    // With balance = 3, later regions get picked far more often.
+    const domain flat(opts(10, 8, 1, /*balance=*/0));
+    const domain skew(opts(10, 8, 1, /*balance=*/3));
+
+    auto spread = [](const domain& d) {
+        std::size_t mn = SIZE_MAX, mx = 0;
+        for (index_t r = 0; r < d.numReg(); ++r) {
+            mn = std::min(mn, d.regElemList(r).size());
+            mx = std::max(mx, d.regElemList(r).size());
+        }
+        return std::pair{mn, mx};
+    };
+    const auto [fmn, fmx] = spread(flat);
+    const auto [smn, smx] = spread(skew);
+    // Skewed distribution should have a wider size range than flat.
+    EXPECT_GT(smx - smn, (fmx - fmn) / 2);
+    EXPECT_GT(smx, fmx / 2);
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Tests for the validation utilities.
+
+#include <gtest/gtest.h>
+
+#include "lulesh/driver.hpp"
+#include "lulesh/validate.hpp"
+
+namespace {
+
+using lulesh::domain;
+using lulesh::index_t;
+using lulesh::options;
+
+options opts(index_t size) {
+    options o;
+    o.size = size;
+    o.num_regions = 2;
+    return o;
+}
+
+TEST(Symmetry, FreshDomainIsPerfectlySymmetric) {
+    const domain d(opts(5));
+    const auto rep = lulesh::check_energy_symmetry(d);
+    EXPECT_EQ(rep.max_abs_diff, 0.0);
+    EXPECT_EQ(rep.total_abs_diff, 0.0);
+    EXPECT_EQ(rep.max_rel_diff, 0.0);
+}
+
+TEST(Symmetry, DetectsInjectedAsymmetry) {
+    domain d(opts(4));
+    // e(1,0,0) != e(0,1,0) breaks permutation symmetry.
+    d.e[1] = 100.0;
+    const auto rep = lulesh::check_energy_symmetry(d);
+    EXPECT_GT(rep.max_abs_diff, 0.0);
+    EXPECT_GT(rep.total_abs_diff, 0.0);
+    EXPECT_GT(rep.max_rel_diff, 0.0);
+}
+
+TEST(Symmetry, DiagonalPerturbationStaysSymmetric) {
+    domain d(opts(4));
+    // e(i,i,i) is invariant under index permutation.
+    const index_t s = 4;
+    d.e[static_cast<std::size_t>(2 * s * s + 2 * s + 2)] = 7.0;
+    const auto rep = lulesh::check_energy_symmetry(d);
+    EXPECT_EQ(rep.max_abs_diff, 0.0);
+}
+
+TEST(FieldDiff, IdenticalDomainsGiveZero) {
+    const domain a(opts(4));
+    const domain b(opts(4));
+    EXPECT_EQ(lulesh::max_field_difference(a, b), 0.0);
+}
+
+TEST(FieldDiff, DetectsSingleFieldChange) {
+    const domain a(opts(4));
+    domain b(opts(4));
+    b.xd[10] = 1e-3;
+    EXPECT_DOUBLE_EQ(lulesh::max_field_difference(a, b), 1e-3);
+}
+
+TEST(FieldDiff, MismatchedSizesAreHuge) {
+    const domain a(opts(4));
+    const domain b(opts(5));
+    EXPECT_GT(lulesh::max_field_difference(a, b), 1e100);
+}
+
+TEST(FinalReport, ContainsHeadlineNumbers) {
+    domain d(opts(5));
+    lulesh::serial_driver drv;
+    const auto result = lulesh::run_simulation(d, drv, 10);
+    const auto text = lulesh::final_report(d, result);
+    EXPECT_NE(text.find("Final origin energy"), std::string::npos);
+    EXPECT_NE(text.find("Iteration count         = 10"), std::string::npos);
+    EXPECT_NE(text.find("symmetry"), std::string::npos);
+}
+
+}  // namespace
