@@ -19,8 +19,33 @@
 #include "lulesh/checkpoint.hpp"
 #include "lulesh/driver.hpp"
 #include "lulesh/driver_parallel_for.hpp"
+#include "lulesh/resilient_run.hpp"
 #include "lulesh/validate.hpp"
 #include "ompsim/ompsim.hpp"
+
+namespace {
+
+/// Plain loop, or the checkpoint/rollback loop when --checkpoint-every is
+/// given.
+lulesh::run_result run_with(lulesh::domain& dom, lulesh::driver& drv,
+                            const lulesh::cli_options& cli) {
+    if (cli.checkpoint_every <= 0) {
+        return lulesh::run_simulation(dom, drv, cli.problem.max_cycles);
+    }
+    lulesh::resilience_options ropt;
+    ropt.checkpoint_every = cli.checkpoint_every;
+    ropt.max_retries = cli.max_retries;
+    ropt.checkpoint_path = cli.checkpoint_save;
+    auto rr = lulesh::run_resilient(dom, drv, ropt, cli.problem.max_cycles);
+    if (!cli.quiet && rr.rollbacks > 0) {
+        std::cout << "Resilient loop: " << rr.rollbacks << " rollback(s), "
+                  << rr.dt_halvings << " dt halving(s), " << rr.checkpoints
+                  << " checkpoint(s)\n";
+    }
+    return rr.result;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     lulesh::cli_options cli;
@@ -70,19 +95,19 @@ int main(int argc, char** argv) {
     lulesh::run_result result;
     if (cli.driver == "serial") {
         lulesh::serial_driver drv;
-        result = lulesh::run_simulation(dom, drv, cli.problem.max_cycles);
+        result = run_with(dom, drv, cli);
     } else if (cli.driver == "parallel_for") {
         ompsim::team team(threads);
         lulesh::parallel_for_driver drv(team);
-        result = lulesh::run_simulation(dom, drv, cli.problem.max_cycles);
+        result = run_with(dom, drv, cli);
     } else if (cli.driver == "foreach") {
         amt::runtime rt(threads);
         lulesh::foreach_driver drv(rt);
-        result = lulesh::run_simulation(dom, drv, cli.problem.max_cycles);
+        result = run_with(dom, drv, cli);
     } else {
         amt::runtime rt(threads);
         lulesh::taskgraph_driver drv(rt, parts);
-        result = lulesh::run_simulation(dom, drv, cli.problem.max_cycles);
+        result = run_with(dom, drv, cli);
     }
 
     if (!cli.checkpoint_save.empty()) {
@@ -108,12 +133,14 @@ int main(int argc, char** argv) {
               << result.elapsed_seconds << "," << result.final_origin_energy
               << "\n";
     if (result.run_status != lulesh::status::ok) {
-        std::cerr << "run aborted: "
-                  << (result.run_status == lulesh::status::volume_error
-                          ? "volume error"
-                          : "qstop exceeded")
-                  << "\n";
-        return 2;
+        std::cerr << "run aborted: " << lulesh::status_name(result.run_status);
+        if (!result.error_message.empty()) {
+            std::cerr << " — " << result.error_message;
+        } else {
+            std::cerr << " at cycle " << result.cycles << ", dt "
+                      << result.final_dt;
+        }
+        std::cerr << "\n";
     }
-    return 0;
+    return lulesh::exit_code_for(result.run_status);
 }

@@ -20,6 +20,18 @@ echo "== Extension: distributed halo exchange =="
 ./build/bench/dist_scaling | tee results/dist.txt
 echo "== Phase breakdown =="
 ./build/bench/phase_breakdown | tee results/phase.txt
+echo "== Fault-probe overhead (<1% budget) =="
+./build/bench/fault_overhead | tee results/fault_overhead.txt
+
+# Resilience/fault suite under ASan+UBSan, when the sanitize preset has been
+# configured (cmake --preset sanitize && cmake --build build-sanitize).
+if [ -d build-sanitize ]; then
+  echo "== Sanitized resilience suite (ctest -L sanitize) =="
+  ctest --test-dir build-sanitize -L sanitize --output-on-failure |
+    tee results/sanitize.txt
+else
+  echo "(skipping sanitized suite: configure with 'cmake --preset sanitize')"
+fi
 
 echo
 echo "All reduced-sweep results written to results/."

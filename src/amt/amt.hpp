@@ -13,6 +13,8 @@
 //   dataflow    — run-when-ready over heterogeneous futures (hpx::dataflow)
 //   bulk_async / parallel_for_each / parallel_reduce — index-space helpers
 //   counters    — per-worker productive-time instrumentation (idle-rate)
+//   stop_token  — cooperative cancellation (stop_source / stop_token)
+//   fault       — deterministic fault injection for resilience testing
 
 #pragma once
 
@@ -23,9 +25,11 @@
 #include "amt/counters.hpp"
 #include "amt/dataflow.hpp"
 #include "amt/deque.hpp"
+#include "amt/fault.hpp"
 #include "amt/future.hpp"
 #include "amt/scheduler.hpp"
 #include "amt/shared_future.hpp"
+#include "amt/stop_token.hpp"
 #include "amt/sync_primitives.hpp"
 #include "amt/task.hpp"
 #include "amt/unique_function.hpp"

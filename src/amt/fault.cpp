@@ -1,0 +1,175 @@
+// amt/fault.cpp — fault-injection plan evaluation.
+//
+// The probe fast path (disarmed) is entirely in the header; this file holds
+// the armed slow path.  The active plan is written only inside arm() —
+// before g_armed flips to true with release ordering — so probes that
+// observe g_armed == true (acquire) see a fully published plan without
+// taking a lock.  See the concurrency contract in fault.hpp.
+
+#include "amt/fault.hpp"
+
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace amt::fault {
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+namespace {
+
+struct fault_state {
+    // Written only by arm() while g_armed is false (see file header).
+    plan active;
+
+    // Lock-free bookkeeping read/written by concurrent probes.
+    std::atomic<std::int64_t> budget{0};
+    std::atomic<std::uint64_t> next_index{0};
+    std::atomic<std::uint64_t> probes{0};
+    std::atomic<std::uint64_t> injections{0};
+    std::atomic<std::int64_t> epoch{-1};
+
+    // arm/disarm serialization.
+    std::mutex arm_mu;
+
+    // Stall machinery: parked probes wait on the condvar; release_stalls()
+    // bumps the generation.
+    std::mutex stall_mu;
+    std::condition_variable stall_cv;
+    std::uint64_t stall_generation = 0;
+    int stalled = 0;
+};
+
+fault_state& state() {
+    static fault_state s;
+    return s;
+}
+
+/// splitmix64 — tiny, statistically solid mixer; the draw for probe `idx`
+/// depends only on (seed, idx).
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+double uniform01(std::uint64_t seed, std::uint64_t idx) {
+    // 53 high-quality bits → [0, 1).
+    return static_cast<double>(mix64(seed ^ mix64(idx)) >> 11) * 0x1.0p-53;
+}
+
+void stall_here(std::chrono::milliseconds timeout) {
+    fault_state& s = state();
+    std::unique_lock lk(s.stall_mu);
+    const std::uint64_t my_generation = s.stall_generation;
+    ++s.stalled;
+    s.stall_cv.wait_for(lk, timeout, [&s, my_generation] {
+        return s.stall_generation != my_generation ||
+               !g_armed.load(std::memory_order_acquire);
+    });
+    --s.stalled;
+}
+
+}  // namespace
+
+void probe_slow(const char* site) {
+    fault_state& s = state();
+    s.probes.fetch_add(1, std::memory_order_relaxed);
+
+    const plan& p = s.active;
+    if (p.epoch >= 0 && s.epoch.load(std::memory_order_relaxed) != p.epoch) {
+        return;
+    }
+    if (!p.site.empty() && p.site != site) return;
+
+    const std::uint64_t idx = s.next_index.fetch_add(1, std::memory_order_relaxed);
+    if (p.probability < 1.0 && uniform01(p.seed, idx) >= p.probability) return;
+
+    // Claim one unit of the injection budget; losing the race means another
+    // probe got the last one.
+    if (s.budget.fetch_sub(1, std::memory_order_acq_rel) <= 0) return;
+
+    s.injections.fetch_add(1, std::memory_order_relaxed);
+    switch (p.kind) {
+        case action::delay:
+            std::this_thread::sleep_for(p.delay);
+            return;
+        case action::stall:
+            stall_here(p.stall_timeout);
+            return;
+        case action::throw_exception:
+            break;
+    }
+    throw injected_fault(
+        "amt::fault: injected fault at site '" + std::string(site) +
+        "' (epoch " + std::to_string(s.epoch.load(std::memory_order_relaxed)) +
+        ", probe index " + std::to_string(idx) + ")");
+}
+
+}  // namespace detail
+
+void arm(const plan& p) {
+    auto& s = detail::state();
+    std::lock_guard lk(s.arm_mu);
+    detail::g_armed.store(false, std::memory_order_release);
+    s.active = p;
+    s.budget.store(p.max_injections >= 0
+                       ? p.max_injections
+                       : std::numeric_limits<std::int64_t>::max(),
+                   std::memory_order_relaxed);
+    s.next_index.store(0, std::memory_order_relaxed);
+    detail::g_armed.store(true, std::memory_order_release);
+}
+
+void disarm() {
+    auto& s = detail::state();
+    std::lock_guard lk(s.arm_mu);
+    detail::g_armed.store(false, std::memory_order_release);
+    // Wake parked stalls: their predicate observes g_armed == false.
+    {
+        std::lock_guard stall_lk(s.stall_mu);
+        ++s.stall_generation;
+    }
+    s.stall_cv.notify_all();
+}
+
+stats snapshot() {
+    auto& s = detail::state();
+    return {s.probes.load(std::memory_order_relaxed),
+            s.injections.load(std::memory_order_relaxed)};
+}
+
+void reset_stats() {
+    auto& s = detail::state();
+    s.probes.store(0, std::memory_order_relaxed);
+    s.injections.store(0, std::memory_order_relaxed);
+}
+
+void set_epoch(std::int64_t epoch) noexcept {
+    detail::state().epoch.store(epoch, std::memory_order_relaxed);
+}
+
+std::int64_t epoch() noexcept {
+    return detail::state().epoch.load(std::memory_order_relaxed);
+}
+
+void release_stalls() {
+    auto& s = detail::state();
+    {
+        std::lock_guard lk(s.stall_mu);
+        ++s.stall_generation;
+    }
+    s.stall_cv.notify_all();
+}
+
+int stalled_now() {
+    auto& s = detail::state();
+    std::lock_guard lk(s.stall_mu);
+    return s.stalled;
+}
+
+}  // namespace amt::fault

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <future>  // std::future_error, std::future_errc
@@ -103,6 +104,27 @@ public:
         }
         std::unique_lock lk(mu_);
         cv_.wait(lk, [this] { return ready_; });
+    }
+
+    /// Waits until ready or `deadline`, whichever comes first; returns
+    /// whether the state is ready.  Cooperative on worker threads, like
+    /// wait().  The building block for watchdogs and halo-exchange
+    /// timeouts, where "still not done" is information, not a bug.
+    bool wait_until(std::chrono::steady_clock::time_point deadline) const {
+        {
+            std::lock_guard lk(mu_);
+            if (ready_) return true;
+        }
+        runtime* rt = runtime::active();
+        if (rt != nullptr && rt->on_worker_thread()) {
+            while (!is_ready()) {
+                if (std::chrono::steady_clock::now() >= deadline) return false;
+                if (!rt->try_run_one()) std::this_thread::yield();
+            }
+            return true;
+        }
+        std::unique_lock lk(mu_);
+        return cv_.wait_until(lk, deadline, [this] { return ready_; });
     }
 
 protected:
@@ -218,6 +240,14 @@ public:
     void wait() const {
         throw_if_invalid();
         state_->wait();
+    }
+
+    /// Waits up to `timeout`; returns whether the future became ready.
+    /// Does not consume the future.
+    template <class Rep, class Period>
+    bool wait_for(std::chrono::duration<Rep, Period> timeout) const {
+        throw_if_invalid();
+        return state_->wait_until(std::chrono::steady_clock::now() + timeout);
     }
 
     /// Blocks until ready, then returns the value (or rethrows the stored

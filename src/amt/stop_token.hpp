@@ -1,0 +1,80 @@
+// amt/stop_token.hpp
+//
+// Cooperative cancellation in the style of std::stop_source/std::stop_token
+// (and hpx::experimental the same): a `stop_source` owns a stop state,
+// `stop_token`s observe it, and tasks poll `stop_requested()` at natural
+// boundaries (task entry, loop chunks) to short-circuit work that has become
+// pointless — e.g. the sibling partition tasks of a wave once one of them
+// has failed.  Requesting a stop never interrupts a running task; it only
+// asks politely, which is the only sound option for tasks that share mesh
+// state.
+//
+// Deliberately minimal compared to std:: — no callbacks, no nostopstate —
+// because the task-graph drivers only need the flag.  Copies of a source or
+// token share the same state.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace amt {
+
+namespace detail {
+struct stop_state {
+    std::atomic<bool> requested{false};
+};
+}  // namespace detail
+
+/// Observer half: cheap to copy into every task of a wave.
+class stop_token {
+public:
+    /// A default-constructed token can never be stopped (stop_possible()
+    /// is false), matching std::stop_token.
+    stop_token() noexcept = default;
+
+    [[nodiscard]] bool stop_possible() const noexcept {
+        return state_ != nullptr;
+    }
+    [[nodiscard]] bool stop_requested() const noexcept {
+        return state_ != nullptr &&
+               state_->requested.load(std::memory_order_acquire);
+    }
+
+private:
+    friend class stop_source;
+    explicit stop_token(std::shared_ptr<const detail::stop_state> st) noexcept
+        : state_(std::move(st)) {}
+
+    std::shared_ptr<const detail::stop_state> state_;
+};
+
+/// Owner half: the first failing task (or an external supervisor) calls
+/// request_stop() and every token holder sees it.
+class stop_source {
+public:
+    stop_source() : state_(std::make_shared<detail::stop_state>()) {}
+
+    stop_source(const stop_source&) = default;
+    stop_source& operator=(const stop_source&) = default;
+    stop_source(stop_source&&) noexcept = default;
+    stop_source& operator=(stop_source&&) noexcept = default;
+
+    [[nodiscard]] stop_token get_token() const noexcept {
+        return stop_token(state_);
+    }
+
+    /// Returns true if this call made the not-stopped → stopped transition.
+    bool request_stop() noexcept {
+        return !state_->requested.exchange(true, std::memory_order_acq_rel);
+    }
+
+    [[nodiscard]] bool stop_requested() const noexcept {
+        return state_->requested.load(std::memory_order_acquire);
+    }
+
+private:
+    std::shared_ptr<detail::stop_state> state_;
+};
+
+}  // namespace amt

@@ -34,7 +34,12 @@ void taskgraph_driver::advance(domain& d) {
     const index_t p_nodal = parts_.nodal;
     const index_t p_elems = parts_.elems;
 
-    graph::error_flags flags;
+    // Fresh cancellation scope for this iteration; the progress tracker
+    // object survives so an external watchdog keeps observing it.  Copies
+    // of error_flags share state, so capturing `flags` by value below is
+    // aliasing, not snapshotting.
+    flags_.begin_iteration();
+    graph::error_flags flags = flags_;
     auto counter = std::make_shared<std::atomic<std::size_t>>(0);
     domain* dp = &d;
     amt::runtime* rt = &rt_;
@@ -52,9 +57,10 @@ void taskgraph_driver::advance(domain& d) {
 
     auto b2 = stamp(
         graph::stage_after(std::move(b1),
-                           [rt, dp, p_nodal, dt, counter] {
+                           [rt, dp, p_nodal, dt, flags, counter] {
                                auto w = graph::spawn_node_wave(*rt, *dp,
-                                                               p_nodal, dt);
+                                                               p_nodal, dt,
+                                                               flags);
                                counter->fetch_add(w.tasks,
                                                   std::memory_order_relaxed);
                                return std::move(w.futures);
@@ -75,9 +81,10 @@ void taskgraph_driver::advance(domain& d) {
 
     auto b4 = stamp(
         graph::stage_after(std::move(b3),
-                           [rt, dp, p_elems, counter] {
+                           [rt, dp, p_elems, flags, counter] {
                                auto w = graph::spawn_region_wave(*rt, *dp,
-                                                                 p_elems);
+                                                                 p_elems,
+                                                                 flags);
                                counter->fetch_add(w.tasks,
                                                   std::memory_order_relaxed);
                                return std::move(w.futures);
@@ -89,17 +96,26 @@ void taskgraph_driver::advance(domain& d) {
     auto* partials = constraint_partials_.data();
     auto b5 = stamp(
         graph::stage_after(std::move(b4),
-                           [rt, dp, p_elems, partials, counter] {
+                           [rt, dp, p_elems, partials, flags, counter] {
                                auto w = graph::spawn_constraint_wave(
-                                   *rt, *dp, p_elems, partials);
+                                   *rt, *dp, p_elems, partials, flags);
                                counter->fetch_add(w.tasks,
                                                   std::memory_order_relaxed);
                                return std::move(w.futures);
                            }),
         &stamps[phase_profile::constraints]);
 
-    // The single blocking synchronization of the iteration.
-    b5.get();
+    // The single blocking synchronization of the iteration.  On failure,
+    // make sure the stop request is visible (guarded() already requested it
+    // from the throwing task; a failure surfaced by the barrier machinery
+    // itself would not have) before propagating the first exception.
+    try {
+        b5.get();
+    } catch (...) {
+        flags_.stop.request_stop();
+        tasks_last_iteration_ = counter->load(std::memory_order_relaxed);
+        throw;
+    }
     tasks_last_iteration_ = counter->load(std::memory_order_relaxed);
 
     // Per-phase durations from the barrier-completion stamps.

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "amt/amt.hpp"
+#include "core/graph_waves.hpp"
 #include "lulesh/driver.hpp"
 #include "lulesh/kernels.hpp"
 
@@ -105,9 +106,19 @@ public:
     }
     void reset_profile() { profile_ = phase_profile{}; }
 
+    /// Task start/finish counters shared with a watchdog.  The object is
+    /// stable for the driver's lifetime (advance() resets the iteration
+    /// scope but keeps the tracker), so a monitor can hold this pointer
+    /// across the whole run.
+    [[nodiscard]] std::shared_ptr<const graph::progress_state> progress()
+        const noexcept {
+        return flags_.progress;
+    }
+
 private:
     amt::runtime& rt_;
     partition_sizes parts_;
+    graph::error_flags flags_;
     std::vector<kernels::dt_constraints> constraint_partials_;
     std::size_t tasks_last_iteration_ = 0;
     phase_profile profile_{};

@@ -3,6 +3,8 @@
 
 #include "core/graph_waves.hpp"
 
+#include <utility>
+
 namespace lulesh::graph {
 
 namespace {
@@ -11,6 +13,43 @@ namespace k = kernels;
 index_t num_chunks(index_t n, index_t p) {
     return p > 0 ? (n + p - 1) / p : n;
 }
+
+/// Wraps a task body with the iteration's resilience plumbing: a fault
+/// probe at the wave's site, cooperative cancellation (once any sibling
+/// has failed, remaining tasks return immediately — their output is about
+/// to be rolled back anyway), progress counters for the watchdog, and
+/// stop-request propagation when the body throws.
+template <class Body>
+auto guarded(const error_flags& flags, const char* site, Body body) {
+    return [progress = flags.progress, token = flags.stop.get_token(),
+            stop = flags.stop, site, body = std::move(body)]() mutable {
+        if (token.stop_requested()) return;
+        progress->site.store(site, std::memory_order_relaxed);
+        progress->started.fetch_add(1, std::memory_order_relaxed);
+        try {
+            amt::fault::probe(site);
+            body();
+        } catch (...) {
+            stop.request_stop();
+            progress->finished.fetch_add(1, std::memory_order_relaxed);
+            throw;
+        }
+        progress->finished.fetch_add(1, std::memory_order_relaxed);
+    };
+}
+
+/// guarded() adapted to a .then() continuation: the antecedent's exception
+/// (if any) is re-propagated without counting a task start, so a failed
+/// chain shows up once in the progress counters, not once per link.
+template <class Body>
+auto guarded_cont(const error_flags& flags, const char* site, Body body) {
+    return [g = guarded(flags, site, std::move(body))](
+               amt::future<void>&& f) mutable {
+        f.get();
+        g();
+    };
+}
+
 }  // namespace
 
 wave spawn_force_wave_range(amt::runtime& rt, domain& d, index_t elem_lo,
@@ -23,16 +62,18 @@ wave spawn_force_wave_range(amt::runtime& rt, domain& d, index_t elem_lo,
     auto vol_ok = flags.volume_ok;
     for (index_t lo = elem_lo; lo < elem_hi; lo += p_nodal) {
         const index_t hi = std::min<index_t>(lo + p_nodal, elem_hi);
-        w.futures.push_back(amt::async(rt, [dp, lo, hi, vol_ok] {
-            if (!k::force_stress_chunk(*dp, lo, hi)) {
-                vol_ok->store(false, std::memory_order_relaxed);
-            }
-        }));
-        w.futures.push_back(amt::async(rt, [dp, lo, hi, vol_ok] {
-            if (!k::force_hourglass_chunk(*dp, lo, hi)) {
-                vol_ok->store(false, std::memory_order_relaxed);
-            }
-        }));
+        w.futures.push_back(amt::async(
+            rt, guarded(flags, wave_site::force, [dp, lo, hi, vol_ok] {
+                if (!k::force_stress_chunk(*dp, lo, hi)) {
+                    vol_ok->store(false, std::memory_order_relaxed);
+                }
+            })));
+        w.futures.push_back(amt::async(
+            rt, guarded(flags, wave_site::force, [dp, lo, hi, vol_ok] {
+                if (!k::force_hourglass_chunk(*dp, lo, hi)) {
+                    vol_ok->store(false, std::memory_order_relaxed);
+                }
+            })));
     }
     w.tasks = w.futures.size();
     return w;
@@ -43,21 +84,25 @@ wave spawn_force_wave(amt::runtime& rt, domain& d, index_t p_nodal,
     return spawn_force_wave_range(rt, d, 0, d.numElem(), p_nodal, flags);
 }
 
-wave spawn_node_wave(amt::runtime& rt, domain& d, index_t p_nodal, real_t dt) {
+wave spawn_node_wave(amt::runtime& rt, domain& d, index_t p_nodal, real_t dt,
+                     const error_flags& flags) {
     wave w;
     const index_t nn = d.numNode();
     w.futures.reserve(static_cast<std::size_t>(num_chunks(nn, p_nodal)));
     domain* dp = &d;
     for (index_t lo = 0; lo < nn; lo += p_nodal) {
         const index_t hi = std::min<index_t>(lo + p_nodal, nn);
-        w.futures.push_back(amt::async(rt, [dp, lo, hi] {
-                                k::gather_forces(*dp, lo, hi);
-                                k::calc_acceleration(*dp, lo, hi);
-                                k::apply_acceleration_bc_masked(*dp, lo, hi);
-                            }).then([dp, lo, hi, dt](amt::future<void>&& f) {
-            f.get();
-            k::velocity_position_chunk(*dp, lo, hi, dt);
-        }));
+        w.futures.push_back(
+            amt::async(rt, guarded(flags, wave_site::node,
+                                   [dp, lo, hi] {
+                                       k::gather_forces(*dp, lo, hi);
+                                       k::calc_acceleration(*dp, lo, hi);
+                                       k::apply_acceleration_bc_masked(*dp, lo,
+                                                                       hi);
+                                   }))
+                .then(guarded_cont(flags, wave_site::node, [dp, lo, hi, dt] {
+                    k::velocity_position_chunk(*dp, lo, hi, dt);
+                })));
     }
     w.tasks = 2 * w.futures.size();
     return w;
@@ -74,21 +119,23 @@ wave spawn_elem_wave_range(amt::runtime& rt, domain& d, index_t elem_lo,
     auto q_ok = flags.qstop_ok;
     for (index_t lo = elem_lo; lo < elem_hi; lo += p_elems) {
         const index_t hi = std::min<index_t>(lo + p_elems, elem_hi);
-        w.futures.push_back(amt::async(rt, [dp, lo, hi, dt, vol_ok, q_ok] {
-            k::calc_kinematics(*dp, lo, hi, dt);
-            if (!k::calc_lagrange_deviatoric(*dp, lo, hi)) {
-                vol_ok->store(false, std::memory_order_relaxed);
-            }
-            k::calc_monotonic_q_gradients(*dp, lo, hi);
-            // q of the previous EOS pass; checked before this iteration's
-            // EOS overwrites it (next wave).
-            if (!k::check_qstop(*dp, lo, hi)) {
-                q_ok->store(false, std::memory_order_relaxed);
-            }
-            if (!k::apply_material_vnewc(*dp, lo, hi)) {
-                vol_ok->store(false, std::memory_order_relaxed);
-            }
-        }));
+        w.futures.push_back(amt::async(
+            rt,
+            guarded(flags, wave_site::elem, [dp, lo, hi, dt, vol_ok, q_ok] {
+                k::calc_kinematics(*dp, lo, hi, dt);
+                if (!k::calc_lagrange_deviatoric(*dp, lo, hi)) {
+                    vol_ok->store(false, std::memory_order_relaxed);
+                }
+                k::calc_monotonic_q_gradients(*dp, lo, hi);
+                // q of the previous EOS pass; checked before this iteration's
+                // EOS overwrites it (next wave).
+                if (!k::check_qstop(*dp, lo, hi)) {
+                    q_ok->store(false, std::memory_order_relaxed);
+                }
+                if (!k::apply_material_vnewc(*dp, lo, hi)) {
+                    vol_ok->store(false, std::memory_order_relaxed);
+                }
+            })));
     }
     w.tasks = w.futures.size();
     return w;
@@ -99,7 +146,8 @@ wave spawn_elem_wave(amt::runtime& rt, domain& d, index_t p_elems, real_t dt,
     return spawn_elem_wave_range(rt, d, 0, d.numElem(), p_elems, dt, flags);
 }
 
-wave spawn_region_wave(amt::runtime& rt, domain& d, index_t p_elems) {
+wave spawn_region_wave(amt::runtime& rt, domain& d, index_t p_elems,
+                       const error_flags& flags) {
     wave w;
     const index_t ne = d.numElem();
     domain* dp = &d;
@@ -111,24 +159,27 @@ wave spawn_region_wave(amt::runtime& rt, domain& d, index_t p_elems) {
         for (index_t lo = 0; lo < count; lo += p_elems) {
             const index_t hi = std::min<index_t>(lo + p_elems, count);
             w.futures.push_back(
-                amt::async(rt,
-                           [dp, lp, lo, hi] {
-                               k::calc_monotonic_q_region(*dp, lp, lo, hi);
-                           })
-                    .then([dp, lp, lo, hi, rep](amt::future<void>&& f) {
-                        f.get();
-                        // Task-local EOS scratch, sized to the chunk (T5).
-                        k::eos_scratch scratch;
-                        scratch.resize(static_cast<std::size_t>(hi - lo));
-                        k::eval_eos_chunk(*dp, lp, lo, hi, rep, scratch);
-                    }));
+                amt::async(rt, guarded(flags, wave_site::region_eos,
+                                       [dp, lp, lo, hi] {
+                                           k::calc_monotonic_q_region(
+                                               *dp, lp, lo, hi);
+                                       }))
+                    .then(guarded_cont(
+                        flags, wave_site::region_eos, [dp, lp, lo, hi, rep] {
+                            // Task-local EOS scratch, sized to the chunk (T5).
+                            k::eos_scratch scratch;
+                            scratch.resize(static_cast<std::size_t>(hi - lo));
+                            k::eval_eos_chunk(*dp, lp, lo, hi, rep, scratch);
+                        })));
             w.tasks += 2;
         }
     }
     for (index_t lo = 0; lo < ne; lo += p_elems) {
         const index_t hi = std::min<index_t>(lo + p_elems, ne);
         w.futures.push_back(
-            amt::async(rt, [dp, lo, hi] { k::update_volumes(*dp, lo, hi); }));
+            amt::async(rt, guarded(flags, wave_site::region_eos, [dp, lo, hi] {
+                           k::update_volumes(*dp, lo, hi);
+                       })));
         ++w.tasks;
     }
     return w;
@@ -144,7 +195,8 @@ std::size_t constraint_slot_count(const domain& d, index_t p_elems) {
 }
 
 wave spawn_constraint_wave(amt::runtime& rt, domain& d, index_t p_elems,
-                           kernels::dt_constraints* partials) {
+                           kernels::dt_constraints* partials,
+                           const error_flags& flags) {
     wave w;
     domain* dp = &d;
     std::size_t slot = 0;
@@ -156,9 +208,12 @@ wave spawn_constraint_wave(amt::runtime& rt, domain& d, index_t p_elems,
             const index_t hi = std::min<index_t>(lo + p_elems, count);
             k::dt_constraints* out = partials + slot;
             ++slot;
-            w.futures.push_back(amt::async(rt, [dp, lp, lo, hi, out] {
-                *out = k::calc_time_constraints(*dp, lp, lo, hi);
-            }));
+            w.futures.push_back(amt::async(
+                rt, guarded(flags, wave_site::constraints,
+                            [dp, lp, lo, hi, out] {
+                                *out = k::calc_time_constraints(*dp, lp, lo,
+                                                                hi);
+                            })));
         }
     }
     w.tasks = w.futures.size();

@@ -23,17 +23,65 @@ struct wave {
     std::size_t tasks = 0;
 };
 
-/// Shared error flags, aggregated by tasks and checked at iteration end.
+/// The site labels every wave's tasks report to fault probes, the progress
+/// tracker, and the watchdog.  Deliberately identical to the
+/// phase_profile::name() strings so stall reports read like the profiles.
+namespace wave_site {
+inline constexpr const char* force = "force";
+inline constexpr const char* node = "node";
+inline constexpr const char* elem = "elem";
+inline constexpr const char* region_eos = "region_eos";
+inline constexpr const char* constraints = "constraints";
+}  // namespace wave_site
+
+/// Task start/finish counters plus the label of the most recently started
+/// task, updated by every guarded task body.  External observers (the
+/// watchdog) hold a shared_ptr and sample it from their own thread: a
+/// barrier that stops making `finished` progress while `started` is ahead
+/// means a task is stuck, and `site` names the wave it belongs to.  (With
+/// several workers `site` is the label of the *latest* started task, which
+/// on a stalled 1-worker runtime is exactly the hung one.)
+struct progress_state {
+    std::atomic<std::uint64_t> started{0};
+    std::atomic<std::uint64_t> finished{0};
+    std::atomic<const char*> site{nullptr};
+};
+
+/// Shared per-iteration context: error flags aggregated by tasks and
+/// checked at iteration end, a cooperative stop flag that lets sibling
+/// tasks short-circuit once one task has failed, and the progress tracker.
+/// Copies share state (everything is behind shared_ptrs / shared stop
+/// state), so capturing by value in task lambdas is the intended use.
 struct error_flags {
     std::shared_ptr<std::atomic<bool>> volume_ok =
         std::make_shared<std::atomic<bool>>(true);
     std::shared_ptr<std::atomic<bool>> qstop_ok =
         std::make_shared<std::atomic<bool>>(true);
 
+    /// Requested by the first task that throws; later tasks of the
+    /// iteration return immediately (their output is about to be thrown
+    /// away by the rollback anyway).
+    amt::stop_source stop;
+
+    /// Stable across iterations (begin_iteration keeps the object), so a
+    /// watchdog can keep observing one shared_ptr for a whole run.
+    std::shared_ptr<progress_state> progress =
+        std::make_shared<progress_state>();
+
     void reset() {
         volume_ok->store(true, std::memory_order_relaxed);
         qstop_ok->store(true, std::memory_order_relaxed);
     }
+
+    /// Fresh cancellation scope for a new iteration: error flags reset and
+    /// the stop source replaced (a stop request must not leak into the next
+    /// iteration), while the progress tracker object stays the same.
+    void begin_iteration() {
+        reset();
+        stop = amt::stop_source();
+    }
+
+    [[nodiscard]] bool cancelled() const { return stop.stop_requested(); }
 };
 
 /// Wave 1 — corner forces: stress chains ∥ hourglass chains over element
@@ -50,7 +98,8 @@ wave spawn_force_wave_range(amt::runtime& rt, domain& d, index_t elem_lo,
 
 /// Wave 2 — node chains: gather+acceleration+BC, then velocity→position as
 /// a continuation (tricks T2+T3), over node partitions of size `p_nodal`.
-wave spawn_node_wave(amt::runtime& rt, domain& d, index_t p_nodal, real_t dt);
+wave spawn_node_wave(amt::runtime& rt, domain& d, index_t p_nodal, real_t dt,
+                     const error_flags& flags);
 
 /// Wave 3 — element kinematics + strain deviators + monotonic-Q gradients +
 /// qstop check + EOS pre-clamp, fused per element partition (T3).
@@ -65,7 +114,8 @@ wave spawn_elem_wave_range(amt::runtime& rt, domain& d, index_t elem_lo,
 
 /// Wave 4 — per-region monotonic-Q → EOS chains (T2+T4+T5, all regions
 /// launched together) plus the independent volume update.
-wave spawn_region_wave(amt::runtime& rt, domain& d, index_t p_elems);
+wave spawn_region_wave(amt::runtime& rt, domain& d, index_t p_elems,
+                       const error_flags& flags);
 
 /// Number of constraint partial slots wave 5 will fill for this domain.
 std::size_t constraint_slot_count(const domain& d, index_t p_elems);
@@ -73,6 +123,7 @@ std::size_t constraint_slot_count(const domain& d, index_t p_elems);
 /// Wave 5 — Courant/hydro constraint partials, one slot per (region, chunk),
 /// written into `partials[0 .. constraint_slot_count)`.
 wave spawn_constraint_wave(amt::runtime& rt, domain& d, index_t p_elems,
-                           kernels::dt_constraints* partials);
+                           kernels::dt_constraints* partials,
+                           const error_flags& flags);
 
 }  // namespace lulesh::graph

@@ -1,0 +1,84 @@
+// core/watchdog.cpp — barrier-progress monitor thread.
+
+#include "core/watchdog.hpp"
+
+#include <utility>
+
+namespace lulesh {
+
+watchdog::watchdog(std::shared_ptr<const graph::progress_state> progress,
+                   std::chrono::milliseconds deadline, callback on_stall,
+                   std::chrono::milliseconds poll)
+    : progress_(std::move(progress)),
+      deadline_(deadline),
+      poll_(poll),
+      on_stall_(std::move(on_stall)) {
+    thread_ = std::thread([this] { run(); });
+}
+
+watchdog::~watchdog() { stop(); }
+
+void watchdog::stop() {
+    {
+        std::lock_guard lk(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+}
+
+watchdog::report watchdog::last_report() const {
+    std::lock_guard lk(mu_);
+    return last_;
+}
+
+void watchdog::run() {
+    using clock = std::chrono::steady_clock;
+
+    std::uint64_t last_finished = progress_->finished.load(std::memory_order_relaxed);
+    clock::time_point last_advance = clock::now();
+    bool reported_this_episode = false;
+
+    std::unique_lock lk(mu_);
+    while (!stopping_) {
+        cv_.wait_for(lk, poll_, [this] { return stopping_; });
+        if (stopping_) break;
+
+        const std::uint64_t started =
+            progress_->started.load(std::memory_order_relaxed);
+        const std::uint64_t finished =
+            progress_->finished.load(std::memory_order_relaxed);
+        const clock::time_point now = clock::now();
+
+        if (finished != last_finished) {
+            last_finished = finished;
+            last_advance = now;
+            reported_this_episode = false;  // progress resumed: re-arm
+            continue;
+        }
+        if (started <= finished || reported_this_episode) continue;
+
+        const auto stalled_for =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - last_advance);
+        if (stalled_for < deadline_) continue;
+
+        const char* site = progress_->site.load(std::memory_order_relaxed);
+        last_ = report{site != nullptr ? site : "?", started, finished,
+                       stalled_for};
+        reported_this_episode = true;
+        fired_.store(true, std::memory_order_release);
+        if (on_stall_) {
+            // Run the callback outside the lock: it may call last_report()
+            // or stop() — stop() from the callback would deadlock on join,
+            // so callbacks should only *signal*, not join; last_report() is
+            // fine.
+            report r = last_;
+            lk.unlock();
+            on_stall_(r);
+            lk.lock();
+        }
+    }
+}
+
+}  // namespace lulesh

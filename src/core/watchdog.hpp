@@ -1,0 +1,87 @@
+// core/watchdog.hpp
+//
+// Barrier-progress watchdog for the task-graph drivers.  A wave that stops
+// making progress — a task started but never finished within a deadline —
+// would otherwise hang the single blocking b5.get() of the iteration
+// forever.  The watchdog samples the driver's shared progress_state from
+// its own OS thread and fires a callback with a report naming the wave the
+// stuck task belongs to, so the run loop can abort, diagnose, or release
+// injected stalls instead of hanging.
+//
+// Detection heuristic: `started > finished` (at least one task is in
+// flight) while `finished` has not advanced for `deadline`.  The reported
+// site is the label of the most recently started task — exact on a
+// 1-worker runtime, a best-effort hint with more workers.  The watchdog
+// fires once per stall episode and re-arms itself when `finished` moves
+// again, so a long run with several injected stalls reports each one.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/graph_waves.hpp"
+
+namespace lulesh {
+
+class watchdog {
+public:
+    struct report {
+        std::string site;          ///< wave label of the stuck task ("?" if unknown)
+        std::uint64_t started = 0;
+        std::uint64_t finished = 0;
+        std::chrono::milliseconds stalled_for{0};
+    };
+
+    using callback = std::function<void(const report&)>;
+
+    /// Starts the monitor thread immediately.  `progress` is sampled every
+    /// `poll`; `on_stall` runs on the watchdog thread when a stall episode
+    /// is detected.
+    watchdog(std::shared_ptr<const graph::progress_state> progress,
+             std::chrono::milliseconds deadline, callback on_stall,
+             std::chrono::milliseconds poll = std::chrono::milliseconds(10));
+
+    /// Joins the monitor thread.
+    ~watchdog();
+
+    watchdog(const watchdog&) = delete;
+    watchdog& operator=(const watchdog&) = delete;
+
+    /// Whether any stall episode has been reported since construction.
+    [[nodiscard]] bool fired() const noexcept {
+        return fired_.load(std::memory_order_acquire);
+    }
+
+    /// The most recent report (valid once fired() is true).
+    [[nodiscard]] report last_report() const;
+
+    /// Asks the monitor thread to exit and joins it (idempotent; also run
+    /// by the destructor).
+    void stop();
+
+private:
+    void run();
+
+    std::shared_ptr<const graph::progress_state> progress_;
+    std::chrono::milliseconds deadline_;
+    std::chrono::milliseconds poll_;
+    callback on_stall_;
+
+    std::atomic<bool> fired_{false};
+    mutable std::mutex mu_;       // guards last_ and stop signalling
+    std::condition_variable cv_;  // wakes the poll loop for prompt shutdown
+    bool stopping_ = false;
+    report last_;
+
+    std::thread thread_;
+};
+
+}  // namespace lulesh

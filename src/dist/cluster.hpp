@@ -64,6 +64,22 @@ public:
     [[nodiscard]] boundary_channels& boundary(index_t b) {
         return channels_[static_cast<std::size_t>(b)];
     }
+
+    /// Fails the whole halo fabric: closes every channel of every boundary,
+    /// so all pending and future get() futures resolve with
+    /// amt::channel_closed instead of waiting for a message that is never
+    /// coming.  This is how a failed slab propagates its error to its
+    /// peers — every slab's chain resolves (exceptionally) and the driver's
+    /// final barrier cannot hang.  Idempotent and thread-safe; the cluster
+    /// is not reusable for further iterations afterwards.
+    void close_channels() {
+        for (auto& b : channels_) {
+            b.corner_up.close();
+            b.corner_down.close();
+            b.delv_up.close();
+            b.delv_down.close();
+        }
+    }
     [[nodiscard]] const options& problem() const noexcept { return opts_; }
 
     /// Shared simulation clock (all slabs advance in lockstep; slab 0 is

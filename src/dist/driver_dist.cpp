@@ -3,6 +3,9 @@
 #include "dist/driver_dist.hpp"
 
 #include <chrono>
+#include <exception>
+#include <memory>
+#include <sstream>
 
 #include "core/graph_waves.hpp"
 #include "core/stage.hpp"
@@ -11,7 +14,13 @@ namespace lulesh::dist {
 
 namespace {
 namespace k = kernels;
+
+std::string describe_failure(const char* what, int cycle, real_t dt) {
+    std::ostringstream os;
+    os << what << " (cycle " << cycle << ", dt " << dt << ")";
+    return os.str();
 }
+}  // namespace
 
 void dist_driver::advance(cluster& c) {
     switch (mode_) {
@@ -180,9 +189,11 @@ void dist_driver::advance_futurized(cluster& c, bool eager) {
         auto halo1 = amt::when_all_void(std::move(ready));
 
         // ---- wave 2 ------------------------------------------------------
-        auto b2 = graph::stage_after(std::move(halo1), [rt, dp, p_nodal, dt] {
-            return graph::spawn_node_wave(*rt, *dp, p_nodal, dt).futures;
-        });
+        auto b2 = graph::stage_after(
+            std::move(halo1), [rt, dp, p_nodal, dt, flags] {
+                return graph::spawn_node_wave(*rt, *dp, p_nodal, dt, flags)
+                    .futures;
+            });
 
         // ---- wave 3 with the delv_zeta halo for the monotonic-Q stencil --
         // The wave is spawned by a continuation once b2 resolves; its sends
@@ -241,22 +252,94 @@ void dist_driver::advance_futurized(cluster& c, bool eager) {
         auto halo3 = amt::when_all_void(std::move(ready3));
 
         // ---- waves 4 and 5 ------------------------------------------------
-        auto b4 = graph::stage_after(std::move(halo3), [rt, dp, p_elems] {
-            return graph::spawn_region_wave(*rt, *dp, p_elems).futures;
-        });
+        auto b4 = graph::stage_after(
+            std::move(halo3), [rt, dp, p_elems, flags] {
+                return graph::spawn_region_wave(*rt, *dp, p_elems, flags)
+                    .futures;
+            });
 
         auto& slab_partials = partials_[static_cast<std::size_t>(s)];
         slab_partials.assign(graph::constraint_slot_count(*dp, p_elems),
                              k::dt_constraints{});
         auto* partials = slab_partials.data();
-        finals.push_back(
-            graph::stage_after(std::move(b4), [rt, dp, p_elems, partials] {
-                return graph::spawn_constraint_wave(*rt, *dp, p_elems, partials)
+        finals.push_back(graph::stage_after(
+            std::move(b4), [rt, dp, p_elems, partials, flags] {
+                return graph::spawn_constraint_wave(*rt, *dp, p_elems,
+                                                    partials, flags)
                     .futures;
             }));
     }
 
-    amt::when_all_void(std::move(finals)).get();
+    // Failed-slab propagation: each slab's chain settles into one error
+    // slot, and the first failure closes *all* channels, so every peer's
+    // pending halo get() resolves with channel_closed and its chain settles
+    // too (exceptionally) — the barrier below can never hang on a dead
+    // neighbor.
+    auto errors = std::make_shared<std::vector<std::exception_ptr>>(
+        finals.size());
+    std::vector<amt::future<void>> settled;
+    settled.reserve(finals.size());
+    for (std::size_t i = 0; i < finals.size(); ++i) {
+        settled.push_back(finals[i].then(
+            amt::launch::sync, [cp, errors, i](amt::future<void>&& f) {
+                try {
+                    f.get();
+                } catch (...) {
+                    (*errors)[i] = std::current_exception();
+                    cp->close_channels();
+                }
+            }));
+    }
+    auto all = amt::when_all_void(std::move(settled));
+
+    bool timed_out = false;
+    if (halo_timeout_.count() > 0) {
+        // Per-iteration progress deadline: a full timeout window with zero
+        // task completions while the barrier is pending means a halo
+        // message is not coming (e.g. a stalled peer).  Fail the fabric —
+        // the channel_closed cascade settles every chain, so the wait
+        // below terminates.
+        auto last_finished =
+            flags.progress->finished.load(std::memory_order_relaxed);
+        while (!all.wait_for(halo_timeout_)) {
+            const auto now_finished =
+                flags.progress->finished.load(std::memory_order_relaxed);
+            if (now_finished == last_finished) {
+                timed_out = true;
+                c.close_channels();
+                // A *simulated* stall (fault injection) parks its task
+                // inside the probe; release it so the stalled slab's own
+                // chain can settle too.  A genuinely hung task body cannot
+                // be recovered in-process — its stall_timeout fail-safe is
+                // the backstop.
+                amt::fault::release_stalls();
+            }
+            last_finished = now_finished;
+        }
+    }
+    all.get();
+
+    // Surface the root cause: a slab's own failure beats the
+    // channel_closed cascade it triggered in its peers.
+    std::exception_ptr cascade, root;
+    for (const auto& e : *errors) {
+        if (e == nullptr) continue;
+        try {
+            std::rethrow_exception(e);
+        } catch (const amt::channel_closed&) {
+            if (cascade == nullptr) cascade = e;
+        } catch (...) {
+            if (root == nullptr) root = e;
+        }
+    }
+    if (root != nullptr) std::rethrow_exception(root);
+    if (timed_out) {
+        throw simulation_error(status::stalled,
+                               "halo exchange timed out (no progress within "
+                               "the deadline)");
+    }
+    if (cascade != nullptr) std::rethrow_exception(cascade);
+
     reduce_constraints(c);
 
     if (!flags.volume_ok->load(std::memory_order_relaxed)) {
@@ -302,7 +385,7 @@ void dist_driver::advance_bulk_synchronous(cluster& c) {
     }
 
     global_wave([&](domain& d, index_t) {
-        return graph::spawn_node_wave(rt_, d, p_nodal, dt).futures;
+        return graph::spawn_node_wave(rt_, d, p_nodal, dt, flags).futures;
     });
     global_wave([&](domain& d, index_t) {
         return graph::spawn_elem_wave(rt_, d, p_elems, dt, flags).futures;
@@ -316,14 +399,14 @@ void dist_driver::advance_bulk_synchronous(cluster& c) {
                            pack_delv_plane(upper, upper.bottom_plane_elem_base()));
     }
     global_wave([&](domain& d, index_t) {
-        return graph::spawn_region_wave(rt_, d, p_elems).futures;
+        return graph::spawn_region_wave(rt_, d, p_elems, flags).futures;
     });
     global_wave([&](domain& d, index_t s) {
         auto& slab_partials = partials_[static_cast<std::size_t>(s)];
         slab_partials.assign(graph::constraint_slot_count(d, p_elems),
                              k::dt_constraints{});
         return graph::spawn_constraint_wave(rt_, d, p_elems,
-                                            slab_partials.data())
+                                            slab_partials.data(), flags)
             .futures;
     });
 
@@ -351,10 +434,23 @@ run_result run_simulation(cluster& c, dist_driver& drv, int max_cycles) {
             for (index_t s = 0; s < c.num_slabs(); ++s) {
                 kernels::time_increment(c.slab(s));
             }
+            amt::fault::set_epoch(c.slab(0).cycle);
             drv.advance(c);
         }
     } catch (const simulation_error& err) {
         result.run_status = err.code();
+        result.error_message = describe_failure(err.what(), c.slab(0).cycle,
+                                                c.slab(0).deltatime);
+    } catch (const amt::fault::injected_fault& err) {
+        result.run_status = status::task_fault;
+        result.error_message = describe_failure(err.what(), c.slab(0).cycle,
+                                                c.slab(0).deltatime);
+    } catch (const amt::channel_closed& err) {
+        // A peer died and took the halo fabric down; the root cause was
+        // surfaced on its own slab, this run observed the cascade.
+        result.run_status = status::stalled;
+        result.error_message = describe_failure(err.what(), c.slab(0).cycle,
+                                                c.slab(0).deltatime);
     }
     const auto t1 = std::chrono::steady_clock::now();
     result.cycles = c.slab(0).cycle;

@@ -23,6 +23,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -37,9 +38,16 @@ class dist_driver {
 public:
     enum class exchange_mode { futurized, eager, bulk_synchronous };
 
+    /// `halo_timeout` > 0 arms a progress deadline on the futurized
+    /// exchanges: if no task of the iteration finishes for a whole timeout
+    /// window while the final barrier is pending, the halo fabric is failed
+    /// (channels closed) and the iteration aborts with status::stalled
+    /// instead of waiting forever on a peer that will never send.
     dist_driver(amt::runtime& rt, partition_sizes parts,
-                exchange_mode mode = exchange_mode::futurized)
-        : rt_(rt), parts_(parts), mode_(mode) {}
+                exchange_mode mode = exchange_mode::futurized,
+                std::chrono::milliseconds halo_timeout =
+                    std::chrono::milliseconds(0))
+        : rt_(rt), parts_(parts), mode_(mode), halo_timeout_(halo_timeout) {}
 
     dist_driver(const dist_driver&) = delete;
     dist_driver& operator=(const dist_driver&) = delete;
@@ -69,6 +77,7 @@ private:
     amt::runtime& rt_;
     partition_sizes parts_;
     exchange_mode mode_;
+    std::chrono::milliseconds halo_timeout_{0};
     std::vector<std::vector<kernels::dt_constraints>> partials_;
 };
 

@@ -3,10 +3,17 @@
 #include "lulesh/checkpoint.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define LULESH_CHECKPOINT_HAVE_FSYNC 1
+#endif
 
 namespace lulesh {
 
@@ -120,9 +127,41 @@ void load_checkpoint(domain& d, std::istream& in) {
 }
 
 void save_checkpoint_file(const domain& d, const std::string& path) {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) throw checkpoint_error("lulesh: cannot open '" + path + "' for writing");
-    save_checkpoint(d, out);
+    // Atomic write protocol: stream into a sibling temp file, flush it to
+    // stable storage, then rename over the destination.  A crash at any
+    // point leaves either the old checkpoint or the new one — never a
+    // truncated file (load_checkpoint rejects torn files anyway, but the
+    // recovery loop must not lose its last good checkpoint to a crash
+    // mid-save).
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            throw checkpoint_error("lulesh: cannot open '" + tmp +
+                                   "' for writing");
+        }
+        try {
+            save_checkpoint(d, out);
+            out.flush();
+            if (!out) throw checkpoint_error("lulesh: checkpoint write failed");
+        } catch (...) {
+            out.close();
+            std::remove(tmp.c_str());
+            throw;
+        }
+    }
+#if LULESH_CHECKPOINT_HAVE_FSYNC
+    const int fd = ::open(tmp.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+#endif
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw checkpoint_error("lulesh: cannot rename '" + tmp + "' to '" +
+                               path + "'");
+    }
 }
 
 void load_checkpoint_file(domain& d, const std::string& path) {

@@ -36,6 +36,8 @@ void save_checkpoint(const domain& d, std::ostream& out);
 void load_checkpoint(domain& d, std::istream& in);
 
 /// File convenience wrappers; throw checkpoint_error on I/O failure.
+/// save_checkpoint_file writes atomically (temp file, fsync, rename):
+/// a crash leaves either the previous checkpoint or the new one intact.
 void save_checkpoint_file(const domain& d, const std::string& path);
 void load_checkpoint_file(domain& d, const std::string& path);
 

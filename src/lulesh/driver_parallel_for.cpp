@@ -2,12 +2,16 @@
 
 #include <atomic>
 
+#include "amt/fault.hpp"
 #include "lulesh/driver_parallel_for.hpp"
 
 namespace lulesh {
 
 void parallel_for_driver::advance(domain& d) {
     namespace k = kernels;
+    // One injection site per iteration — enough for epoch-targeted fault
+    // plans to hit a deterministic cycle in this driver too.
+    amt::fault::probe("advance");
     const index_t ne = d.numElem();
     const index_t nn = d.numNode();
     const real_t dt = d.deltatime;

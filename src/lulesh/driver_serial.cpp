@@ -1,5 +1,6 @@
 // lulesh/driver_serial.cpp — single-threaded reference-ordered driver.
 
+#include "amt/fault.hpp"
 #include "lulesh/driver.hpp"
 #include "lulesh/kernels.hpp"
 
@@ -7,6 +8,9 @@ namespace lulesh {
 
 void serial_driver::advance(domain& d) {
     namespace k = kernels;
+    // One injection site per iteration — enough for epoch-targeted fault
+    // plans to hit a deterministic cycle in this driver too.
+    amt::fault::probe("advance");
     const index_t ne = d.numElem();
     const index_t nn = d.numNode();
     const real_t dt = d.deltatime;

@@ -74,6 +74,12 @@ cli_options parse_cli(int argc, const char* const* argv) {
             cli.checkpoint_save = require_value(arg, argc, argv, i);
         } else if (arg == "--checkpoint-load") {
             cli.checkpoint_load = require_value(arg, argc, argv, i);
+        } else if (arg == "--checkpoint-every") {
+            cli.checkpoint_every = static_cast<int>(
+                parse_long(arg, require_value(arg, argc, argv, i)));
+        } else if (arg == "--retries") {
+            cli.max_retries = static_cast<int>(
+                parse_long(arg, require_value(arg, argc, argv, i)));
         } else if (arg == "-q" || arg == "--q" || arg == "--quiet") {
             cli.quiet = true;
         } else if (arg == "-h" || arg == "--help") {
@@ -90,6 +96,12 @@ cli_options parse_cli(int argc, const char* const* argv) {
     }
     if (cli.problem.max_cycles < 1) {
         throw std::invalid_argument("lulesh: -i must be >= 1");
+    }
+    if (cli.checkpoint_every < 0) {
+        throw std::invalid_argument("lulesh: --checkpoint-every must be >= 0");
+    }
+    if (cli.max_retries < 0) {
+        throw std::invalid_argument("lulesh: --retries must be >= 0");
     }
     return cli;
 }
@@ -108,7 +120,12 @@ std::string usage_text(const std::string& program) {
        << "  -q              quiet (suppress per-run banner)\n"
        << "  --checkpoint-save <path>   write a checkpoint after the run\n"
        << "  --checkpoint-load <path>   restore state before the run\n"
-       << "  -h              this help\n";
+       << "  --checkpoint-every <k>     resilient mode: checkpoint every k\n"
+       << "                             cycles, roll back + retry on faults\n"
+       << "  --retries <n>   retry budget per incident (default 3)\n"
+       << "  -h              this help\n"
+       << "Exit codes: 0 ok, 1 usage, 2 volume error, 3 qstop exceeded,\n"
+       << "            4 task fault, 5 stalled\n";
     return os.str();
 }
 

@@ -89,6 +89,9 @@ struct run_result {
     real_t final_origin_energy = 0; ///< e(0), the reference's headline check
     double elapsed_seconds = 0.0;   ///< wall time of the iteration loop
     status run_status = status::ok;
+    /// Human-readable failure description naming the failing cycle and dt
+    /// (empty when run_status == status::ok).
+    std::string error_message;
 };
 
 /// Parsed command line for the example/benchmark executables.
@@ -101,6 +104,12 @@ struct cli_options {
     bool show_help = false;
     std::string checkpoint_save;  ///< write a checkpoint here after the run
     std::string checkpoint_load;  ///< restore from here before the run
+
+    /// > 0 enables the resilient run loop (lulesh/resilient_run.hpp):
+    /// checkpoint every K cycles and roll back + retry on failures.
+    int checkpoint_every = 0;
+    /// Retry budget per incident for the resilient loop.
+    int max_retries = 3;
 };
 
 /// Parses argv in the style of the reference binary (`-s 30 -r 11 -i 100 -q`)

@@ -1,0 +1,121 @@
+// lulesh/resilient_run.cpp — rollback-and-retry iteration loop.
+
+#include "lulesh/resilient_run.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "amt/fault.hpp"
+#include "lulesh/checkpoint.hpp"
+#include "lulesh/kernels.hpp"
+
+namespace lulesh {
+
+namespace {
+
+/// In-memory checkpoints reuse the binary file format, so rollback is
+/// exactly a restart — the property the checkpoint tests already verify to
+/// be bitwise exact.
+std::string snapshot_state(const domain& d) {
+    std::ostringstream os(std::ios::binary);
+    save_checkpoint(d, os);
+    return std::move(os).str();
+}
+
+void rollback_state(domain& d, const std::string& snap) {
+    std::istringstream is(snap, std::ios::binary);
+    load_checkpoint(d, is);
+}
+
+std::string describe_failure(const char* what, int cycle, real_t dt,
+                             int retries) {
+    std::ostringstream os;
+    os << what << " (cycle " << cycle << ", dt " << dt << "; " << retries
+       << " retries exhausted)";
+    return os.str();
+}
+
+}  // namespace
+
+resilient_result run_resilient(domain& d, driver& drv,
+                               const resilience_options& opt,
+                               int max_cycles) {
+    resilient_result rr;
+    const auto t0 = std::chrono::steady_clock::now();
+
+    std::string snapshot = snapshot_state(d);
+    if (!opt.checkpoint_path.empty()) {
+        save_checkpoint_file(d, opt.checkpoint_path);
+    }
+
+    int incident_cycle = -1;  // failing cycle of the open incident, or -1
+    int retries = 0;          // retries spent on the open incident
+
+    while (d.time_ < d.stoptime && d.cycle < max_cycles) {
+        kernels::time_increment(d);
+        amt::fault::set_epoch(d.cycle);
+        const int this_cycle = d.cycle;
+        const real_t this_dt = d.deltatime;
+
+        try {
+            drv.advance(d);
+        } catch (const std::exception& e) {
+            const auto* sim = dynamic_cast<const simulation_error*>(&e);
+            const bool injected =
+                dynamic_cast<const amt::fault::injected_fault*>(&e) != nullptr;
+            if (sim == nullptr && !injected) throw;  // not retryable
+
+            ++rr.rollbacks;
+            if (this_cycle == incident_cycle) {
+                ++retries;
+            } else {
+                incident_cycle = this_cycle;
+                retries = 1;
+            }
+            if (retries > opt.max_retries) {
+                rr.result.run_status =
+                    injected ? status::task_fault : sim->code();
+                rr.result.error_message =
+                    describe_failure(e.what(), this_cycle, this_dt, retries - 1);
+                // Leave the caller the last *good* state, not the torn
+                // fields of the failed iteration.
+                rollback_state(d, snapshot);
+                break;
+            }
+
+            rollback_state(d, snapshot);
+            // A transient fault's first retry replays at the unchanged dt
+            // (bitwise-identical recovery); deterministic physics failures
+            // and repeat failures halve it — replaying those unchanged
+            // would fail identically.
+            if (!injected || retries >= 2) {
+                d.deltatime *= real_t(0.5);
+                ++rr.dt_halvings;
+            }
+            continue;
+        }
+
+        if (incident_cycle >= 0 && d.cycle > incident_cycle) {
+            incident_cycle = -1;
+            retries = 0;
+        }
+        if (opt.checkpoint_every > 0 && d.cycle % opt.checkpoint_every == 0) {
+            snapshot = snapshot_state(d);
+            if (!opt.checkpoint_path.empty()) {
+                save_checkpoint_file(d, opt.checkpoint_path);
+            }
+            ++rr.checkpoints;
+        }
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    rr.result.cycles = d.cycle;
+    rr.result.final_time = d.time_;
+    rr.result.final_dt = d.deltatime;
+    rr.result.final_origin_energy = d.e[0];
+    rr.result.elapsed_seconds = std::chrono::duration<double>(t1 - t0).count();
+    return rr;
+}
+
+}  // namespace lulesh

@@ -1,0 +1,63 @@
+// lulesh/resilient_run.hpp
+//
+// Checkpoint-based recovery wrapper around the plain iteration loop: works
+// with any driver (serial, parallel_for, foreach, taskgraph).  The loop
+// snapshots the simulation state every K cycles (in memory, optionally
+// mirrored to an atomically-written file) and, when an iteration fails with
+// an injected fault or a simulation_error, rolls the domain back to the
+// last snapshot and retries:
+//
+//   * The first retry after an *injected* (transient) fault replays at the
+//     unchanged dt.  Every driver is deterministic and checkpoints are
+//     bitwise, so the recovered trajectory — and the final state — is
+//     bitwise identical to a fault-free run (tests verify this).
+//   * A repeat failure of the same incident, or any deterministic physics
+//     failure (volume/qstop), halves dt before replaying; the reference's
+//     dt-growth bound (deltatimemultub) restores the step size over the
+//     following cycles once the run is healthy again.
+//   * Retries are bounded per incident; exhausting them ends the run with
+//     the mapped failure status instead of looping forever.
+//
+// An incident is one failing cycle: it ends when the run advances past it,
+// at which point the retry budget re-arms for future faults.
+
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "lulesh/driver.hpp"
+
+namespace lulesh {
+
+struct resilience_options {
+    /// Snapshot the state every K successful cycles (K <= 0 keeps only the
+    /// entry snapshot — still enough to recover, just a longer replay).
+    int checkpoint_every = 10;
+
+    /// Retry budget per incident (failing cycle); each retry rolls back to
+    /// the last snapshot.
+    int max_retries = 3;
+
+    /// When non-empty, every snapshot is also written to this file with
+    /// save_checkpoint_file's atomic temp+rename protocol, so a crash
+    /// leaves either the previous or the new checkpoint, never a torn one.
+    std::string checkpoint_path;
+};
+
+struct resilient_result {
+    run_result result;
+
+    int rollbacks = 0;            ///< rollback-and-retry attempts performed
+    int checkpoints = 0;          ///< snapshots taken after the entry one
+    int dt_halvings = 0;          ///< retries that reduced dt before replay
+};
+
+/// Runs `drv` on `d` to stoptime / `max_cycles` with rollback recovery as
+/// described above.  Exceptions other than injected faults and
+/// simulation_error are not retryable and propagate to the caller.
+resilient_result run_resilient(domain& d, driver& drv,
+                               const resilience_options& opt,
+                               int max_cycles = std::numeric_limits<int>::max());
+
+}  // namespace lulesh

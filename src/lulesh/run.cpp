@@ -3,11 +3,24 @@
 // the iteration cap.
 
 #include <chrono>
+#include <sstream>
+#include <string>
 
+#include "amt/fault.hpp"
 #include "lulesh/driver.hpp"
 #include "lulesh/kernels.hpp"
 
 namespace lulesh {
+
+namespace {
+
+std::string describe_failure(const char* what, int cycle, real_t dt) {
+    std::ostringstream os;
+    os << what << " (cycle " << cycle << ", dt " << dt << ")";
+    return os.str();
+}
+
+}  // namespace
 
 run_result run_simulation(domain& d, driver& drv, int max_cycles) {
     run_result result;
@@ -15,10 +28,17 @@ run_result run_simulation(domain& d, driver& drv, int max_cycles) {
     try {
         while (d.time_ < d.stoptime && d.cycle < max_cycles) {
             kernels::time_increment(d);
+            // Publish the cycle being computed so an epoch-targeted fault
+            // plan fires in exactly one deterministic iteration.
+            amt::fault::set_epoch(d.cycle);
             drv.advance(d);
         }
     } catch (const simulation_error& err) {
         result.run_status = err.code();
+        result.error_message = describe_failure(err.what(), d.cycle, d.deltatime);
+    } catch (const amt::fault::injected_fault& err) {
+        result.run_status = status::task_fault;
+        result.error_message = describe_failure(err.what(), d.cycle, d.deltatime);
     }
     const auto t1 = std::chrono::steady_clock::now();
     result.cycles = d.cycle;

@@ -52,11 +52,49 @@ enum node_symm : std::uint8_t {
 };
 
 /// Outcome of one simulation step or run; mirrors the reference's abort
-/// reasons as recoverable errors.
+/// reasons as recoverable errors, plus the resilience-layer outcomes.
 enum class status {
     ok,
     volume_error,  ///< non-positive element volume encountered
     qstop_error,   ///< artificial viscosity exceeded qstop
+    task_fault,    ///< a task failed (injected or unexpected exception)
+    stalled,       ///< a wave or halo exchange stopped making progress
 };
+
+constexpr const char* status_name(status s) {
+    switch (s) {
+        case status::ok:
+            return "ok";
+        case status::volume_error:
+            return "volume_error";
+        case status::qstop_error:
+            return "qstop_error";
+        case status::task_fault:
+            return "task_fault";
+        case status::stalled:
+            return "stalled";
+    }
+    return "unknown";
+}
+
+/// Process exit code for a run outcome: 0 on success and a distinct
+/// non-zero code per failure class, so scripted harnesses can tell a
+/// physics abort from a fault or a hang without parsing output.  1 is
+/// left to usage/setup errors.
+constexpr int exit_code_for(status s) {
+    switch (s) {
+        case status::ok:
+            return 0;
+        case status::volume_error:
+            return 2;
+        case status::qstop_error:
+            return 3;
+        case status::task_fault:
+            return 4;
+        case status::stalled:
+            return 5;
+    }
+    return 1;
+}
 
 }  // namespace lulesh

@@ -1,0 +1,246 @@
+// Tests for the deterministic fault-injection harness: site/epoch filters,
+// seeded probability patterns, injection budgets, delay and stall actions,
+// and the disarmed fast path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "amt/fault.hpp"
+
+namespace {
+
+namespace fault = amt::fault;
+
+// Every test leaves the global harness clean, whatever path it exits by.
+class Fault : public ::testing::Test {
+protected:
+    void SetUp() override {
+        fault::disarm();
+        fault::reset_stats();
+        fault::set_epoch(-1);
+    }
+    void TearDown() override {
+        fault::disarm();
+        fault::reset_stats();
+        fault::set_epoch(-1);
+    }
+};
+
+fault::plan throw_plan() {
+    fault::plan p;
+    p.kind = fault::action::throw_exception;
+    return p;
+}
+
+TEST_F(Fault, DisarmedProbeIsANoOp) {
+    EXPECT_FALSE(fault::armed());
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_NO_THROW(fault::probe("anywhere"));
+    }
+    const auto s = fault::snapshot();
+    EXPECT_EQ(s.probes, 0u);
+    EXPECT_EQ(s.injections, 0u);
+}
+
+TEST_F(Fault, ThrowInjectionFiresExactlyOnce) {
+    auto p = throw_plan();
+    p.max_injections = 1;
+    fault::arm(p);
+    EXPECT_TRUE(fault::armed());
+
+    int thrown = 0;
+    for (int i = 0; i < 10; ++i) {
+        try {
+            fault::probe("site");
+        } catch (const fault::injected_fault&) {
+            ++thrown;
+        }
+    }
+    EXPECT_EQ(thrown, 1);
+    const auto s = fault::snapshot();
+    EXPECT_EQ(s.probes, 10u);
+    EXPECT_EQ(s.injections, 1u);
+}
+
+TEST_F(Fault, SiteFilterOnlyMatchesNamedSite) {
+    auto p = throw_plan();
+    p.site = "elem";
+    p.max_injections = -1;
+    fault::arm(p);
+
+    EXPECT_NO_THROW(fault::probe("force"));
+    EXPECT_NO_THROW(fault::probe("node"));
+    EXPECT_THROW(fault::probe("elem"), fault::injected_fault);
+}
+
+TEST_F(Fault, EpochFilterOnlyMatchesPublishedEpoch) {
+    auto p = throw_plan();
+    p.epoch = 7;
+    p.max_injections = -1;
+    fault::arm(p);
+
+    fault::set_epoch(3);
+    EXPECT_NO_THROW(fault::probe("site"));
+    fault::set_epoch(7);
+    EXPECT_EQ(fault::epoch(), 7);
+    EXPECT_THROW(fault::probe("site"), fault::injected_fault);
+    fault::set_epoch(8);
+    EXPECT_NO_THROW(fault::probe("site"));
+}
+
+TEST_F(Fault, ProbabilityPatternIsSeedDeterministic) {
+    auto p = throw_plan();
+    p.probability = 0.5;
+    p.seed = 42;
+    p.max_injections = -1;
+
+    const auto pattern = [&] {
+        std::vector<bool> hits;
+        fault::arm(p);
+        for (int i = 0; i < 64; ++i) {
+            bool hit = false;
+            try {
+                fault::probe("site");
+            } catch (const fault::injected_fault&) {
+                hit = true;
+            }
+            hits.push_back(hit);
+        }
+        fault::disarm();
+        return hits;
+    };
+
+    const auto first = pattern();
+    const auto second = pattern();
+    EXPECT_EQ(first, second);
+
+    // Sanity: p=0.5 over 64 draws should hit both outcomes.
+    EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+    EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+
+    // A different seed yields a different pattern.
+    p.seed = 43;
+    const auto other = pattern();
+    EXPECT_NE(first, other);
+}
+
+TEST_F(Fault, BudgetCapsTotalInjections) {
+    auto p = throw_plan();
+    p.max_injections = 3;
+    fault::arm(p);
+
+    int thrown = 0;
+    for (int i = 0; i < 20; ++i) {
+        try {
+            fault::probe("site");
+        } catch (const fault::injected_fault&) {
+            ++thrown;
+        }
+    }
+    EXPECT_EQ(thrown, 3);
+    EXPECT_EQ(fault::snapshot().injections, 3u);
+}
+
+TEST_F(Fault, RearmResetsBudgetAndProbeIndex) {
+    auto p = throw_plan();
+    p.max_injections = 1;
+    fault::arm(p);
+    EXPECT_THROW(fault::probe("site"), fault::injected_fault);
+    EXPECT_NO_THROW(fault::probe("site"));
+
+    fault::arm(p);  // same plan again: budget re-arms
+    EXPECT_THROW(fault::probe("site"), fault::injected_fault);
+}
+
+TEST_F(Fault, DelayActionSleepsWithoutThrowing) {
+    fault::plan p;
+    p.kind = fault::action::delay;
+    p.delay = std::chrono::milliseconds(30);
+    p.max_injections = 1;
+    fault::arm(p);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_NO_THROW(fault::probe("site"));
+    const auto took = std::chrono::steady_clock::now() - t0;
+    EXPECT_GE(took, std::chrono::milliseconds(20));
+    EXPECT_EQ(fault::snapshot().injections, 1u);
+
+    // Budget exhausted: the next probe returns immediately.
+    const auto t1 = std::chrono::steady_clock::now();
+    EXPECT_NO_THROW(fault::probe("site"));
+    EXPECT_LT(std::chrono::steady_clock::now() - t1,
+              std::chrono::milliseconds(20));
+}
+
+TEST_F(Fault, StallParksUntilReleased) {
+    fault::plan p;
+    p.kind = fault::action::stall;
+    p.max_injections = 1;
+    p.stall_timeout = std::chrono::seconds(30);  // fail-safe only
+    fault::arm(p);
+
+    std::thread t([] { fault::probe("site"); });
+    // Wait for the probe to park.
+    for (int i = 0; i < 500 && fault::stalled_now() == 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(fault::stalled_now(), 1);
+
+    fault::release_stalls();
+    t.join();
+    EXPECT_EQ(fault::stalled_now(), 0);
+    EXPECT_EQ(fault::snapshot().injections, 1u);
+}
+
+TEST_F(Fault, DisarmReleasesParkedStalls) {
+    fault::plan p;
+    p.kind = fault::action::stall;
+    p.max_injections = 1;
+    p.stall_timeout = std::chrono::seconds(30);
+    fault::arm(p);
+
+    std::thread t([] { fault::probe("site"); });
+    for (int i = 0; i < 500 && fault::stalled_now() == 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(fault::stalled_now(), 1);
+
+    fault::disarm();
+    t.join();
+    EXPECT_EQ(fault::stalled_now(), 0);
+    EXPECT_FALSE(fault::armed());
+}
+
+TEST_F(Fault, StallTimeoutIsAFailSafe) {
+    fault::plan p;
+    p.kind = fault::action::stall;
+    p.max_injections = 1;
+    p.stall_timeout = std::chrono::milliseconds(50);
+    fault::arm(p);
+
+    // Nobody releases: the probe must come back on its own.
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_NO_THROW(fault::probe("site"));
+    EXPECT_GE(std::chrono::steady_clock::now() - t0,
+              std::chrono::milliseconds(30));
+}
+
+TEST_F(Fault, ResetStatsClearsCounters) {
+    auto p = throw_plan();
+    p.max_injections = 1;
+    fault::arm(p);
+    EXPECT_THROW(fault::probe("site"), fault::injected_fault);
+    fault::disarm();
+
+    EXPECT_GT(fault::snapshot().probes, 0u);
+    fault::reset_stats();
+    const auto s = fault::snapshot();
+    EXPECT_EQ(s.probes, 0u);
+    EXPECT_EQ(s.injections, 0u);
+}
+
+}  // namespace

@@ -4,11 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 
 #include <sstream>
 
 #include "amt/amt.hpp"
+#include "amt/fault.hpp"
 #include "dist/cluster.hpp"
 #include "dist/driver_dist.hpp"
 #include "lulesh/checkpoint.hpp"
@@ -398,6 +400,78 @@ TEST(DistRun, ModesProduceIdenticalResults) {
         EXPECT_EQ(lulesh::max_field_difference(a.slab(s), e.slab(s)), 0.0)
             << "slab " << s;
     }
+}
+
+// ---------------- fault propagation across slabs ----------------
+
+struct fault_guard {
+    ~fault_guard() {
+        amt::fault::disarm();
+        amt::fault::reset_stats();
+        amt::fault::set_epoch(-1);
+    }
+};
+
+TEST(DistFault, InjectedFaultSurfacesRootCauseWithoutHanging) {
+    fault_guard guard;
+    // One slab's wave task fails; its error slot closes the halo fabric, so
+    // every peer's chain resolves (with channel_closed) instead of waiting
+    // forever — and the *root cause* is reported, not the cascade.
+    amt::fault::plan p;
+    p.site = "region_eos";
+    p.max_injections = 1;
+    amt::fault::arm(p);
+
+    cluster c(opts(6), 3);
+    amt::runtime rt(2);
+    dist_driver drv(rt, {40, 40}, dist_driver::exchange_mode::futurized);
+    const auto result = lulesh::dist::run_simulation(c, drv, 5);
+    amt::fault::disarm();
+
+    EXPECT_EQ(result.run_status, lulesh::status::task_fault);
+    EXPECT_FALSE(result.error_message.empty());
+    EXPECT_EQ(amt::fault::snapshot().injections, 1u);
+}
+
+TEST(DistFault, StalledSlabTimesOutWithStatusStalled) {
+    fault_guard guard;
+    // A slab task parks forever (simulated hung worker).  The halo timeout
+    // notices that the iteration stopped making progress, fails the fabric,
+    // and the run ends with status::stalled instead of hanging.
+    amt::fault::plan p;
+    p.kind = amt::fault::action::stall;
+    p.site = "force";
+    p.max_injections = 1;
+    p.stall_timeout = std::chrono::seconds(60);  // timeout path must win
+    amt::fault::arm(p);
+
+    cluster c(opts(6), 3);
+    amt::runtime rt(2);
+    dist_driver drv(rt, {40, 40}, dist_driver::exchange_mode::futurized,
+                    std::chrono::milliseconds(150));
+    const auto result = lulesh::dist::run_simulation(c, drv, 5);
+    amt::fault::disarm();
+
+    EXPECT_EQ(result.run_status, lulesh::status::stalled);
+    EXPECT_EQ(lulesh::exit_code_for(result.run_status), 5);
+    EXPECT_FALSE(result.error_message.empty());
+}
+
+TEST(DistFault, BulkSynchronousFaultAbortsCleanly) {
+    fault_guard guard;
+    amt::fault::plan p;
+    p.site = "node";
+    p.max_injections = 1;
+    amt::fault::arm(p);
+
+    cluster c(opts(6), 2);
+    amt::runtime rt(2);
+    dist_driver drv(rt, {40, 40}, dist_driver::exchange_mode::bulk_synchronous);
+    const auto result = lulesh::dist::run_simulation(c, drv, 5);
+    amt::fault::disarm();
+
+    EXPECT_EQ(result.run_status, lulesh::status::task_fault);
+    EXPECT_FALSE(result.error_message.empty());
 }
 
 TEST(DistRun, DriverNamesReflectMode) {

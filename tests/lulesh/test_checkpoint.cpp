@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <sstream>
+#include <string>
 
 #include "amt/amt.hpp"
 #include "core/driver_taskgraph.hpp"
@@ -149,6 +152,61 @@ TEST(Checkpoint, SlabDomainsCheckpointIndividually) {
     domain restored(o, lulesh::slab_extent{2, 4, 6});
     lulesh::load_checkpoint(restored, buf);
     EXPECT_EQ(lulesh::max_field_difference(slab, restored), 0.0);
+}
+
+TEST(Checkpoint, SaveFileLeavesNoTempFile) {
+    const std::string path = "/tmp/lulesh_ckpt_atomic.bin";
+    domain d(opts(4));
+    lulesh::save_checkpoint_file(d, path);
+    // The atomic protocol writes path.tmp then renames; after a successful
+    // save only the final file may exist.
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    EXPECT_TRUE(std::ifstream(path).good());
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsTruncatedFile) {
+    const std::string path = "/tmp/lulesh_ckpt_truncated.bin";
+    domain d(opts(4));
+    lulesh::serial_driver drv;
+    lulesh::run_simulation(d, drv, 4);
+    lulesh::save_checkpoint_file(d, path);
+
+    // Simulate a torn write (the failure mode the temp+rename protocol
+    // prevents for the live file): chop the file and try to restore.
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    ASSERT_GT(bytes.size(), 16u);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() / 2));
+    }
+    domain restored(opts(4));
+    EXPECT_THROW(lulesh::load_checkpoint_file(restored, path),
+                 checkpoint_error);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, OverwriteKeepsFileLoadable) {
+    const std::string path = "/tmp/lulesh_ckpt_overwrite.bin";
+    domain a(opts(4));
+    lulesh::save_checkpoint_file(a, path);
+
+    domain b(opts(4));
+    lulesh::serial_driver drv;
+    lulesh::run_simulation(b, drv, 6);
+    lulesh::save_checkpoint_file(b, path);  // atomic replace of the old one
+
+    domain restored(opts(4));
+    lulesh::load_checkpoint_file(restored, path);
+    EXPECT_EQ(restored.cycle, b.cycle);
+    EXPECT_EQ(lulesh::max_field_difference(b, restored), 0.0);
+    std::remove(path.c_str());
 }
 
 TEST(Checkpoint, MissingFileThrows) {
