@@ -16,6 +16,7 @@
 #include "amt/amt.hpp"
 #include "core/driver_foreach.hpp"
 #include "core/driver_taskgraph.hpp"
+#include "core/graph_audit.hpp"
 #include "lulesh/checkpoint.hpp"
 #include "lulesh/driver.hpp"
 #include "lulesh/driver_parallel_for.hpp"
@@ -90,6 +91,17 @@ int main(int argc, char** argv) {
                   << "Driver: " << cli.driver << ", threads: " << threads
                   << ", partitions: " << parts.nodal << "/" << parts.elems
                   << "\n\n";
+    }
+
+    if (cli.audit_graph) {
+        // Prove the barrier elision race-free for this exact mesh and
+        // partition decomposition before trusting it with a run.
+        const auto model = lulesh::graph::build_iteration_model(dom, parts);
+        const auto audit = lulesh::graph::audit_graph(model, dom);
+        std::cout << lulesh::graph::format_audit(audit, model);
+        if (!audit.ok()) {
+            return lulesh::exit_code_for(lulesh::status::hazard);
+        }
     }
 
     lulesh::run_result result;

@@ -22,6 +22,21 @@ echo "== Phase breakdown =="
 ./build/bench/phase_breakdown | tee results/phase.txt
 echo "== Fault-probe overhead (<1% budget) =="
 ./build/bench/fault_overhead | tee results/fault_overhead.txt
+echo "== Hazard-probe overhead (<1% budget) =="
+./build/bench/hazard_overhead | tee results/hazard_overhead.txt
+
+# Static graph audit: prove the barrier-elision is race-free for every
+# driver/size the reduced suite exercises (the run itself is one cycle; the
+# audit happens at startup and fails the command with exit code 6 on any
+# unordered overlap).
+echo "== Graph hazard audit =="
+{
+  for s in 10 16 24; do
+    ./build/examples/lulesh_app --audit-graph -s "$s" -i 1 -d taskgraph
+  done
+  ./build/examples/lulesh_app --audit-graph -s 16 -i 1 -d taskgraph -p 64 64
+  ./build/examples/lulesh_app --audit-graph -s 16 -i 1 -d taskgraph -p 512 512
+} | tee results/graph_audit.txt
 
 # Resilience/fault suite under ASan+UBSan, when the sanitize preset has been
 # configured (cmake --preset sanitize && cmake --build build-sanitize).
@@ -31,6 +46,18 @@ if [ -d build-sanitize ]; then
     tee results/sanitize.txt
 else
   echo "(skipping sanitized suite: configure with 'cmake --preset sanitize')"
+fi
+
+# Scheduler/task-graph concurrency suite under ThreadSanitizer, when the
+# tsan preset has been configured (cmake --preset tsan && cmake --build
+# build-tsan) — the dynamic witness for the graph auditor's static
+# race-freedom proof.
+if [ -d build-tsan ]; then
+  echo "== ThreadSanitizer concurrency suite (ctest -L tsan) =="
+  ctest --test-dir build-tsan -L tsan --output-on-failure |
+    tee results/tsan.txt
+else
+  echo "(skipping TSan suite: configure with 'cmake --preset tsan')"
 fi
 
 echo

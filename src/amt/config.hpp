@@ -10,6 +10,23 @@
 
 #include <cstddef>
 
+/// AMT_TSAN is 1 when the translation unit is being compiled under
+/// ThreadSanitizer.  TSan does not model `std::atomic_thread_fence`, so
+/// fence-based synchronization (the optimized Chase-Lev deque formulation)
+/// is invisible to it and reports false-positive races.  Code that relies on
+/// fences substitutes the strictly-stronger fence-free orderings when this
+/// is set; the substitution changes performance, never correctness.
+#if defined(__SANITIZE_THREAD__)
+#define AMT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define AMT_TSAN 1
+#endif
+#endif
+#ifndef AMT_TSAN
+#define AMT_TSAN 0
+#endif
+
 namespace amt {
 
 /// Library version, kept in sync with the CMake project version.

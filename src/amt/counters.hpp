@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <vector>
@@ -18,14 +19,42 @@ namespace amt {
 /// Monotonic clock used for all runtime-internal timing.
 using clock = std::chrono::steady_clock;
 
+/// Single-writer event counter readable from other threads.  The owning
+/// thread bumps it with add(); snapshot readers do a relaxed load and
+/// tolerate slight staleness.  Because only one thread ever writes, add()
+/// is a relaxed load/store pair rather than a fetch_add — a plain `add`
+/// instruction on x86, no lock prefix — so the counters stay free even on
+/// the task-execution fast path.
+class relaxed_counter {
+public:
+    void add(std::uint64_t v) noexcept {
+        value_.store(value_.load(std::memory_order_relaxed) + v,
+                     std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t load() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
 /// Counters owned by a single worker thread.  Only that worker writes them;
-/// readers (snapshot) tolerate slight staleness, hence plain (relaxed)
-/// members padded to a cache line to avoid false sharing.
+/// snapshot readers load each field relaxed.  Padded to a cache line so
+/// counters of different workers never share one.
 struct alignas(cache_line_size) worker_counters {
-    std::uint64_t tasks_executed = 0;
-    std::uint64_t steals = 0;          ///< successful steals from a victim
-    std::uint64_t steal_attempts = 0;  ///< victim probes, successful or not
-    std::uint64_t productive_ns = 0;   ///< time spent inside task bodies
+    relaxed_counter tasks_executed;
+    relaxed_counter steals;          ///< successful steals from a victim
+    relaxed_counter steal_attempts;  ///< victim probes, successful or not
+    relaxed_counter productive_ns;   ///< time spent inside task bodies
+
+    void reset() noexcept {
+        tasks_executed.reset();
+        steals.reset();
+        steal_attempts.reset();
+        productive_ns.reset();
+    }
 };
 
 /// Aggregated view over all workers at one instant.

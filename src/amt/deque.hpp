@@ -79,9 +79,14 @@ public:
         r->store(b, t);
         // The release fence pairs with the acquire load of `bottom_` in
         // steal(): a thief that observes the new bottom also observes the
-        // slot contents.
+        // slot contents.  TSan cannot see fence-carried edges, so under it
+        // the release moves onto the store itself.
+#if AMT_TSAN
+        bottom_.store(b + 1, std::memory_order_release);
+#else
         std::atomic_thread_fence(std::memory_order_release);
         bottom_.store(b + 1, std::memory_order_relaxed);
+#endif
     }
 
     /// Owner only.  Returns nullptr when empty; otherwise transfers
@@ -89,9 +94,14 @@ public:
     task_base* pop() {
         std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
         ring* r = active_.load(std::memory_order_relaxed);
+#if AMT_TSAN
+        bottom_.store(b, std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+#else
         bottom_.store(b, std::memory_order_relaxed);
         std::atomic_thread_fence(std::memory_order_seq_cst);
         std::int64_t t = top_.load(std::memory_order_relaxed);
+#endif
 
         task_base* result = nullptr;
         if (t <= b) {
@@ -114,9 +124,14 @@ public:
     /// Thief side, any thread.  Returns nullptr when empty or when losing a
     /// race; otherwise transfers ownership to the caller.
     task_base* steal() {
+#if AMT_TSAN
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+#else
         std::int64_t t = top_.load(std::memory_order_acquire);
         std::atomic_thread_fence(std::memory_order_seq_cst);
         std::int64_t b = bottom_.load(std::memory_order_acquire);
+#endif
 
         task_base* result = nullptr;
         if (t < b) {

@@ -137,9 +137,9 @@ task_base* runtime::try_steal(std::size_t self_index,
 
 task_base* runtime::find_work(worker& self) {
     if (task_base* t = self.queue.pop()) return t;
-    ++self.counters.steal_attempts;
+    self.counters.steal_attempts.add(1);
     if (task_base* t = try_steal(self.index, self.rng_state)) {
-        ++self.counters.steals;
+        self.counters.steals.add(1);
         return t;
     }
     return try_pop_global();
@@ -150,14 +150,14 @@ void runtime::execute(task_base* raw, worker_counters& c) {
     if (opts_.enable_timing) {
         const auto t0 = clock::now();
         t->execute();
-        c.productive_ns += static_cast<std::uint64_t>(
+        c.productive_ns.add(static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
                                                                  t0)
-                .count());
+                .count()));
     } else {
         t->execute();
     }
-    ++c.tasks_executed;
+    c.tasks_executed.add(1);
 }
 
 void runtime::worker_loop(worker& self) {
@@ -229,8 +229,8 @@ bool runtime::try_run_one() {
     execute(t, local);
     {
         std::lock_guard lk(external_mu_);
-        external_counters_.tasks_executed += local.tasks_executed;
-        external_counters_.productive_ns += local.productive_ns;
+        external_counters_.tasks_executed.add(local.tasks_executed.load());
+        external_counters_.productive_ns.add(local.productive_ns.load());
     }
     return true;
 }
@@ -239,15 +239,15 @@ counters_snapshot runtime::snapshot_counters() const {
     counters_snapshot s;
     s.num_workers = workers_.size();
     for (const auto& w : workers_) {
-        s.tasks_executed += w->counters.tasks_executed;
-        s.steals += w->counters.steals;
-        s.steal_attempts += w->counters.steal_attempts;
-        s.productive_ns += w->counters.productive_ns;
+        s.tasks_executed += w->counters.tasks_executed.load();
+        s.steals += w->counters.steals.load();
+        s.steal_attempts += w->counters.steal_attempts.load();
+        s.productive_ns += w->counters.productive_ns.load();
     }
     {
         std::lock_guard lk(const_cast<std::mutex&>(external_mu_));
-        s.tasks_executed += external_counters_.tasks_executed;
-        s.productive_ns += external_counters_.productive_ns;
+        s.tasks_executed += external_counters_.tasks_executed.load();
+        s.productive_ns += external_counters_.productive_ns.load();
     }
     s.wall_ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
@@ -259,10 +259,10 @@ counters_snapshot runtime::snapshot_counters() const {
 void runtime::reset_counters() {
     // Workers race with this only benignly (counter deltas may be attributed
     // to either window); reset is intended for use at quiescent points.
-    for (auto& w : workers_) w->counters = worker_counters{};
+    for (auto& w : workers_) w->counters.reset();
     {
         std::lock_guard lk(external_mu_);
-        external_counters_ = worker_counters{};
+        external_counters_.reset();
     }
     start_time_ = clock::now();
 }

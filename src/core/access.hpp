@@ -1,0 +1,215 @@
+// core/access.hpp
+//
+// Declarative access sets for the task-graph waves — the foundation of the
+// hazard auditor.  Every task of the five leapfrog waves (graph_waves.cpp)
+// declares which domain fields it reads and writes and over which index
+// ranges, derived from the kernel signatures in lulesh/kernels.hpp.  Two
+// consumers:
+//
+//   * the static audit pass (core/graph_audit.*) walks the declarative
+//     model of one iteration and proves that every read-write and
+//     write-write overlap between tasks is ordered by a declared
+//     continuation edge or a surviving when_all barrier — turning the
+//     paper's hand-reasoned "the elided dependencies are element-local"
+//     claim (trick T2) into a checkable property;
+//
+//   * the dynamic shadow-epoch tracker (core/hazard.*) stamps the declared
+//     sets of in-flight tasks into shadow arrays and flags overlapping
+//     stamps as races — and flags task bodies touching indices outside
+//     their declaration, validating the declarations themselves.
+//
+// Index sets are intentionally *exact*, not conservative: an access is a
+// contiguous interval of the field's index space or an indirect slice of a
+// region element list, optionally expanded by the connectivity closure the
+// kernel actually follows (element→corner-node lists, node→element-corner
+// lists, element→face-neighbor links).  Exactness is what lets the auditor
+// prove disjointness instead of merely failing to find an overlap.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "amt/hazard.hpp"
+#include "lulesh/domain.hpp"
+#include "lulesh/fields.hpp"
+#include "lulesh/options.hpp"
+
+namespace lulesh::graph {
+
+// The field catalog (field, space, field_space, field_name) lives in
+// lulesh/fields.hpp so the kernels can reference it for their hazard touch
+// probes without depending on this layer; re-exported here for the graph
+// model's consumers.
+using lulesh::field;
+using lulesh::field_name;
+using lulesh::field_space;
+using lulesh::num_fields;
+using lulesh::space;
+
+enum class mode : std::uint8_t { read, write };
+
+/// Connectivity closure applied to an access's base index set — the
+/// neighborhood the kernel actually dereferences.
+enum class closure : std::uint8_t {
+    none,           ///< exactly the base set
+    elem_nodes,     ///< the 8 nodelist() nodes of each element in the set
+    node_corners,   ///< the nodeElemCornerList() positions of each node
+    face_neighbors  ///< the set plus its lxim/lxip/letam/letap/lzetam/lzetap
+                    ///< face-adjacent elements
+};
+
+/// One declared access: `m` over field `f`, base set either the interval
+/// [lo, hi) of the field's space or — when `list` is non-null — the
+/// indirect element slice list[lo..hi), expanded by closure `c`.
+struct access {
+    field f;
+    mode m;
+    index_t lo = 0;
+    index_t hi = 0;
+    const index_t* list = nullptr;
+    closure c = closure::none;
+};
+
+/// Expands `a` against the domain connectivity, invoking `visit(index)` for
+/// every concrete index of the field's space the access covers.  Duplicates
+/// may be visited (closures of adjacent entities overlap); visitors must be
+/// idempotent per task.
+template <class Visit>
+void expand_access(const access& a, const domain& d, Visit&& visit) {
+    auto base = [&](index_t id) {
+        switch (a.c) {
+            case closure::none:
+                if (field_space(a.f) == space::corner) {
+                    for (index_t c = 0; c < 8; ++c) visit(id * 8 + c);
+                } else {
+                    visit(id);
+                }
+                break;
+            case closure::elem_nodes: {
+                const index_t* nl = d.nodelist(id);
+                for (int c = 0; c < 8; ++c) visit(nl[c]);
+                break;
+            }
+            case closure::node_corners: {
+                const index_t n = d.nodeElemCount(id);
+                const index_t* corners = d.nodeElemCornerList(id);
+                for (index_t c = 0; c < n; ++c) visit(corners[c]);
+                break;
+            }
+            case closure::face_neighbors: {
+                const auto k = static_cast<std::size_t>(id);
+                visit(id);
+                visit(d.lxim[k]);
+                visit(d.lxip[k]);
+                visit(d.letam[k]);
+                visit(d.letap[k]);
+                visit(d.lzetam[k]);
+                visit(d.lzetap[k]);
+                break;
+            }
+        }
+    };
+    if (a.list != nullptr) {
+        for (index_t i = a.lo; i < a.hi; ++i) base(a.list[i]);
+    } else {
+        for (index_t i = a.lo; i < a.hi; ++i) base(i);
+    }
+}
+
+/// Extent of a field's index space on this domain (`slots` supplies the
+/// wave-5 partial count, which is not a domain property).
+std::size_t space_extent(space s, const domain& d, std::size_t slots);
+
+// --- per-task access declarations ----------------------------------------
+//
+// One function per distinct task body spawned by graph_waves.cpp, mirroring
+// the kernel signatures it fuses.  Ranges are the same [lo, hi) the builder
+// hands the kernels; region tasks additionally carry the region's element
+// list.  Keep these in lockstep with the bodies: the shadow tracker flags a
+// body that touches outside its declaration, and the adversarial audit
+// tests flag a declaration that shrinks below what the chaining needs.
+
+/// Wave 1, stress chain: force_stress_chunk(d, lo, hi).
+std::vector<access> force_stress_accesses(index_t lo, index_t hi);
+
+/// Wave 1, hourglass chain: force_hourglass_chunk(d, lo, hi).
+std::vector<access> force_hourglass_accesses(index_t lo, index_t hi);
+
+/// Wave 2, link 1: gather_forces + calc_acceleration +
+/// apply_acceleration_bc_masked over nodes [lo, hi).
+std::vector<access> node_gather_accesses(index_t lo, index_t hi);
+
+/// Wave 2, link 2 (continuation): velocity_position_chunk over [lo, hi).
+std::vector<access> node_velpos_accesses(index_t lo, index_t hi);
+
+/// Wave 3: calc_kinematics + calc_lagrange_deviatoric +
+/// calc_monotonic_q_gradients + check_qstop + apply_material_vnewc.
+std::vector<access> elem_wave_accesses(index_t lo, index_t hi);
+
+/// Wave 4, link 1: calc_monotonic_q_region over list[lo..hi).
+std::vector<access> region_monoq_accesses(const index_t* list, index_t lo,
+                                          index_t hi);
+
+/// Wave 4, link 2 (continuation): eval_eos_chunk over list[lo..hi).
+std::vector<access> region_eos_accesses(const index_t* list, index_t lo,
+                                        index_t hi);
+
+/// Wave 4, independent: update_volumes over [lo, hi).
+std::vector<access> volume_update_accesses(index_t lo, index_t hi);
+
+/// Wave 5: calc_time_constraints over list[lo..hi) into partial `slot`.
+std::vector<access> constraint_accesses(const index_t* list, index_t lo,
+                                        index_t hi, index_t slot);
+
+// --- the declarative iteration model --------------------------------------
+
+/// One task of the modelled iteration.
+struct task_decl {
+    const char* site = nullptr;  ///< wave_site label
+    index_t partition = 0;       ///< partition ordinal within the wave
+    index_t lo = 0;              ///< primary range, for reporting
+    index_t hi = 0;
+    int stage = 0;               ///< barrier interval the task runs in (0-4)
+    std::vector<access> accesses;
+    std::vector<int> deps;       ///< tasks ordered *before* this one by a
+                                 ///< declared continuation edge (task ids)
+};
+
+/// The pre-built graph of one leapfrog iteration: tasks grouped into
+/// `num_stages` barrier intervals (the surviving when_all barriers order
+/// stage i entirely before stage i+1; within a stage only `deps` edges
+/// order tasks).
+struct graph_model {
+    std::vector<task_decl> tasks;
+    int num_stages = 0;
+    std::size_t num_slots = 0;  ///< extent of the dt_partial space
+};
+
+/// Builds the declarative model of one taskgraph_driver iteration on `d`
+/// with partition sizes `parts` — the same chunk decomposition, chain
+/// edges, and barrier structure graph_waves.cpp spawns.
+graph_model build_iteration_model(const domain& d, partition_sizes parts);
+
+// --- bridges to the dynamic tracker and the NaN sentinel -------------------
+
+/// Extents of every field's index space on `d`, indexed by field value —
+/// the arena layout for amt::hazard::bind_arena.
+std::vector<std::size_t> arena_extents(const domain& d, std::size_t slots);
+
+/// Expands a task's declared accesses into the tracker's flat interval
+/// form (corner sets become index*8 intervals, closures become per-entity
+/// point intervals, merged by normalize()).
+amt::hazard::access_set expand_to_hazard_set(const std::vector<access>& accs,
+                                             const domain& d);
+
+/// The backing array of a real-valued field, or nullptr for index/mask
+/// fields (symm_mask, elem_bc) and the slot space — used by the NaN scan.
+const real_t* field_data(const domain& d, field f) noexcept;
+
+/// Scans the *written* intervals of `accs` for non-finite values; returns
+/// the offending field or field::count when clean.
+field scan_written_for_nonfinite(const std::vector<access>& accs,
+                                 const domain& d);
+
+}  // namespace lulesh::graph

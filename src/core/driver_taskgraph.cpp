@@ -5,9 +5,13 @@
 #include "core/driver_taskgraph.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <utility>
 
+#include "amt/hazard.hpp"
+#include "core/access.hpp"
 #include "core/graph_waves.hpp"
 #include "core/stage.hpp"
 
@@ -26,13 +30,53 @@ amt::future<void> stamp(amt::future<void> f, clock_t_::time_point* out) {
     });
 }
 
+bool env_enabled(const char* name) {
+    const char* v = std::getenv(name);
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
 }  // namespace
+
+void taskgraph_driver::enable_instrumentation(bool track_hazards,
+                                              bool scan_nan) {
+    instrumentation_checked_ = true;
+    if (!track_hazards && !scan_nan) {
+        flags_.sentinel.reset();
+        return;
+    }
+    if (!flags_.sentinel) {
+        flags_.sentinel = std::make_shared<graph::iteration_sentinel>();
+    }
+    flags_.sentinel->track_hazards = track_hazards && amt::hazard::compiled_in;
+    flags_.sentinel->scan_nan = scan_nan;
+}
+
+void taskgraph_driver::prepare_instrumentation(domain& d) {
+    if (!instrumentation_checked_) {
+        // Environment opt-in, resolved once: AMT_HAZARD_TRACK also arms the
+        // generic tracker at process start (amt/hazard.cpp), so armed()
+        // reflects it here.
+        enable_instrumentation(amt::hazard::armed(),
+                               env_enabled("LULESH_NAN_SCAN"));
+    }
+    auto& sent = flags_.sentinel;
+    if (!sent) return;
+    sent->dom = &d;
+    if (sent->track_hazards && hazard_arena_for_ != &d) {
+        amt::hazard::bind_arena(
+            &d, graph::arena_extents(
+                    d, graph::constraint_slot_count(d, parts_.elems)));
+        hazard_arena_for_ = &d;
+    }
+}
 
 void taskgraph_driver::advance(domain& d) {
     namespace k = kernels;
     const real_t dt = d.deltatime;
     const index_t p_nodal = parts_.nodal;
     const index_t p_elems = parts_.elems;
+
+    prepare_instrumentation(d);
 
     // Fresh cancellation scope for this iteration; the progress tracker
     // object survives so an external watchdog keeps observing it.  Copies
@@ -141,6 +185,25 @@ void taskgraph_driver::advance(domain& d) {
     if (!flags.qstop_ok->load(std::memory_order_relaxed)) {
         throw simulation_error(status::qstop_error,
                                "artificial viscosity exceeded qstop");
+    }
+    if (!flags.nan_ok->load(std::memory_order_relaxed)) {
+        std::string msg = "non-finite field value detected";
+        if (flags.sentinel) {
+            const char* site = flags.sentinel->nan_wave_site.load(
+                std::memory_order_relaxed);
+            const char* fname = flags.sentinel->nan_field_name.load(
+                std::memory_order_relaxed);
+            if (fname != nullptr) msg += std::string(" in ") + fname;
+            if (site != nullptr) msg += std::string(" at wave ") + site;
+        }
+        throw simulation_error(status::data_corruption, msg);
+    }
+    if (flags.sentinel && flags.sentinel->track_hazards &&
+        amt::hazard::violation_count() > 0) {
+        const auto violations = amt::hazard::take_violations();
+        throw simulation_error(status::hazard,
+                               "shadow tracker: " + violations.front()
+                                   .describe());
     }
 }
 

@@ -115,13 +115,24 @@ public:
         return flags_.progress;
     }
 
+    /// Enables per-task instrumentation for subsequent advances: hazard
+    /// tracking (dynamic shadow-epoch scopes over declared access sets)
+    /// and/or NaN scanning of written ranges.  Also enabled automatically
+    /// by the AMT_HAZARD_TRACK / LULESH_NAN_SCAN environment variables.
+    void enable_instrumentation(bool track_hazards, bool scan_nan);
+
 private:
+    void prepare_instrumentation(domain& d);
+
     amt::runtime& rt_;
     partition_sizes parts_;
     graph::error_flags flags_;
     std::vector<kernels::dt_constraints> constraint_partials_;
     std::size_t tasks_last_iteration_ = 0;
     phase_profile profile_{};
+
+    bool instrumentation_checked_ = false;
+    const domain* hazard_arena_for_ = nullptr;  ///< domain with a bound arena
 };
 
 }  // namespace lulesh

@@ -3,6 +3,7 @@
 
 #include "core/graph_waves.hpp"
 
+#include <optional>
 #include <utility>
 
 namespace lulesh::graph {
@@ -14,26 +15,67 @@ index_t num_chunks(index_t n, index_t p) {
     return p > 0 ? (n + p - 1) / p : n;
 }
 
+/// The sentinel to use for tasks spawned on `d`, or null when
+/// instrumentation is off.  The domain check keeps a sentinel bound to one
+/// domain from mis-expanding another's connectivity (the dist driver runs
+/// several domains over distinct flags, but belt and braces).
+iteration_sentinel* sentinel_for(const error_flags& flags, const domain& d) {
+    iteration_sentinel* s = flags.sentinel.get();
+    return s != nullptr && s->dom == &d ? s : nullptr;
+}
+
 /// Wraps a task body with the iteration's resilience plumbing: a fault
 /// probe at the wave's site, cooperative cancellation (once any sibling
 /// has failed, remaining tasks return immediately — their output is about
-/// to be rolled back anyway), progress counters for the watchdog, and
-/// stop-request propagation when the body throws.
+/// to be rolled back anyway), progress counters and per-worker in-flight
+/// labels for the watchdog, stop-request propagation when the body throws,
+/// and — when the iteration sentinel is on — a hazard-tracker scope over
+/// the task's declared access set plus a NaN scan of its written ranges.
 template <class Body>
-auto guarded(const error_flags& flags, const char* site, Body body) {
+auto guarded(const error_flags& flags, const char* site,
+             const iteration_sentinel::task_ctx* ctx, Body body) {
     return [progress = flags.progress, token = flags.stop.get_token(),
-            stop = flags.stop, site, body = std::move(body)]() mutable {
+            stop = flags.stop, sent = flags.sentinel, nan_ok = flags.nan_ok,
+            ctx, site, body = std::move(body)]() mutable {
         if (token.stop_requested()) return;
+        const auto& wk = amt::current_worker();
+        const std::size_t slot =
+            wk.rt != nullptr
+                ? std::min<std::size_t>(wk.index + 1,
+                                        progress_state::max_tracked_workers)
+                : 0;
         progress->site.store(site, std::memory_order_relaxed);
+        progress->worker_site[slot].store(site, std::memory_order_relaxed);
         progress->started.fetch_add(1, std::memory_order_relaxed);
         try {
             amt::fault::probe(site);
-            body();
+            {
+                std::optional<amt::hazard::task_scope> scope;
+                if (sent && sent->track_hazards && ctx != nullptr) {
+                    scope.emplace(static_cast<const void*>(sent->dom), site,
+                                  ctx->partition, &ctx->decl);
+                }
+                body();
+            }
+            if (sent && sent->scan_nan && ctx != nullptr) {
+                const field bad =
+                    scan_written_for_nonfinite(ctx->accs, *sent->dom);
+                if (bad != field::count) {
+                    nan_ok->store(false, std::memory_order_relaxed);
+                    sent->nan_wave_site.store(site,
+                                              std::memory_order_relaxed);
+                    sent->nan_field_name.store(field_name(bad),
+                                               std::memory_order_relaxed);
+                }
+            }
         } catch (...) {
             stop.request_stop();
+            progress->worker_site[slot].store(nullptr,
+                                              std::memory_order_relaxed);
             progress->finished.fetch_add(1, std::memory_order_relaxed);
             throw;
         }
+        progress->worker_site[slot].store(nullptr, std::memory_order_relaxed);
         progress->finished.fetch_add(1, std::memory_order_relaxed);
     };
 }
@@ -42,8 +84,9 @@ auto guarded(const error_flags& flags, const char* site, Body body) {
 /// (if any) is re-propagated without counting a task start, so a failed
 /// chain shows up once in the progress counters, not once per link.
 template <class Body>
-auto guarded_cont(const error_flags& flags, const char* site, Body body) {
-    return [g = guarded(flags, site, std::move(body))](
+auto guarded_cont(const error_flags& flags, const char* site,
+                  const iteration_sentinel::task_ctx* ctx, Body body) {
+    return [g = guarded(flags, site, ctx, std::move(body))](
                amt::future<void>&& f) mutable {
         f.get();
         g();
@@ -60,16 +103,24 @@ wave spawn_force_wave_range(amt::runtime& rt, domain& d, index_t elem_lo,
         2 * num_chunks(elem_hi - elem_lo, p_nodal)));
     domain* dp = &d;
     auto vol_ok = flags.volume_ok;
+    iteration_sentinel* sent = sentinel_for(flags, d);
     for (index_t lo = elem_lo; lo < elem_hi; lo += p_nodal) {
         const index_t hi = std::min<index_t>(lo + p_nodal, elem_hi);
+        const index_t part = lo / p_nodal;
+        const auto* stress_ctx =
+            sent ? sent->add(force_stress_accesses(lo, hi), part) : nullptr;
+        const auto* hg_ctx =
+            sent ? sent->add(force_hourglass_accesses(lo, hi), part)
+                 : nullptr;
         w.futures.push_back(amt::async(
-            rt, guarded(flags, wave_site::force, [dp, lo, hi, vol_ok] {
+            rt,
+            guarded(flags, wave_site::force, stress_ctx, [dp, lo, hi, vol_ok] {
                 if (!k::force_stress_chunk(*dp, lo, hi)) {
                     vol_ok->store(false, std::memory_order_relaxed);
                 }
             })));
         w.futures.push_back(amt::async(
-            rt, guarded(flags, wave_site::force, [dp, lo, hi, vol_ok] {
+            rt, guarded(flags, wave_site::force, hg_ctx, [dp, lo, hi, vol_ok] {
                 if (!k::force_hourglass_chunk(*dp, lo, hi)) {
                     vol_ok->store(false, std::memory_order_relaxed);
                 }
@@ -90,19 +141,27 @@ wave spawn_node_wave(amt::runtime& rt, domain& d, index_t p_nodal, real_t dt,
     const index_t nn = d.numNode();
     w.futures.reserve(static_cast<std::size_t>(num_chunks(nn, p_nodal)));
     domain* dp = &d;
+    iteration_sentinel* sent = sentinel_for(flags, d);
     for (index_t lo = 0; lo < nn; lo += p_nodal) {
         const index_t hi = std::min<index_t>(lo + p_nodal, nn);
+        const index_t part = lo / p_nodal;
+        const auto* gather_ctx =
+            sent ? sent->add(node_gather_accesses(lo, hi), part) : nullptr;
+        const auto* velpos_ctx =
+            sent ? sent->add(node_velpos_accesses(lo, hi), part) : nullptr;
         w.futures.push_back(
-            amt::async(rt, guarded(flags, wave_site::node,
+            amt::async(rt, guarded(flags, wave_site::node, gather_ctx,
                                    [dp, lo, hi] {
                                        k::gather_forces(*dp, lo, hi);
                                        k::calc_acceleration(*dp, lo, hi);
                                        k::apply_acceleration_bc_masked(*dp, lo,
                                                                        hi);
                                    }))
-                .then(guarded_cont(flags, wave_site::node, [dp, lo, hi, dt] {
-                    k::velocity_position_chunk(*dp, lo, hi, dt);
-                })));
+                .then(guarded_cont(flags, wave_site::node, velpos_ctx,
+                                   [dp, lo, hi, dt] {
+                                       k::velocity_position_chunk(*dp, lo, hi,
+                                                                  dt);
+                                   })));
     }
     w.tasks = 2 * w.futures.size();
     return w;
@@ -117,11 +176,16 @@ wave spawn_elem_wave_range(amt::runtime& rt, domain& d, index_t elem_lo,
     domain* dp = &d;
     auto vol_ok = flags.volume_ok;
     auto q_ok = flags.qstop_ok;
+    iteration_sentinel* sent = sentinel_for(flags, d);
     for (index_t lo = elem_lo; lo < elem_hi; lo += p_elems) {
         const index_t hi = std::min<index_t>(lo + p_elems, elem_hi);
+        const auto* ctx =
+            sent ? sent->add(elem_wave_accesses(lo, hi), lo / p_elems)
+                 : nullptr;
         w.futures.push_back(amt::async(
             rt,
-            guarded(flags, wave_site::elem, [dp, lo, hi, dt, vol_ok, q_ok] {
+            guarded(flags, wave_site::elem, ctx,
+                    [dp, lo, hi, dt, vol_ok, q_ok] {
                 k::calc_kinematics(*dp, lo, hi, dt);
                 if (!k::calc_lagrange_deviatoric(*dp, lo, hi)) {
                     vol_ok->store(false, std::memory_order_relaxed);
@@ -151,21 +215,31 @@ wave spawn_region_wave(amt::runtime& rt, domain& d, index_t p_elems,
     wave w;
     const index_t ne = d.numElem();
     domain* dp = &d;
+    iteration_sentinel* sent = sentinel_for(flags, d);
+    index_t part = 0;
     for (index_t r = 0; r < d.numReg(); ++r) {
         const auto& list = d.regElemList(r);
         const auto count = static_cast<index_t>(list.size());
         const int rep = k::eos_rep_for_region(d, r);
         const index_t* lp = list.data();
-        for (index_t lo = 0; lo < count; lo += p_elems) {
+        for (index_t lo = 0; lo < count; lo += p_elems, ++part) {
             const index_t hi = std::min<index_t>(lo + p_elems, count);
+            const auto* monoq_ctx =
+                sent ? sent->add(region_monoq_accesses(lp, lo, hi), part)
+                     : nullptr;
+            const auto* eos_ctx =
+                sent ? sent->add(region_eos_accesses(lp, lo, hi), part)
+                     : nullptr;
             w.futures.push_back(
                 amt::async(rt, guarded(flags, wave_site::region_eos,
+                                       monoq_ctx,
                                        [dp, lp, lo, hi] {
                                            k::calc_monotonic_q_region(
                                                *dp, lp, lo, hi);
                                        }))
                     .then(guarded_cont(
-                        flags, wave_site::region_eos, [dp, lp, lo, hi, rep] {
+                        flags, wave_site::region_eos, eos_ctx,
+                        [dp, lp, lo, hi, rep] {
                             // Task-local EOS scratch, sized to the chunk (T5).
                             k::eos_scratch scratch;
                             scratch.resize(static_cast<std::size_t>(hi - lo));
@@ -176,10 +250,13 @@ wave spawn_region_wave(amt::runtime& rt, domain& d, index_t p_elems,
     }
     for (index_t lo = 0; lo < ne; lo += p_elems) {
         const index_t hi = std::min<index_t>(lo + p_elems, ne);
-        w.futures.push_back(
-            amt::async(rt, guarded(flags, wave_site::region_eos, [dp, lo, hi] {
-                           k::update_volumes(*dp, lo, hi);
-                       })));
+        const auto* vol_ctx =
+            sent ? sent->add(volume_update_accesses(lo, hi), lo / p_elems)
+                 : nullptr;
+        w.futures.push_back(amt::async(
+            rt, guarded(flags, wave_site::region_eos, vol_ctx, [dp, lo, hi] {
+                k::update_volumes(*dp, lo, hi);
+            })));
         ++w.tasks;
     }
     return w;
@@ -199,6 +276,7 @@ wave spawn_constraint_wave(amt::runtime& rt, domain& d, index_t p_elems,
                            const error_flags& flags) {
     wave w;
     domain* dp = &d;
+    iteration_sentinel* sent = sentinel_for(flags, d);
     std::size_t slot = 0;
     for (index_t r = 0; r < d.numReg(); ++r) {
         const auto& list = d.regElemList(r);
@@ -207,9 +285,15 @@ wave spawn_constraint_wave(amt::runtime& rt, domain& d, index_t p_elems,
         for (index_t lo = 0; lo < count; lo += p_elems) {
             const index_t hi = std::min<index_t>(lo + p_elems, count);
             k::dt_constraints* out = partials + slot;
+            const auto* ctx =
+                sent ? sent->add(constraint_accesses(
+                                     lp, lo, hi,
+                                     static_cast<index_t>(slot)),
+                                 static_cast<std::int64_t>(slot))
+                     : nullptr;
             ++slot;
             w.futures.push_back(amt::async(
-                rt, guarded(flags, wave_site::constraints,
+                rt, guarded(flags, wave_site::constraints, ctx,
                             [dp, lp, lo, hi, out] {
                                 *out = k::calc_time_constraints(*dp, lp, lo,
                                                                 hi);

@@ -8,11 +8,17 @@
 
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "amt/amt.hpp"
+#include "amt/hazard.hpp"
+#include "core/access.hpp"
 #include "lulesh/domain.hpp"
 #include "lulesh/kernels.hpp"
 
@@ -34,17 +40,80 @@ inline constexpr const char* region_eos = "region_eos";
 inline constexpr const char* constraints = "constraints";
 }  // namespace wave_site
 
-/// Task start/finish counters plus the label of the most recently started
-/// task, updated by every guarded task body.  External observers (the
-/// watchdog) hold a shared_ptr and sample it from their own thread: a
-/// barrier that stops making `finished` progress while `started` is ahead
-/// means a task is stuck, and `site` names the wave it belongs to.  (With
-/// several workers `site` is the label of the *latest* started task, which
-/// on a stalled 1-worker runtime is exactly the hung one.)
+/// Task start/finish counters plus in-flight task labels, updated by every
+/// guarded task body.  External observers (the watchdog) hold a shared_ptr
+/// and sample it from their own thread: a barrier that stops making
+/// `finished` progress while `started` is ahead means a task is stuck.
+///
+/// `site` is the label of the most recently *started* task — kept for
+/// cheap single-label reporting (exact on a 1-worker runtime).  The
+/// `worker_site` slots additionally track, per runtime worker, the label
+/// of the task it is currently inside (nullptr between tasks), so a stall
+/// report can name *every* in-flight site even when other workers started
+/// tasks after the hung one.  Slot 0 collects tasks run inline on
+/// non-worker threads; worker w uses slot w+1, saturating at the last
+/// slot for runtimes wider than max_tracked_workers.
 struct progress_state {
+    static constexpr std::size_t max_tracked_workers = 64;
+
     std::atomic<std::uint64_t> started{0};
     std::atomic<std::uint64_t> finished{0};
     std::atomic<const char*> site{nullptr};
+    std::array<std::atomic<const char*>, max_tracked_workers + 1>
+        worker_site{};
+
+    /// Labels of all tasks currently in flight (one entry per busy worker).
+    [[nodiscard]] std::vector<const char*> in_flight_sites() const {
+        std::vector<const char*> sites;
+        for (const auto& slot : worker_site) {
+            const char* s = slot.load(std::memory_order_relaxed);
+            if (s != nullptr) sites.push_back(s);
+        }
+        return sites;
+    }
+};
+
+/// Opt-in per-task instrumentation shared by one iteration's tasks: the
+/// dynamic shadow-epoch hazard tracker (amt/hazard) and the NaN sentinel.
+/// Null in error_flags by default — spawning then skips building contexts
+/// entirely.  Contexts are created at spawn time (wave builders know each
+/// task's ranges) and live in stable-address storage until the next
+/// iteration begins; in-flight tasks reference them by pointer.
+struct iteration_sentinel {
+    struct task_ctx {
+        std::vector<access> accs;          ///< declared accesses of the task
+        amt::hazard::access_set decl;      ///< accs expanded for the tracker
+        std::int64_t partition = -1;
+    };
+
+    const domain* dom = nullptr;  ///< arena key + connectivity for expansion
+    bool track_hazards = false;
+    bool scan_nan = false;
+
+    /// Where the NaN scan found trouble (static strings; set once per
+    /// episode, first writer wins is not needed — any site will do).
+    std::atomic<const char*> nan_wave_site{nullptr};
+    std::atomic<const char*> nan_field_name{nullptr};
+
+    const task_ctx* add(std::vector<access> accs, std::int64_t partition) {
+        std::lock_guard lk(mu_);
+        task_ctx& c = storage_.emplace_back();
+        c.accs = std::move(accs);
+        c.partition = partition;
+        if (track_hazards) c.decl = expand_to_hazard_set(c.accs, *dom);
+        return &c;
+    }
+
+    /// Drops last iteration's contexts (all tasks have finished: the
+    /// driver's barrier get() precedes the next begin_iteration()).
+    void begin_iteration() {
+        std::lock_guard lk(mu_);
+        storage_.clear();
+    }
+
+private:
+    std::mutex mu_;
+    std::deque<task_ctx> storage_;
 };
 
 /// Shared per-iteration context: error flags aggregated by tasks and
@@ -57,6 +126,18 @@ struct error_flags {
         std::make_shared<std::atomic<bool>>(true);
     std::shared_ptr<std::atomic<bool>> qstop_ok =
         std::make_shared<std::atomic<bool>>(true);
+
+    /// Cleared by a task whose NaN scan (sentinel->scan_nan) found a
+    /// non-finite value in a field it had just written; checked at the
+    /// barrier so a blow-up is reported with its wave site instead of
+    /// surfacing as a wrong answer many iterations later.  Always true
+    /// when the sentinel is off.
+    std::shared_ptr<std::atomic<bool>> nan_ok =
+        std::make_shared<std::atomic<bool>>(true);
+
+    /// Opt-in dynamic instrumentation (hazard tracking, NaN scanning);
+    /// null by default.
+    std::shared_ptr<iteration_sentinel> sentinel;
 
     /// Requested by the first task that throws; later tasks of the
     /// iteration return immediately (their output is about to be thrown
@@ -71,6 +152,7 @@ struct error_flags {
     void reset() {
         volume_ok->store(true, std::memory_order_relaxed);
         qstop_ok->store(true, std::memory_order_relaxed);
+        nan_ok->store(true, std::memory_order_relaxed);
     }
 
     /// Fresh cancellation scope for a new iteration: error flags reset and
@@ -79,6 +161,7 @@ struct error_flags {
     void begin_iteration() {
         reset();
         stop = amt::stop_source();
+        if (sentinel) sentinel->begin_iteration();
     }
 
     [[nodiscard]] bool cancelled() const { return stop.stop_requested(); }

@@ -64,8 +64,12 @@ void watchdog::run() {
         if (stalled_for < deadline_) continue;
 
         const char* site = progress_->site.load(std::memory_order_relaxed);
+        std::vector<std::string> sites;
+        for (const char* s : progress_->in_flight_sites()) {
+            sites.emplace_back(s);
+        }
         last_ = report{site != nullptr ? site : "?", started, finished,
-                       stalled_for};
+                       stalled_for, std::move(sites)};
         reported_this_episode = true;
         fired_.store(true, std::memory_order_release);
         if (on_stall_) {

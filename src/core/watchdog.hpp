@@ -9,9 +9,11 @@
 // injected stalls instead of hanging.
 //
 // Detection heuristic: `started > finished` (at least one task is in
-// flight) while `finished` has not advanced for `deadline`.  The reported
-// site is the label of the most recently started task — exact on a
-// 1-worker runtime, a best-effort hint with more workers.  The watchdog
+// flight) while `finished` has not advanced for `deadline`.  The report
+// carries both the single most-recently-started label (`site`, exact on a
+// 1-worker runtime) and the per-worker in-flight labels (`sites`, one per
+// busy worker), so with several workers the hung task's wave is always
+// named even when other workers started tasks after it.  The watchdog
 // fires once per stall episode and re-arms itself when `finished` moves
 // again, so a long run with several injected stalls reports each one.
 
@@ -26,6 +28,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/graph_waves.hpp"
 
@@ -38,6 +41,11 @@ public:
         std::uint64_t started = 0;
         std::uint64_t finished = 0;
         std::chrono::milliseconds stalled_for{0};
+        /// Labels of *all* in-flight tasks at detection time, one per busy
+        /// worker (progress_state::worker_site).  With several workers the
+        /// single `site` above is only the latest-started label; the hung
+        /// task's wave is always one of these.
+        std::vector<std::string> sites;
     };
 
     using callback = std::function<void(const report&)>;

@@ -2,9 +2,45 @@
 
 #include "dist/cluster.hpp"
 
+#include <cstdint>
+#include <cstring>
 #include <stdexcept>
+#include <string>
+
+#include "lulesh/crc32.hpp"
+#include "lulesh/driver.hpp"
 
 namespace lulesh::dist {
+
+namespace {
+
+// Halo messages carry a trailing real_t slot whose low 4 bytes hold a
+// CRC-32 of the payload (bit-copied, never interpreted as a double — the
+// arbitrary bit pattern could be a signalling NaN).  pack_* appends it,
+// unpack_* strips and verifies it: a payload corrupted in transit fails the
+// iteration through the data_corruption status instead of silently skewing
+// the neighbor's force sums.
+
+void append_crc(plane_buffer& buf) {
+    const std::uint32_t crc = crc32_of(buf.data(), buf.size() * sizeof(real_t));
+    real_t slot = real_t(0);
+    std::memcpy(&slot, &crc, sizeof(crc));
+    buf.push_back(slot);
+}
+
+void verify_crc(const plane_buffer& buf, std::size_t payload,
+                const char* what) {
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, &buf[payload], sizeof(stored));
+    if (crc32_of(buf.data(), payload * sizeof(real_t)) != stored) {
+        throw simulation_error(
+            status::data_corruption,
+            std::string("lulesh::dist: ") + what +
+                " halo message failed its CRC check (corrupt payload)");
+    }
+}
+
+}  // namespace
 
 cluster::cluster(const options& opts, index_t num_slabs) : opts_(opts) {
     if (num_slabs < 1 || num_slabs > opts.size) {
@@ -36,15 +72,17 @@ plane_buffer pack_corner_plane(const domain& d, index_t elem_base) {
         real_t* dst = buf.data() + a * n;
         for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
     }
+    append_crc(buf);
     return buf;
 }
 
 void unpack_corner_ghosts(domain& d, index_t ghost_slot,
                           const plane_buffer& buf) {
     const auto n = static_cast<std::size_t>(d.elems_per_plane()) * 8;
-    if (buf.size() != 6 * n) {
+    if (buf.size() != 6 * n + 1) {
         throw std::invalid_argument("lulesh::dist: corner message size mismatch");
     }
+    verify_crc(buf, 6 * n, "corner");
     const auto base = static_cast<std::size_t>(ghost_slot) * 8;
     std::vector<real_t>* arrays[6] = {&d.fx_elem,    &d.fy_elem,
                                       &d.fz_elem,    &d.fx_elem_hg,
@@ -61,15 +99,17 @@ plane_buffer pack_delv_plane(const domain& d, index_t elem_base) {
     plane_buffer buf(n);
     const real_t* src = d.delv_zeta.data() + static_cast<std::size_t>(elem_base);
     for (std::size_t i = 0; i < n; ++i) buf[i] = src[i];
+    append_crc(buf);
     return buf;
 }
 
 void unpack_delv_ghosts(domain& d, index_t ghost_slot,
                         const plane_buffer& buf) {
     const auto n = static_cast<std::size_t>(d.elems_per_plane());
-    if (buf.size() != n) {
+    if (buf.size() != n + 1) {
         throw std::invalid_argument("lulesh::dist: delv message size mismatch");
     }
+    verify_crc(buf, n, "delv");
     real_t* dst = d.delv_zeta.data() + static_cast<std::size_t>(ghost_slot);
     for (std::size_t i = 0; i < n; ++i) dst[i] = buf[i];
 }

@@ -31,7 +31,10 @@ namespace lulesh::dist {
 
 /// Flat halo message.  Corner messages hold 6 arrays (fx, fy, fz stress then
 /// hourglass) of elems_per_plane*8 values; delv messages hold
-/// elems_per_plane values.
+/// elems_per_plane values.  Every message carries one extra trailing real_t
+/// slot whose bytes hold a CRC-32 of the payload; unpack_* verifies it and
+/// fails the iteration (simulation_error with status::data_corruption) if a
+/// bit flipped in transit.
 using plane_buffer = std::vector<real_t>;
 
 /// Channels across one interior boundary (between slab b and slab b+1).

@@ -9,6 +9,8 @@
 #include <istream>
 #include <ostream>
 
+#include "lulesh/crc32.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
 #include <unistd.h>
@@ -20,11 +22,15 @@ namespace lulesh {
 namespace {
 
 constexpr std::uint64_t checkpoint_magic = 0x4C554C4553485F31ULL;  // "LULESH_1"
-constexpr std::uint32_t checkpoint_version = 1;
+// Version 2 added payload_crc: a CRC-32 over all field payload bytes, in
+// write order, so a flipped bit anywhere in the payload is detected at load
+// time instead of silently corrupting the restarted run.
+constexpr std::uint32_t checkpoint_version = 2;
 
 struct header {
     std::uint64_t magic = checkpoint_magic;
     std::uint32_t version = checkpoint_version;
+    std::uint32_t payload_crc = 0;
     std::int32_t size = 0;
     std::int32_t plane_begin = 0;
     std::int32_t plane_end = 0;
@@ -54,8 +60,24 @@ void write_field(std::ostream& out, const std::vector<real_t>& v,
     write_bytes(out, v.data(), expect * sizeof(real_t));
 }
 
-void read_field(std::istream& in, std::vector<real_t>& v, std::size_t expect) {
+void read_field(std::istream& in, std::vector<real_t>& v, std::size_t expect,
+                crc32& crc) {
     read_bytes(in, v.data(), expect * sizeof(real_t));
+    crc.update(v.data(), expect * sizeof(real_t));
+}
+
+/// CRC-32 over the field payload exactly as save_checkpoint writes it.
+std::uint32_t payload_crc(const domain& d) {
+    const auto nn = static_cast<std::size_t>(d.numNode());
+    const auto ne = static_cast<std::size_t>(d.numElem());
+    crc32 crc;
+    for (const auto* f : {&d.x, &d.y, &d.z, &d.xd, &d.yd, &d.zd}) {
+        crc.update(f->data(), nn * sizeof(real_t));
+    }
+    for (const auto* f : {&d.e, &d.p, &d.q, &d.v, &d.ss}) {
+        crc.update(f->data(), ne * sizeof(real_t));
+    }
+    return crc.value();
 }
 
 }  // namespace
@@ -72,6 +94,7 @@ void save_checkpoint(const domain& d, std::ostream& out) {
     h.deltatime = d.deltatime;
     h.dtcourant = d.dtcourant;
     h.dthydro = d.dthydro;
+    h.payload_crc = payload_crc(d);
     write_bytes(out, &h, sizeof(h));
 
     const auto nn = static_cast<std::size_t>(d.numNode());
@@ -107,17 +130,25 @@ void load_checkpoint(domain& d, std::istream& in) {
 
     const auto nn = static_cast<std::size_t>(d.numNode());
     const auto ne = static_cast<std::size_t>(d.numElem());
-    read_field(in, d.x, nn);
-    read_field(in, d.y, nn);
-    read_field(in, d.z, nn);
-    read_field(in, d.xd, nn);
-    read_field(in, d.yd, nn);
-    read_field(in, d.zd, nn);
-    read_field(in, d.e, ne);
-    read_field(in, d.p, ne);
-    read_field(in, d.q, ne);
-    read_field(in, d.v, ne);
-    read_field(in, d.ss, ne);
+    crc32 crc;
+    read_field(in, d.x, nn, crc);
+    read_field(in, d.y, nn, crc);
+    read_field(in, d.z, nn, crc);
+    read_field(in, d.xd, nn, crc);
+    read_field(in, d.yd, nn, crc);
+    read_field(in, d.zd, nn, crc);
+    read_field(in, d.e, ne, crc);
+    read_field(in, d.p, ne, crc);
+    read_field(in, d.q, ne, crc);
+    read_field(in, d.v, ne, crc);
+    read_field(in, d.ss, ne, crc);
+    if (crc.value() != h.payload_crc) {
+        // The domain's field vectors already hold the corrupt bytes at this
+        // point; callers must treat the load as failed and restore from
+        // elsewhere (resilient_run falls back to an older checkpoint).
+        throw checkpoint_error(
+            "lulesh: checkpoint payload checksum mismatch (corrupt data)");
+    }
 
     d.cycle = h.cycle;
     d.time_ = h.time;

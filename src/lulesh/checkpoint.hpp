@@ -8,9 +8,12 @@
 // continues **bitwise identically** to the uninterrupted run (covered by
 // tests), for any driver.
 //
-// Format: a fixed little-endian header (magic, version, problem shape) and
-// raw IEEE-754 doubles.  Checkpoints are only loadable into a domain built
-// with the same problem shape (size and slab extent); mismatches throw.
+// Format: a fixed little-endian header (magic, version, problem shape, and
+// a CRC-32 over the payload) followed by raw IEEE-754 doubles.  Checkpoints
+// are only loadable into a domain built with the same problem shape (size
+// and slab extent); mismatches throw, and so does a payload whose bytes no
+// longer match the stored checksum — a bit flipped on disk is reported as
+// checkpoint_error instead of silently corrupting the restarted run.
 
 #pragma once
 

@@ -4,11 +4,14 @@
 #include <cmath>
 
 #include "lulesh/elem_geometry.hpp"
+#include "lulesh/fields.hpp"
 #include "lulesh/kernels.hpp"
 
 namespace lulesh::kernels {
 
 void calc_kinematics(domain& d, index_t lo, index_t hi, real_t dt) {
+    hazard_touch(field::vnew, true, lo, hi);
+    hazard_touch(field::delv, true, lo, hi);
     const real_t dt2 = real_t(0.5) * dt;
     for (index_t k = lo; k < hi; ++k) {
         real_t B[3][8];
@@ -101,6 +104,8 @@ bool apply_material_vnewc(domain& d, index_t lo, index_t hi) {
 }
 
 void update_volumes(domain& d, index_t lo, index_t hi) {
+    hazard_touch(field::vnew, false, lo, hi);
+    hazard_touch(field::v, true, lo, hi);
     const real_t v_cut = d.v_cut;
     for (index_t k = lo; k < hi; ++k) {
         const auto i = static_cast<std::size_t>(k);

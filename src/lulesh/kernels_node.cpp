@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "lulesh/elem_geometry.hpp"
+#include "lulesh/fields.hpp"
 #include "lulesh/kernels.hpp"
 
 namespace lulesh::kernels {
@@ -158,6 +159,9 @@ void calc_fb_hourglass_force(domain& d, index_t lo, index_t hi,
 bool force_stress_chunk(domain& d, index_t lo, index_t hi) {
     // Task-local sigma temporaries (paper trick T5): one value per element in
     // the chunk instead of a mesh-sized global array.
+    hazard_touch(field::p, false, lo, hi);
+    hazard_touch(field::q, false, lo, hi);
+    hazard_touch(field::fx_elem, true, lo, hi);
     bool ok = true;
     for (index_t k = lo; k < hi; ++k) {
         const auto i = static_cast<std::size_t>(k);
@@ -171,6 +175,9 @@ bool force_stress_chunk(domain& d, index_t lo, index_t hi) {
 bool force_hourglass_chunk(domain& d, index_t lo, index_t hi) {
     // Fuses hourglass control and FB force per element with stack-local
     // temporaries (tricks T3+T5).
+    hazard_touch(field::v, false, lo, hi);
+    hazard_touch(field::ss, false, lo, hi);
+    hazard_touch(field::fx_elem_hg, true, lo, hi);
     bool ok = true;
     for (index_t i = lo; i < hi; ++i) {
         real_t dvdx8[8], dvdy8[8], dvdz8[8], x8[8], y8[8], z8[8];
@@ -186,6 +193,9 @@ bool force_hourglass_chunk(domain& d, index_t lo, index_t hi) {
 }
 
 void gather_forces(domain& d, index_t lo, index_t hi) {
+    hazard_touch(field::fx, true, lo, hi);
+    hazard_touch(field::fy, true, lo, hi);
+    hazard_touch(field::fz, true, lo, hi);
     for (index_t n = lo; n < hi; ++n) {
         const index_t count = d.nodeElemCount(n);
         const index_t* corners = d.nodeElemCornerList(n);
@@ -211,6 +221,8 @@ void gather_forces(domain& d, index_t lo, index_t hi) {
 }
 
 void calc_acceleration(domain& d, index_t lo, index_t hi) {
+    hazard_touch(field::xdd, true, lo, hi);
+    hazard_touch(field::nodal_mass, false, lo, hi);
     for (index_t n = lo; n < hi; ++n) {
         const auto i = static_cast<std::size_t>(n);
         d.xdd[i] = d.fx[i] / d.nodalMass[i];
@@ -279,6 +291,9 @@ void calc_position(domain& d, index_t lo, index_t hi, real_t dt) {
 }
 
 void velocity_position_chunk(domain& d, index_t lo, index_t hi, real_t dt) {
+    hazard_touch(field::xdd, false, lo, hi);
+    hazard_touch(field::xd, true, lo, hi);
+    hazard_touch(field::x, true, lo, hi);
     // Two separate loops within one task body — the loops are deliberately
     // *not* fused element-wise, preserving the reference's computational
     // structure (paper Section IV, Figure 7).

@@ -80,6 +80,8 @@ cli_options parse_cli(int argc, const char* const* argv) {
         } else if (arg == "--retries") {
             cli.max_retries = static_cast<int>(
                 parse_long(arg, require_value(arg, argc, argv, i)));
+        } else if (arg == "--audit-graph") {
+            cli.audit_graph = true;
         } else if (arg == "-q" || arg == "--q" || arg == "--quiet") {
             cli.quiet = true;
         } else if (arg == "-h" || arg == "--help") {
@@ -123,9 +125,12 @@ std::string usage_text(const std::string& program) {
        << "  --checkpoint-every <k>     resilient mode: checkpoint every k\n"
        << "                             cycles, roll back + retry on faults\n"
        << "  --retries <n>   retry budget per incident (default 3)\n"
+       << "  --audit-graph   statically audit the task graph for unordered\n"
+       << "                  read-write/write-write overlaps before running\n"
        << "  -h              this help\n"
        << "Exit codes: 0 ok, 1 usage, 2 volume error, 3 qstop exceeded,\n"
-       << "            4 task fault, 5 stalled\n";
+       << "            4 task fault, 5 stalled, 6 graph hazard,\n"
+       << "            7 data corruption\n";
     return os.str();
 }
 

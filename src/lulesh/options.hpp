@@ -110,6 +110,10 @@ struct cli_options {
     int checkpoint_every = 0;
     /// Retry budget per incident for the resilient loop.
     int max_retries = 3;
+
+    /// Run the static task-graph hazard audit at startup (core/graph_audit)
+    /// and exit with status::hazard if an unordered overlap is found.
+    bool audit_graph = false;
 };
 
 /// Parses argv in the style of the reference binary (`-s 30 -r 11 -i 100 -q`)

@@ -44,10 +44,29 @@ resilient_result run_resilient(domain& d, driver& drv,
     resilient_result rr;
     const auto t0 = std::chrono::steady_clock::now();
 
+    // Latest and previous snapshot.  Rollback prefers the latest; if its
+    // checksum no longer verifies (corrupted after capture), it falls back
+    // to the previous one.  Both start as the entry snapshot.
     std::string snapshot = snapshot_state(d);
+    if (opt.snapshot_hook) opt.snapshot_hook(snapshot);
+    std::string prev_snapshot = snapshot;
     if (!opt.checkpoint_path.empty()) {
         save_checkpoint_file(d, opt.checkpoint_path);
     }
+
+    const auto rollback = [&](domain& dom) {
+        try {
+            rollback_state(dom, snapshot);
+        } catch (const checkpoint_error&) {
+            // Latest snapshot is corrupt: restore the previous one and
+            // discard the bad bytes so later retries don't re-trip on them.
+            // If prev_snapshot is corrupt too there is nothing valid left to
+            // restore — let that checkpoint_error propagate.
+            rollback_state(dom, prev_snapshot);
+            snapshot = prev_snapshot;
+            ++rr.snapshot_fallbacks;
+        }
+    };
 
     int incident_cycle = -1;  // failing cycle of the open incident, or -1
     int retries = 0;          // retries spent on the open incident
@@ -80,11 +99,11 @@ resilient_result run_resilient(domain& d, driver& drv,
                     describe_failure(e.what(), this_cycle, this_dt, retries - 1);
                 // Leave the caller the last *good* state, not the torn
                 // fields of the failed iteration.
-                rollback_state(d, snapshot);
+                rollback(d);
                 break;
             }
 
-            rollback_state(d, snapshot);
+            rollback(d);
             // A transient fault's first retry replays at the unchanged dt
             // (bitwise-identical recovery); deterministic physics failures
             // and repeat failures halve it — replaying those unchanged
@@ -101,7 +120,9 @@ resilient_result run_resilient(domain& d, driver& drv,
             retries = 0;
         }
         if (opt.checkpoint_every > 0 && d.cycle % opt.checkpoint_every == 0) {
+            prev_snapshot = std::move(snapshot);
             snapshot = snapshot_state(d);
+            if (opt.snapshot_hook) opt.snapshot_hook(snapshot);
             if (!opt.checkpoint_path.empty()) {
                 save_checkpoint_file(d, opt.checkpoint_path);
             }

@@ -23,6 +23,7 @@
 
 #pragma once
 
+#include <functional>
 #include <limits>
 #include <string>
 
@@ -43,6 +44,12 @@ struct resilience_options {
     /// save_checkpoint_file's atomic temp+rename protocol, so a crash
     /// leaves either the previous or the new checkpoint, never a torn one.
     std::string checkpoint_path;
+
+    /// Test seam: invoked on each in-memory snapshot right after it is
+    /// taken, with the serialized bytes.  Corruption tests flip a byte here
+    /// to prove that rollback detects the bad checksum and falls back to
+    /// the previous snapshot instead of silently restoring corrupt state.
+    std::function<void(std::string&)> snapshot_hook;
 };
 
 struct resilient_result {
@@ -51,11 +58,20 @@ struct resilient_result {
     int rollbacks = 0;            ///< rollback-and-retry attempts performed
     int checkpoints = 0;          ///< snapshots taken after the entry one
     int dt_halvings = 0;          ///< retries that reduced dt before replay
+    int snapshot_fallbacks = 0;   ///< rollbacks that found the latest snapshot
+                                  ///< corrupt and restored the previous one
 };
 
 /// Runs `drv` on `d` to stoptime / `max_cycles` with rollback recovery as
 /// described above.  Exceptions other than injected faults and
 /// simulation_error are not retryable and propagate to the caller.
+///
+/// The loop keeps the latest *and* the previous in-memory snapshot.  Every
+/// checkpoint carries a CRC-32 over its payload, so a snapshot corrupted
+/// after capture (bit rot, a bad copy) is detected when rollback tries to
+/// restore it; the loop then falls back to the previous snapshot (counted
+/// in snapshot_fallbacks) and replays from there.  Only if *both* are
+/// corrupt does the checkpoint_error propagate.
 resilient_result run_resilient(domain& d, driver& drv,
                                const resilience_options& opt,
                                int max_cycles = std::numeric_limits<int>::max());

@@ -59,6 +59,8 @@ enum class status {
     qstop_error,   ///< artificial viscosity exceeded qstop
     task_fault,    ///< a task failed (injected or unexpected exception)
     stalled,       ///< a wave or halo exchange stopped making progress
+    hazard,        ///< the task-graph audit found an unordered overlap
+    data_corruption,  ///< checksum mismatch or non-finite field detected
 };
 
 constexpr const char* status_name(status s) {
@@ -73,6 +75,10 @@ constexpr const char* status_name(status s) {
             return "task_fault";
         case status::stalled:
             return "stalled";
+        case status::hazard:
+            return "hazard";
+        case status::data_corruption:
+            return "data_corruption";
     }
     return "unknown";
 }
@@ -93,6 +99,10 @@ constexpr int exit_code_for(status s) {
             return 4;
         case status::stalled:
             return 5;
+        case status::hazard:
+            return 6;
+        case status::data_corruption:
+            return 7;
     }
     return 1;
 }

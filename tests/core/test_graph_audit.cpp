@@ -1,0 +1,228 @@
+// tests/core/test_graph_audit.cpp — the static hazard auditor: the real
+// iteration model must be proven race-free on concrete meshes, and
+// adversarial mutations of the model (a deleted continuation edge, a write
+// range grown past its partition) must be flagged as exactly the hazard the
+// mutation introduces, with the offending tasks, field, and range named.
+
+#include "core/graph_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/access.hpp"
+#include "lulesh/domain.hpp"
+
+namespace {
+
+using lulesh::domain;
+using lulesh::index_t;
+using lulesh::options;
+using lulesh::partition_sizes;
+namespace graph = lulesh::graph;
+using graph::field;
+
+options small_opts(index_t size = 6, index_t regions = 11) {
+    options o;
+    o.size = size;
+    o.num_regions = regions;
+    return o;
+}
+
+TEST(GraphAudit, RealIterationModelIsProvenRaceFree) {
+    const domain d(small_opts());
+    const auto model = graph::build_iteration_model(d, {64, 64});
+    const auto res = graph::audit_graph(model, d);
+    EXPECT_TRUE(res.ok()) << graph::format_audit(res, model);
+    EXPECT_GT(res.tasks, 0u);
+    EXPECT_GT(res.edges, 0u);  // the node and region chains contribute edges
+    EXPECT_GT(res.accesses, 0u);
+    EXPECT_GT(res.indices_stamped, 0u);
+    EXPECT_NE(graph::format_audit(res, model).find("PASS"), std::string::npos);
+}
+
+TEST(GraphAudit, PassesAcrossPartitionSweep) {
+    // Autotune moves partition sizes at runtime; every decomposition the
+    // sweep can reach must stay race-free, including ragged last chunks.
+    const domain d(small_opts());
+    for (const partition_sizes parts :
+         {partition_sizes{16, 16}, partition_sizes{50, 40},
+          partition_sizes{512, 512}, partition_sizes{1024, 1024}}) {
+        const auto model = graph::build_iteration_model(d, parts);
+        const auto res = graph::audit_graph(model, d);
+        EXPECT_TRUE(res.ok()) << "parts {" << parts.nodal << ", " << parts.elems
+                              << "}:\n"
+                              << graph::format_audit(res, model);
+    }
+}
+
+TEST(GraphAudit, PassesOnMultiRegionAndSlabDomains) {
+    {
+        const domain d(small_opts(8, 11));
+        const auto model = graph::build_iteration_model(d, {64, 64});
+        EXPECT_TRUE(graph::audit_graph(model, d).ok());
+    }
+    {
+        // Interior slab of a decomposed run: ghost corner slots widen the
+        // corner space, region lists are slab-local.
+        const domain d(small_opts(6, 1), lulesh::slab_extent{2, 4, 6});
+        const auto model = graph::build_iteration_model(d, {64, 64});
+        EXPECT_TRUE(graph::audit_graph(model, d).ok());
+    }
+}
+
+TEST(GraphAuditAdversarial, DeletedNodeChainEdgeIsFlaggedAsReadWrite) {
+    const domain d(small_opts());
+    auto model = graph::build_iteration_model(d, {64, 64});
+
+    // Cut the gather→velpos continuation edge of one node chunk: velpos
+    // reads the accelerations its gather writes, so without the edge the
+    // pair is an unordered read-write overlap.
+    const auto velpos = std::find_if(
+        model.tasks.begin(), model.tasks.end(), [](const graph::task_decl& t) {
+            return std::string(t.site) == "node.velpos" && t.partition == 1;
+        });
+    ASSERT_NE(velpos, model.tasks.end());
+    ASSERT_FALSE(velpos->deps.empty());
+    const auto& gather =
+        model.tasks[static_cast<std::size_t>(velpos->deps.front())];
+    EXPECT_STREQ(gather.site, "node.gather");
+    velpos->deps.clear();
+
+    const auto res = graph::audit_graph(model, d);
+    ASSERT_FALSE(res.ok());
+    for (const auto& h : res.hazards) {
+        EXPECT_EQ(h.k, graph::hazard_report::kind::read_write);
+        // Exactly the accelerations flow across the cut edge.
+        EXPECT_TRUE(h.f == field::xdd || h.f == field::ydd || h.f == field::zdd);
+        const auto& a = model.tasks[static_cast<std::size_t>(h.task_a)];
+        const auto& b = model.tasks[static_cast<std::size_t>(h.task_b)];
+        EXPECT_TRUE((std::string(a.site) == "node.gather" &&
+                     std::string(b.site) == "node.velpos") ||
+                    (std::string(a.site) == "node.velpos" &&
+                     std::string(b.site) == "node.gather"));
+        // The offending range is the severed chunk, not the whole mesh.
+        EXPECT_EQ(h.lo, velpos->lo);
+        EXPECT_EQ(h.hi, velpos->hi);
+        const std::string line = h.describe(model);
+        EXPECT_NE(line.find("node.gather"), std::string::npos) << line;
+        EXPECT_NE(line.find("node.velpos"), std::string::npos) << line;
+        EXPECT_NE(line.find("[1]"), std::string::npos) << line;
+    }
+    // One hazard per severed acceleration component, coalesced by range.
+    EXPECT_EQ(res.hazards.size(), 3u);
+}
+
+TEST(GraphAuditAdversarial, WriteRangeGrownPastItsPartitionIsWriteWrite) {
+    const domain d(small_opts());
+    auto model = graph::build_iteration_model(d, {64, 64});
+
+    // Grow one volume-update task's write range by one element: it now
+    // writes v into the next chunk's territory with no ordering edge.
+    const auto vol = std::find_if(
+        model.tasks.begin(), model.tasks.end(), [](const graph::task_decl& t) {
+            return std::string(t.site) == "region_eos.volume" &&
+                   t.partition == 0;
+        });
+    ASSERT_NE(vol, model.tasks.end());
+    for (auto& a : vol->accesses) {
+        if (a.f == field::v && a.m == graph::mode::write) a.hi += 1;
+    }
+
+    const auto res = graph::audit_graph(model, d);
+    ASSERT_FALSE(res.ok());
+    ASSERT_EQ(res.hazards.size(), 1u);
+    const auto& h = res.hazards.front();
+    EXPECT_EQ(h.k, graph::hazard_report::kind::write_write);
+    EXPECT_EQ(h.f, field::v);
+    EXPECT_EQ(h.hi - h.lo, 1);  // exactly the one stolen element
+    const std::string line = h.describe(model);
+    EXPECT_NE(line.find("region_eos.volume"), std::string::npos) << line;
+    EXPECT_NE(line.find("write-write"), std::string::npos) << line;
+}
+
+// ---------------- hand-built toy models ----------------------------------
+
+graph::task_decl toy_task(const char* site, index_t part, int stage,
+                          field f, graph::mode m, index_t lo, index_t hi,
+                          std::vector<int> deps = {}) {
+    graph::task_decl t;
+    t.site = site;
+    t.partition = part;
+    t.lo = lo;
+    t.hi = hi;
+    t.stage = stage;
+    t.accesses.push_back({f, m, lo, hi, nullptr, graph::closure::none});
+    t.deps = std::move(deps);
+    return t;
+}
+
+TEST(GraphAuditToy, UnorderedOverlappingWritersAreFlagged) {
+    const domain d(small_opts());
+    graph::graph_model m;
+    m.num_stages = 1;
+    m.tasks.push_back(toy_task("toy.a", 0, 0, field::e, graph::mode::write,
+                               0, 10));
+    m.tasks.push_back(toy_task("toy.b", 1, 0, field::e, graph::mode::write,
+                               5, 15));
+    const auto res = graph::audit_graph(m, d);
+    ASSERT_EQ(res.hazards.size(), 1u);
+    EXPECT_EQ(res.hazards[0].k, graph::hazard_report::kind::write_write);
+    EXPECT_EQ(res.hazards[0].lo, 5);
+    EXPECT_EQ(res.hazards[0].hi, 10);
+}
+
+TEST(GraphAuditToy, AContinuationEdgeOrdersTheOverlap) {
+    const domain d(small_opts());
+    graph::graph_model m;
+    m.num_stages = 1;
+    m.tasks.push_back(toy_task("toy.a", 0, 0, field::e, graph::mode::write,
+                               0, 10));
+    m.tasks.push_back(toy_task("toy.b", 1, 0, field::e, graph::mode::write,
+                               5, 15, {0}));
+    EXPECT_TRUE(graph::audit_graph(m, d).ok());
+}
+
+TEST(GraphAuditToy, OrderingIsTransitiveAlongChains) {
+    // a → b → c declared; a and c overlap with no direct edge — the
+    // transitive closure must order them.
+    const domain d(small_opts());
+    graph::graph_model m;
+    m.num_stages = 1;
+    m.tasks.push_back(toy_task("toy.a", 0, 0, field::e, graph::mode::write,
+                               0, 10));
+    m.tasks.push_back(toy_task("toy.b", 1, 0, field::p, graph::mode::write,
+                               0, 10, {0}));
+    m.tasks.push_back(toy_task("toy.c", 2, 0, field::e, graph::mode::write,
+                               0, 10, {1}));
+    EXPECT_TRUE(graph::audit_graph(m, d).ok());
+}
+
+TEST(GraphAuditToy, BarriersOrderAcrossStages) {
+    // The same overlap split across two stages needs no edge: the surviving
+    // when_all barrier between stages is the ordering.
+    const domain d(small_opts());
+    graph::graph_model m;
+    m.num_stages = 2;
+    m.tasks.push_back(toy_task("toy.a", 0, 0, field::e, graph::mode::write,
+                               0, 10));
+    m.tasks.push_back(toy_task("toy.b", 0, 1, field::e, graph::mode::write,
+                               0, 10));
+    EXPECT_TRUE(graph::audit_graph(m, d).ok());
+}
+
+TEST(GraphAuditToy, ReadersOfOneWriterDoNotConflictWithEachOther) {
+    const domain d(small_opts());
+    graph::graph_model m;
+    m.num_stages = 1;
+    m.tasks.push_back(toy_task("toy.w", 0, 0, field::e, graph::mode::write,
+                               0, 10));
+    m.tasks.push_back(toy_task("toy.r1", 1, 0, field::e, graph::mode::read,
+                               0, 10, {0}));
+    m.tasks.push_back(toy_task("toy.r2", 2, 0, field::e, graph::mode::read,
+                               0, 10, {0}));
+    EXPECT_TRUE(graph::audit_graph(m, d).ok());
+}
+
+}  // namespace

@@ -6,6 +6,8 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include <sstream>
 
@@ -197,6 +199,54 @@ TEST(Cluster, UnpackRejectsWrongSize) {
     EXPECT_THROW(
         lulesh::dist::unpack_delv_ghosts(c.slab(1), c.slab(1).ghost_lower_slot(), tiny),
         std::invalid_argument);
+}
+
+// Flips one bit of one payload value, preserving the message size.
+void flip_payload_bit(lulesh::dist::plane_buffer& buf, std::size_t i) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(lulesh::real_t));
+    std::memcpy(&bits, &buf[i], sizeof(bits));
+    bits ^= 1u;
+    std::memcpy(&buf[i], &bits, sizeof(bits));
+}
+
+TEST(Cluster, CorruptCornerMessageFailsWithDataCorruption) {
+    cluster c(opts(4), 2);
+    auto buf = lulesh::dist::pack_corner_plane(c.slab(0),
+                                               c.slab(0).top_plane_elem_base());
+    flip_payload_bit(buf, 3);
+    try {
+        lulesh::dist::unpack_corner_ghosts(c.slab(1),
+                                           c.slab(1).ghost_lower_slot(), buf);
+        FAIL() << "corrupt corner message was accepted";
+    } catch (const lulesh::simulation_error& e) {
+        EXPECT_EQ(e.code(), lulesh::status::data_corruption);
+        EXPECT_EQ(lulesh::exit_code_for(e.code()), 7);
+    }
+}
+
+TEST(Cluster, CorruptDelvMessageFailsWithDataCorruption) {
+    cluster c(opts(4), 2);
+    auto buf = lulesh::dist::pack_delv_plane(c.slab(0),
+                                             c.slab(0).top_plane_elem_base());
+    flip_payload_bit(buf, 0);
+    try {
+        lulesh::dist::unpack_delv_ghosts(c.slab(1),
+                                         c.slab(1).ghost_lower_slot(), buf);
+        FAIL() << "corrupt delv message was accepted";
+    } catch (const lulesh::simulation_error& e) {
+        EXPECT_EQ(e.code(), lulesh::status::data_corruption);
+    }
+}
+
+TEST(Cluster, CorruptCrcSlotItselfIsAlsoDetected) {
+    cluster c(opts(4), 2);
+    auto buf = lulesh::dist::pack_delv_plane(c.slab(0),
+                                             c.slab(0).top_plane_elem_base());
+    flip_payload_bit(buf, buf.size() - 1);  // damage the checksum, not data
+    EXPECT_THROW(lulesh::dist::unpack_delv_ghosts(
+                     c.slab(1), c.slab(1).ghost_lower_slot(), buf),
+                 lulesh::simulation_error);
 }
 
 // ---------------- equivalence with the single-domain run ----------------

@@ -210,6 +210,63 @@ TEST(ResilientRun, NonRetryableExceptionsPropagate) {
     EXPECT_THROW(lulesh::run_resilient(res, drv, {}, 5), std::logic_error);
 }
 
+TEST(ResilientRun, CorruptSnapshotFallsBackToThePreviousOne) {
+    fault_guard guard;
+    // Fault-free baseline for the bitwise comparison.
+    domain plain(small_opts());
+    lulesh::serial_driver d0;
+    lulesh::run_simulation(plain, d0, 20);
+
+    // One transient fault at cycle 6 forces a rollback; the snapshot the
+    // rollback wants (taken at cycle 4 — the 3rd hook call after entry and
+    // cycle 2) has a flipped payload byte, so its checksum fails and the
+    // loop must fall back to the cycle-2 snapshot and replay from there.
+    amt::fault::plan p;
+    p.site = "advance";
+    p.epoch = 6;
+    p.max_injections = 1;
+    amt::fault::arm(p);
+
+    domain res(small_opts());
+    lulesh::serial_driver drv;
+    resilience_options opt;
+    opt.checkpoint_every = 2;
+    int snaps = 0;
+    opt.snapshot_hook = [&snaps](std::string& bytes) {
+        if (++snaps == 3) bytes[bytes.size() - 9] ^= 0x10;
+    };
+    const auto rr = lulesh::run_resilient(res, drv, opt, 20);
+    amt::fault::disarm();
+
+    EXPECT_EQ(rr.result.run_status, lulesh::status::ok);
+    EXPECT_EQ(rr.rollbacks, 1);
+    EXPECT_EQ(rr.snapshot_fallbacks, 1);
+    EXPECT_EQ(rr.dt_halvings, 0);  // transient: the replay keeps dt
+    // The longer replay (from cycle 2 instead of 4) is still bitwise exact.
+    EXPECT_EQ(lulesh::max_field_difference(plain, res), 0.0);
+    EXPECT_EQ(serialized(res), serialized(plain));
+}
+
+TEST(ResilientRun, BothSnapshotsCorruptPropagatesCheckpointError) {
+    fault_guard guard;
+    amt::fault::plan p;
+    p.site = "advance";
+    p.epoch = 6;
+    p.max_injections = 1;
+    amt::fault::arm(p);
+
+    domain res(small_opts());
+    lulesh::serial_driver drv;
+    resilience_options opt;
+    opt.checkpoint_every = 2;
+    opt.snapshot_hook = [](std::string& bytes) {
+        bytes[bytes.size() - 9] ^= 0x10;  // corrupt *every* snapshot
+    };
+    EXPECT_THROW(lulesh::run_resilient(res, drv, opt, 20),
+                 lulesh::checkpoint_error);
+    amt::fault::disarm();
+}
+
 TEST(ResilientRun, FileMirrorIsAtomicAndLoadable) {
     const std::string path = "/tmp/lulesh_resilient_mirror.ckpt";
     std::remove(path.c_str());
