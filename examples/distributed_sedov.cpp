@@ -15,6 +15,7 @@
 #include "amt/amt.hpp"
 #include "dist/cluster.hpp"
 #include "dist/driver_dist.hpp"
+#include "dist/halo_audit.hpp"
 #include "lulesh/driver.hpp"
 #include "lulesh/validate.hpp"
 
@@ -46,6 +47,19 @@ int main(int argc, char** argv) {
     std::cout << "Distributed Sedov: size " << cli.problem.size << "^3 over "
               << num_slabs << " slabs, " << threads << " worker threads, "
               << cli.problem.max_cycles << " iterations\n\n";
+
+    if (cli.audit_graph) {
+        // Prove each slab's wave graph *plus* its halo pack/unpack tasks
+        // race-free for this exact decomposition before trusting any
+        // exchange mode with a run.
+        lulesh::dist::cluster probe(cli.problem, num_slabs);
+        const auto audits = lulesh::dist::audit_cluster(probe, parts);
+        std::cout << lulesh::dist::format_cluster_audit(audits);
+        if (!lulesh::dist::cluster_audit_ok(audits)) {
+            return lulesh::exit_code_for(lulesh::status::hazard);
+        }
+        std::cout << "\n";
+    }
 
     // Ground truth: single-domain serial run.
     lulesh::domain global(cli.problem);

@@ -66,6 +66,10 @@ int main(int argc, char** argv) {
 
     std::vector<double> data(static_cast<std::size_t>(N));
     const int parts = static_cast<int>(N / P);
+    // Tasks capture the vector by pointer, never by reference: a scheduled
+    // task can outlive any scope, so the graph code's decay-copy idiom
+    // (core/graph_waves) applies to the toy pipeline too.
+    std::vector<double>* dp = &data;
 
     // --- Figure 1: a single future/continuation chain --------------------
     {
@@ -80,8 +84,8 @@ int main(int argc, char** argv) {
     const double expected = timed("figure 5 (4 loops, 4 barriers)   ", 4 * parts, 4, [&] {
         auto loop = [&](auto kernel) {
             auto wave = amt::bulk_async(rt, 0, N, P,
-                                        [&data, kernel](amt::index_t lo, amt::index_t hi) {
-                                            for (amt::index_t i = lo; i < hi; ++i) kernel(data, i);
+                                        [dp, kernel](amt::index_t lo, amt::index_t hi) {
+                                            for (amt::index_t i = lo; i < hi; ++i) kernel(*dp, i);
                                         });
             amt::wait_all(wave);  // synchronization barrier, Figure 5 style
         };
@@ -100,20 +104,20 @@ int main(int argc, char** argv) {
             for (amt::index_t lo = 0; lo < N; lo += P) {
                 const amt::index_t hi = std::min<amt::index_t>(lo + P, N);
                 chains.push_back(
-                    amt::async([&data, lo, hi] {
-                        for (amt::index_t i = lo; i < hi; ++i) k0(data, i);
+                    amt::async([dp, lo, hi] {
+                        for (amt::index_t i = lo; i < hi; ++i) k0(*dp, i);
                     })
-                        .then([&data, lo, hi](amt::future<void>&& f) {
+                        .then([dp, lo, hi](amt::future<void>&& f) {
                             f.get();
-                            for (amt::index_t i = lo; i < hi; ++i) k1(data, i);
+                            for (amt::index_t i = lo; i < hi; ++i) k1(*dp, i);
                         })
-                        .then([&data, lo, hi](amt::future<void>&& f) {
+                        .then([dp, lo, hi](amt::future<void>&& f) {
                             f.get();
-                            for (amt::index_t i = lo; i < hi; ++i) k2(data, i);
+                            for (amt::index_t i = lo; i < hi; ++i) k2(*dp, i);
                         })
-                        .then([&data, lo, hi](amt::future<void>&& f) {
+                        .then([dp, lo, hi](amt::future<void>&& f) {
                             f.get();
-                            for (amt::index_t i = lo; i < hi; ++i) k3(data, i);
+                            for (amt::index_t i = lo; i < hi; ++i) k3(*dp, i);
                         }));
             }
             amt::when_all_void(std::move(chains)).get();  // single barrier
@@ -130,14 +134,14 @@ int main(int argc, char** argv) {
             for (amt::index_t lo = 0; lo < N; lo += P) {
                 const amt::index_t hi = std::min<amt::index_t>(lo + P, N);
                 chains.push_back(
-                    amt::async([&data, lo, hi] {
+                    amt::async([dp, lo, hi] {
                         // Two loops, one task — loops intentionally not fused.
-                        for (amt::index_t i = lo; i < hi; ++i) k0(data, i);
-                        for (amt::index_t i = lo; i < hi; ++i) k1(data, i);
-                    }).then([&data, lo, hi](amt::future<void>&& f) {
+                        for (amt::index_t i = lo; i < hi; ++i) k0(*dp, i);
+                        for (amt::index_t i = lo; i < hi; ++i) k1(*dp, i);
+                    }).then([dp, lo, hi](amt::future<void>&& f) {
                         f.get();
-                        for (amt::index_t i = lo; i < hi; ++i) k2(data, i);
-                        for (amt::index_t i = lo; i < hi; ++i) k3(data, i);
+                        for (amt::index_t i = lo; i < hi; ++i) k2(*dp, i);
+                        for (amt::index_t i = lo; i < hi; ++i) k3(*dp, i);
                     }));
             }
             amt::when_all_void(std::move(chains)).get();
@@ -149,6 +153,7 @@ int main(int argc, char** argv) {
     // --- Figure 8: independent kernels launched together ------------------
     {
         std::vector<double> other(static_cast<std::size_t>(N));
+        std::vector<double>* op = &other;
         const double sum = timed("figure 8 (independent, 1 barrier)", 2 * parts, 1, [&] {
             std::vector<amt::future<void>> wave;
             wave.reserve(static_cast<std::size_t>(2 * parts));
@@ -157,13 +162,13 @@ int main(int argc, char** argv) {
                 // Like stress and hourglass forces: two independent kernels
                 // over the same partition, scheduled in whatever order the
                 // runtime finds best.
-                wave.push_back(amt::async([&data, lo, hi] {
-                    for (amt::index_t i = lo; i < hi; ++i) k0(data, i);
-                    for (amt::index_t i = lo; i < hi; ++i) k1(data, i);
+                wave.push_back(amt::async([dp, lo, hi] {
+                    for (amt::index_t i = lo; i < hi; ++i) k0(*dp, i);
+                    for (amt::index_t i = lo; i < hi; ++i) k1(*dp, i);
                 }));
-                wave.push_back(amt::async([&other, lo, hi] {
-                    for (amt::index_t i = lo; i < hi; ++i) k0(other, i);
-                    for (amt::index_t i = lo; i < hi; ++i) k1(other, i);
+                wave.push_back(amt::async([op, lo, hi] {
+                    for (amt::index_t i = lo; i < hi; ++i) k0(*op, i);
+                    for (amt::index_t i = lo; i < hi; ++i) k1(*op, i);
                 }));
             }
             amt::when_all_void(std::move(wave)).get();

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# One-command amtlint: build the lint binary if needed and scan the tree
+# with the checked-in baseline — the same invocation the `amtlint.tree`
+# ctest runs (`ctest -L lint`).  Exit 0 clean, 1 on new diagnostics.
+# See docs/static-analysis.md for the rules.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ ! -x build/tools/amtlint/amtlint ]; then
+  cmake -B build -S . > /dev/null
+  cmake --build build --target amtlint -j "$(nproc)" > /dev/null
+fi
+
+exec ./build/tools/amtlint/amtlint \
+  --root . \
+  --baseline tools/amtlint/baseline.txt \
+  --exclude src/amt/ \
+  src examples

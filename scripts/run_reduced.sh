@@ -25,10 +25,17 @@ echo "== Fault-probe overhead (<1% budget) =="
 echo "== Hazard-probe overhead (<1% budget) =="
 ./build/bench/hazard_overhead | tee results/hazard_overhead.txt
 
+# Source-level lint: task/future misuse (dangling captures, blocking gets,
+# undeclared kernel accesses, mutable statics, discarded futures) against
+# the checked-in empty baseline — docs/static-analysis.md.
+echo "== amtlint (task/future misuse) =="
+scripts/lint.sh | tee results/amtlint.txt
+
 # Static graph audit: prove the barrier-elision is race-free for every
 # driver/size the reduced suite exercises (the run itself is one cycle; the
 # audit happens at startup and fails the command with exit code 6 on any
-# unordered overlap).
+# unordered overlap).  The dist invocations additionally audit every slab's
+# halo pack/unpack tasks (src/dist/halo_audit.*).
 echo "== Graph hazard audit =="
 {
   for s in 10 16 24; do
@@ -36,6 +43,8 @@ echo "== Graph hazard audit =="
   done
   ./build/examples/lulesh_app --audit-graph -s 16 -i 1 -d taskgraph -p 64 64
   ./build/examples/lulesh_app --audit-graph -s 16 -i 1 -d taskgraph -p 512 512
+  ./build/examples/distributed_sedov --audit-graph -s 8 -i 2 -t 3
+  ./build/examples/distributed_sedov --audit-graph -s 8 -i 2 -t 8 -p 64 64
 } | tee results/graph_audit.txt
 
 # Resilience/fault suite under ASan+UBSan, when the sanitize preset has been

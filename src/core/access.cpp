@@ -20,7 +20,11 @@ std::size_t space_extent(space s, const domain& d, std::size_t slots) {
         case space::node:
             return static_cast<std::size_t>(d.numNode());
         case space::elem:
-            return static_cast<std::size_t>(d.numElem());
+            // At least numElem; delv_zeta can exceed it in dist slabs,
+            // whose ghost planes live past the owned range (the halo audit
+            // stamps those ghost indices).
+            return std::max(static_cast<std::size_t>(d.numElem()),
+                            d.delv_zeta.size());
         case space::corner:
             // Sized from the array, not numElem*8: dist slabs extend the
             // corner arrays with ghost planes.

@@ -194,8 +194,9 @@ void foreach_driver::advance(domain& d) {
         for (index_t lo = 0; lo < count; lo += chunk) {
             const index_t hi = std::min<index_t>(lo + chunk, count);
             kernels::dt_constraints* out = &partials_[slot++];
-            wave.push_back(amt::async(rt_, [&d, lp, lo, hi, out] {
-                *out = k::calc_time_constraints(d, lp, lo, hi);
+            domain* dp = &d;
+            wave.push_back(amt::async(rt_, [dp, lp, lo, hi, out] {
+                *out = k::calc_time_constraints(*dp, lp, lo, hi);
             }));
         }
         amt::wait_all(wave);

@@ -1,0 +1,59 @@
+// dist/halo_audit.hpp
+//
+// Extends the static task-graph audit (core/graph_audit) to the dist halo
+// exchange.  The single-domain model (core/access::build_iteration_model)
+// covers the five leapfrog waves; a slab additionally runs, per interior
+// boundary:
+//
+//   stage 0  pack_corner   reads the boundary plane of the six corner-force
+//                          arrays — ordered after the force tasks that write
+//                          that plane (exactly the eager-send gating of
+//                          spawn_staged, which is the *weakest* ordering any
+//                          exchange mode provides);
+//            unpack_corner writes the neighbor's plane into the ghost slots
+//                          — declared with NO intra-stage ordering edge, so
+//                          the audit must prove the ghost region disjoint
+//                          from every owned-plane access of the wave;
+//   stage 2  pack_delv     reads the boundary plane of delv_zeta (same
+//                          gating as pack_corner);
+//            unpack_delv   writes the delv_zeta ghost plane, again with no
+//                          edge — disjointness is the safety argument.
+//
+// The audit is per-slab: slabs share no arrays (channels pass buffers by
+// value), so cross-slab ordering is the channel set→get dependency the
+// runtime enforces by construction, while every intra-slab hazard — ghost
+// slots colliding with owned ranges, a send racing the plane it reads — is
+// in scope here.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph_audit.hpp"
+#include "dist/cluster.hpp"
+
+namespace lulesh::dist {
+
+/// The declarative model of one slab's advance: the five-wave iteration
+/// model plus the halo pack/unpack tasks for each interior boundary the
+/// slab touches.  `d` must be a slab domain (cluster::slab); on a domain
+/// with no neighbors this degenerates to the plain iteration model.
+graph::graph_model build_slab_model(const domain& d, partition_sizes parts);
+
+/// One slab's audit outcome within a cluster audit.
+struct slab_audit {
+    index_t slab = 0;
+    graph::graph_model model;
+    graph::audit_result result;
+};
+
+/// Audits every slab of the cluster with build_slab_model.
+std::vector<slab_audit> audit_cluster(const cluster& c, partition_sizes parts);
+
+[[nodiscard]] bool cluster_audit_ok(const std::vector<slab_audit>& audits);
+
+/// Per-slab "slab N: ..." lines in format_audit's format.
+std::string format_cluster_audit(const std::vector<slab_audit>& audits);
+
+}  // namespace lulesh::dist

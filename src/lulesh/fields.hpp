@@ -177,4 +177,15 @@ inline void hazard_touch(field f, bool write, index_t lo, index_t hi) {
     }
 }
 
+/// Declarative sibling of hazard_touch for *indirect* accesses: a kernel
+/// that reaches `f` through a gather/scatter map (elem→node corners,
+/// node→element corner list, region element lists) touches an index set
+/// that is not a contiguous range in f's own space, so an interval probe
+/// here would stamp the wrong indices and mis-fire the shadow tracker.
+/// Those closures are declared to the graph auditor in core/access instead;
+/// this marker exists so the source-level lint (tools/amtlint, rule AMT003)
+/// can still verify the kernel's full field footprint is declared.
+/// Deliberately a no-op — second argument mirrors hazard_touch's `write`.
+inline void hazard_covers(field, bool = false) {}
+
 }  // namespace lulesh

@@ -12,6 +12,18 @@ namespace lulesh::kernels {
 void calc_kinematics(domain& d, index_t lo, index_t hi, real_t dt) {
     hazard_touch(field::vnew, true, lo, hi);
     hazard_touch(field::delv, true, lo, hi);
+    hazard_touch(field::volo, false, lo, hi);
+    hazard_touch(field::v, false, lo, hi);
+    hazard_touch(field::arealg, true, lo, hi);
+    hazard_touch(field::dxx, true, lo, hi);
+    hazard_touch(field::dyy, true, lo, hi);
+    hazard_touch(field::dzz, true, lo, hi);
+    hazard_covers(field::x);   // corner gather through nodelist (elem_nodes)
+    hazard_covers(field::y);
+    hazard_covers(field::z);
+    hazard_covers(field::xd);
+    hazard_covers(field::yd);
+    hazard_covers(field::zd);
     const real_t dt2 = real_t(0.5) * dt;
     for (index_t k = lo; k < hi; ++k) {
         real_t B[3][8];

@@ -162,6 +162,11 @@ bool force_stress_chunk(domain& d, index_t lo, index_t hi) {
     hazard_touch(field::p, false, lo, hi);
     hazard_touch(field::q, false, lo, hi);
     hazard_touch(field::fx_elem, true, lo, hi);
+    hazard_touch(field::fy_elem, true, lo, hi);
+    hazard_touch(field::fz_elem, true, lo, hi);
+    hazard_covers(field::x);   // corner gather through nodelist (elem_nodes)
+    hazard_covers(field::y);
+    hazard_covers(field::z);
     bool ok = true;
     for (index_t k = lo; k < hi; ++k) {
         const auto i = static_cast<std::size_t>(k);
@@ -177,7 +182,17 @@ bool force_hourglass_chunk(domain& d, index_t lo, index_t hi) {
     // temporaries (tricks T3+T5).
     hazard_touch(field::v, false, lo, hi);
     hazard_touch(field::ss, false, lo, hi);
+    hazard_touch(field::volo, false, lo, hi);
+    hazard_touch(field::elem_mass, false, lo, hi);
     hazard_touch(field::fx_elem_hg, true, lo, hi);
+    hazard_touch(field::fy_elem_hg, true, lo, hi);
+    hazard_touch(field::fz_elem_hg, true, lo, hi);
+    hazard_covers(field::x);   // corner gather through nodelist (elem_nodes)
+    hazard_covers(field::y);
+    hazard_covers(field::z);
+    hazard_covers(field::xd);
+    hazard_covers(field::yd);
+    hazard_covers(field::zd);
     bool ok = true;
     for (index_t i = lo; i < hi; ++i) {
         real_t dvdx8[8], dvdy8[8], dvdz8[8], x8[8], y8[8], z8[8];
@@ -196,6 +211,14 @@ void gather_forces(domain& d, index_t lo, index_t hi) {
     hazard_touch(field::fx, true, lo, hi);
     hazard_touch(field::fy, true, lo, hi);
     hazard_touch(field::fz, true, lo, hi);
+    // Corner-force reads go through nodeElemCornerList: a node range maps to
+    // a scattered set of corner positions (node_corners closure).
+    hazard_covers(field::fx_elem);
+    hazard_covers(field::fy_elem);
+    hazard_covers(field::fz_elem);
+    hazard_covers(field::fx_elem_hg);
+    hazard_covers(field::fy_elem_hg);
+    hazard_covers(field::fz_elem_hg);
     for (index_t n = lo; n < hi; ++n) {
         const index_t count = d.nodeElemCount(n);
         const index_t* corners = d.nodeElemCornerList(n);
@@ -222,6 +245,11 @@ void gather_forces(domain& d, index_t lo, index_t hi) {
 
 void calc_acceleration(domain& d, index_t lo, index_t hi) {
     hazard_touch(field::xdd, true, lo, hi);
+    hazard_touch(field::ydd, true, lo, hi);
+    hazard_touch(field::zdd, true, lo, hi);
+    hazard_touch(field::fx, false, lo, hi);
+    hazard_touch(field::fy, false, lo, hi);
+    hazard_touch(field::fz, false, lo, hi);
     hazard_touch(field::nodal_mass, false, lo, hi);
     for (index_t n = lo; n < hi; ++n) {
         const auto i = static_cast<std::size_t>(n);
@@ -292,8 +320,14 @@ void calc_position(domain& d, index_t lo, index_t hi, real_t dt) {
 
 void velocity_position_chunk(domain& d, index_t lo, index_t hi, real_t dt) {
     hazard_touch(field::xdd, false, lo, hi);
+    hazard_touch(field::ydd, false, lo, hi);
+    hazard_touch(field::zdd, false, lo, hi);
     hazard_touch(field::xd, true, lo, hi);
+    hazard_touch(field::yd, true, lo, hi);
+    hazard_touch(field::zd, true, lo, hi);
     hazard_touch(field::x, true, lo, hi);
+    hazard_touch(field::y, true, lo, hi);
+    hazard_touch(field::z, true, lo, hi);
     // Two separate loops within one task body — the loops are deliberately
     // *not* fused element-wise, preserving the reference's computational
     // structure (paper Section IV, Figure 7).

@@ -34,6 +34,13 @@ const char* require_value(const std::string& flag, int argc,
 }  // namespace
 
 cli_options parse_cli(int argc, const char* const* argv) {
+    return parse_cli(argc, argv,
+                     [](const char* name) -> const char* {
+                         return std::getenv(name);
+                     });
+}
+
+cli_options parse_cli(int argc, const char* const* argv, env_lookup env) {
     cli_options cli;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -105,6 +112,28 @@ cli_options parse_cli(int argc, const char* const* argv) {
     if (cli.max_retries < 0) {
         throw std::invalid_argument("lulesh: --retries must be >= 0");
     }
+    if (cli.partitions &&
+        (cli.partitions->nodal < 1 || cli.partitions->elems < 1)) {
+        throw std::invalid_argument("lulesh: -p sizes must be >= 1");
+    }
+    if (const char* raw = env("LULESH_AUDIT_GRAPH");
+        raw != nullptr && *raw != '\0') {
+        const std::string v = raw;
+        if (v == "1") {
+            cli.audit_graph = true;
+        } else if (v != "0") {
+            throw std::invalid_argument(
+                "lulesh: LULESH_AUDIT_GRAPH must be empty, 0, or 1, got '" +
+                v + "'");
+        }
+    }
+    if (cli.audit_graph &&
+        (cli.driver == "serial" || cli.driver == "parallel_for")) {
+        throw std::invalid_argument(
+            "lulesh: --audit-graph (or LULESH_AUDIT_GRAPH=1) audits the "
+            "pre-built task graph, which driver '" + cli.driver +
+            "' never spawns — use taskgraph or foreach");
+    }
     return cli;
 }
 
@@ -127,6 +156,8 @@ std::string usage_text(const std::string& program) {
        << "  --retries <n>   retry budget per incident (default 3)\n"
        << "  --audit-graph   statically audit the task graph for unordered\n"
        << "                  read-write/write-write overlaps before running\n"
+       << "                  (env twin: LULESH_AUDIT_GRAPH=1; needs a\n"
+       << "                  task-graph driver)\n"
        << "  -h              this help\n"
        << "Exit codes: 0 ok, 1 usage, 2 volume error, 3 qstop exceeded,\n"
        << "            4 task fault, 5 stalled, 6 graph hazard,\n"

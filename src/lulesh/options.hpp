@@ -116,10 +116,22 @@ struct cli_options {
     bool audit_graph = false;
 };
 
+/// Environment lookup used by parse_cli — std::getenv by default, injectable
+/// so tests can exercise env-flag handling without mutating the process
+/// environment.  Returns nullptr when the variable is unset.
+using env_lookup = const char* (*)(const char* name);
+
 /// Parses argv in the style of the reference binary (`-s 30 -r 11 -i 100 -q`)
 /// extended with `-d <driver>`, `-t <threads>`, `-p <nodal> <elems>`.
+/// Also consults LULESH_AUDIT_GRAPH ("" or "0" = off, "1" = on, anything
+/// else rejected) as the environment twin of --audit-graph.  The audit
+/// models the task-graph wave structure, so either spelling combined with a
+/// driver that spawns no task graph (serial, parallel_for) is rejected.
 /// Throws std::invalid_argument on malformed input.
 cli_options parse_cli(int argc, const char* const* argv);
+
+/// Same, with an explicit environment (tests inject lookups here).
+cli_options parse_cli(int argc, const char* const* argv, env_lookup env);
 
 /// Usage text for the executables.
 std::string usage_text(const std::string& program);

@@ -1,0 +1,71 @@
+// Tests for the CRC-32 used to checksum checkpoint payloads and dist halo
+// messages — the IEEE 802.3 / zlib variant, pinned to its published test
+// vectors so a quiet change to the polynomial, the reflection, or the
+// final xor cannot slip through while checkpoints appear to round-trip.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "lulesh/crc32.hpp"
+
+namespace {
+
+std::uint32_t crc_of(const std::string& s) {
+    return lulesh::crc32_of(s.data(), s.size());
+}
+
+TEST(Crc32, EmptyBufferIsZero) {
+    EXPECT_EQ(crc_of(""), 0x00000000u);
+    // n = 0 must not dereference the pointer at all.
+    EXPECT_EQ(lulesh::crc32_of(nullptr, 0), 0x00000000u);
+}
+
+TEST(Crc32, SingleByteVectors) {
+    EXPECT_EQ(crc_of("a"), 0xE8B7BE43u);
+    const unsigned char zero = 0x00;
+    EXPECT_EQ(lulesh::crc32_of(&zero, 1), 0xD202EF8Du);
+}
+
+TEST(Crc32, KnownVectors) {
+    // The zlib/IEEE check value, plus two classics.
+    EXPECT_EQ(crc_of("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc_of("abc"), 0x352441C2u);
+    EXPECT_EQ(crc_of("The quick brown fox jumps over the lazy dog"),
+              0x414FA339u);
+}
+
+TEST(Crc32, IncrementalUpdatesMatchOneShot) {
+    lulesh::crc32 acc;
+    acc.update("1234", 4);
+    acc.update("", 0);
+    acc.update("56789", 5);
+    EXPECT_EQ(acc.value(), 0xCBF43926u);
+}
+
+TEST(Crc32, ValueDoesNotConsumeTheState) {
+    lulesh::crc32 acc;
+    acc.update("1234", 4);
+    const std::uint32_t mid = acc.value();
+    EXPECT_EQ(mid, acc.value());  // repeated reads agree
+    acc.update("56789", 5);       // and the stream continues unharmed
+    EXPECT_EQ(acc.value(), 0xCBF43926u);
+}
+
+TEST(Crc32, SingleBitFlipChangesTheChecksum) {
+    // The property the halo-message and checkpoint guards rely on.
+    std::string payload(64, '\0');
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = static_cast<char>(i * 7 + 1);
+    }
+    const std::uint32_t clean = crc_of(payload);
+    for (const std::size_t byte : {std::size_t{0}, payload.size() / 2,
+                                   payload.size() - 1}) {
+        std::string damaged = payload;
+        damaged[byte] = static_cast<char>(damaged[byte] ^ 0x10);
+        EXPECT_NE(crc_of(damaged), clean) << "flip at byte " << byte;
+    }
+}
+
+}  // namespace

@@ -90,6 +90,83 @@ TEST(Cli, RejectsOutOfRangeValues) {
     EXPECT_THROW(parse({"-i", "0"}), std::invalid_argument);
 }
 
+TEST(Cli, RejectsNonPositivePartitions) {
+    EXPECT_THROW(parse({"-p", "0", "64"}), std::invalid_argument);
+    EXPECT_THROW(parse({"-p", "64", "0"}), std::invalid_argument);
+    EXPECT_THROW(parse({"-p", "-2048", "2048"}), std::invalid_argument);
+}
+
+// ---------------- --audit-graph and its environment twin ----------------
+
+cli_options parse_env(std::initializer_list<const char*> args,
+                      lulesh::env_lookup env) {
+    std::vector<const char*> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return parse_cli(static_cast<int>(argv.size()), argv.data(), env);
+}
+
+const char* no_env(const char*) { return nullptr; }
+
+TEST(CliAudit, FlagEnablesAuditOnTaskGraphDrivers) {
+    EXPECT_TRUE(parse_env({"--audit-graph"}, no_env).audit_graph);
+    EXPECT_TRUE(
+        parse_env({"--audit-graph", "-d", "foreach"}, no_env).audit_graph);
+    EXPECT_FALSE(parse_env({}, no_env).audit_graph);
+}
+
+TEST(CliAudit, FlagWithGraphlessDriverIsRejected) {
+    // serial and parallel_for never spawn the task graph the audit models —
+    // silently auditing a graph that will not run would be a false proof.
+    EXPECT_THROW(parse_env({"--audit-graph", "-d", "serial"}, no_env),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_env({"-d", "parallel_for", "--audit-graph"}, no_env),
+                 std::invalid_argument);
+}
+
+TEST(CliAudit, EnvFlagEnablesAudit) {
+    const auto cli = parse_env({}, [](const char* name) -> const char* {
+        return std::string(name) == "LULESH_AUDIT_GRAPH" ? "1" : nullptr;
+    });
+    EXPECT_TRUE(cli.audit_graph);
+}
+
+TEST(CliAudit, UnsetEmptyAndZeroEnvLeaveAuditOff) {
+    EXPECT_FALSE(parse_env({}, no_env).audit_graph);
+    EXPECT_FALSE(parse_env({}, [](const char*) -> const char* {
+                     return "";
+                 }).audit_graph);
+    EXPECT_FALSE(parse_env({}, [](const char*) -> const char* {
+                     return "0";
+                 }).audit_graph);
+}
+
+TEST(CliAudit, MalformedEnvValuesAreRejected) {
+    for (const char* bad : {"yes", "2", "true", " 1", "on"}) {
+        static const char* value;
+        value = bad;
+        EXPECT_THROW(parse_env({}, [](const char*) -> const char* {
+                         return value;
+                     }),
+                     std::invalid_argument)
+            << "LULESH_AUDIT_GRAPH=" << bad;
+    }
+}
+
+TEST(CliAudit, EnvFlagHonorsTheDriverValidation) {
+    EXPECT_THROW(parse_env({"-d", "serial"},
+                           [](const char*) -> const char* { return "1"; }),
+                 std::invalid_argument);
+    // An explicit 0 is not a request, so any driver is fine.
+    EXPECT_NO_THROW(parse_env({"-d", "serial"},
+                              [](const char*) -> const char* { return "0"; }));
+}
+
+TEST(CliAudit, UsageTextDocumentsBothSpellings) {
+    const auto text = lulesh::usage_text("prog");
+    EXPECT_NE(text.find("--audit-graph"), std::string::npos);
+    EXPECT_NE(text.find("LULESH_AUDIT_GRAPH"), std::string::npos);
+}
+
 TEST(Cli, UsageTextMentionsAllFlags) {
     const auto text = lulesh::usage_text("prog");
     for (const char* flag : {"-s", "-r", "-i", "-b", "-c", "-d", "-t", "-p", "-q"}) {

@@ -112,8 +112,13 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<std::size_t, index_t>{4, 1000},
                       std::pair<std::size_t, index_t>{8, 12345}),
     [](const auto& pinfo) {
-        return "t" + std::to_string(pinfo.param.first) + "_n" +
-               std::to_string(pinfo.param.second);
+        // Built by append, not operator+ chaining: the rvalue-concat chain
+        // trips GCC 12's -Wrestrict false positive (PR 105329) under -O2.
+        std::string name = "t";
+        name += std::to_string(pinfo.param.first);
+        name += "_n";
+        name += std::to_string(pinfo.param.second);
+        return name;
     });
 
 TEST(Barrier, OrdersPhasesAcrossThreads) {

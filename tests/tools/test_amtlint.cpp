@@ -1,0 +1,378 @@
+// tests/tools/test_amtlint.cpp — fixture-driven tests for the amtlint
+// analysis (tools/amtlint).  Each rule gets at least one positive fixture
+// asserting the exact diagnostic (rule id, file, line) and at least one
+// negative fixture asserting silence on the idiomatic-correct form.  The
+// fixtures are inline strings, built line by line so the expected line
+// numbers are visible at the assertion site.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "amtlint.hpp"
+
+namespace {
+
+using amtlint::diagnostic;
+using amtlint::lint_source;
+
+std::vector<diagnostic> lint(const std::string& src,
+                             bool kernel_rules = true) {
+    amtlint::config cfg;
+    cfg.kernel_rules = kernel_rules;
+    return lint_source("fix.cpp", src, cfg);
+}
+
+std::string rules_of(const std::vector<diagnostic>& ds) {
+    std::string s;
+    for (const auto& d : ds) {
+        if (!s.empty()) s += ",";
+        s += d.rule;
+    }
+    return s;
+}
+
+// ===================== AMT001: by-reference captures =====================
+
+TEST(Amt001, FlagsByRefCapturePassedToAsync) {
+    const std::string src =
+        "void f(amt::runtime& rt) {\n"                         // 1
+        "    int x = 0;\n"                                     // 2
+        "    auto fut = amt::async(rt, [&x] { ++x; });\n"      // 3
+        "    fut.get();\n"                                     // 4
+        "}\n";
+    const auto ds = lint(src);
+    ASSERT_EQ(ds.size(), 1u) << rules_of(ds);
+    EXPECT_EQ(ds[0].rule, "AMT001");
+    EXPECT_EQ(ds[0].line, 3);
+    EXPECT_EQ(ds[0].file, "fix.cpp");
+    EXPECT_EQ(ds[0].format(),
+              "fix.cpp:3: [AMT001] by-reference lambda capture passed to "
+              "'async' — the task may outlive the captured scope; capture "
+              "by value (decay-copy) or capture a pointer");
+}
+
+TEST(Amt001, FlagsDefaultRefCaptureInContinuation) {
+    const std::string src =
+        "void f() {\n"                                          // 1
+        "    int total = 0;\n"                                  // 2
+        "    auto c = amt::async([] { return 1; })\n"           // 3
+        "                 .then([&](amt::future<int>&& v) {\n"  // 4
+        "                     total += v.get();\n"              // 5
+        "                 });\n"                                 // 6
+        "    c.get();\n"                                        // 7
+        "}\n";
+    const auto ds = lint(src);
+    ASSERT_EQ(ds.size(), 1u) << rules_of(ds);
+    EXPECT_EQ(ds[0].rule, "AMT001");
+    EXPECT_EQ(ds[0].line, 4);
+}
+
+TEST(Amt001, SilentOnValueAndPointerCaptures) {
+    const std::string src =
+        "void f(amt::runtime& rt, domain& d) {\n"
+        "    domain* dp = &d;\n"
+        "    auto fut = amt::async(rt, [dp] { step(*dp); });\n"
+        "    fut.get();\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+TEST(Amt001, SilentOnByRefLambdaInvokedSynchronously) {
+    // A [&] lambda passed to a plain function (or called in place) never
+    // escapes the scope — only task entry points are dangerous.
+    const std::string src =
+        "void f(std::vector<int>& v) {\n"
+        "    int pivot = 3;\n"
+        "    std::sort(v.begin(), v.end(),\n"
+        "              [&](int a, int b) { return a % pivot < b % pivot; });\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+// ===================== AMT002: blocking waits in task bodies ==============
+
+TEST(Amt002, FlagsGetInsideTaskBody) {
+    const std::string src =
+        "void f(amt::runtime& rt) {\n"                              // 1
+        "    auto t = amt::async(rt, [] {\n"                        // 2
+        "        auto inner = amt::async([] { return 1; });\n"      // 3
+        "        return inner.get();\n"                             // 4
+        "    });\n"                                                 // 5
+        "}\n";
+    const auto ds = lint(src);
+    ASSERT_EQ(ds.size(), 1u) << rules_of(ds);
+    EXPECT_EQ(ds[0].rule, "AMT002");
+    EXPECT_EQ(ds[0].line, 4);
+}
+
+TEST(Amt002, FlagsWaitInsideTaskBody) {
+    const std::string src =
+        "void f(amt::shared_future<void> gate) {\n"  // 1
+        "    amt::post([gate] {\n"                   // 2
+        "        gate.wait();\n"                     // 3
+        "    });\n"                                  // 4
+        "}\n";
+    const auto ds = lint(src);
+    ASSERT_EQ(ds.size(), 1u) << rules_of(ds);
+    EXPECT_EQ(ds[0].rule, "AMT002");
+    EXPECT_EQ(ds[0].line, 3);
+}
+
+TEST(Amt002, SilentOnGetOfOwnContinuationParameter) {
+    // The antecedent future handed to a .then continuation is ready by
+    // construction; unwrapping it does not block.
+    const std::string src =
+        "void f() {\n"
+        "    auto c = amt::async([] { return 21; })\n"
+        "                 .then([](amt::future<int>&& v) {\n"
+        "                     return v.get() * 2;\n"
+        "                 });\n"
+        "    c.get();\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+TEST(Amt002, SilentOnChannelGetThatYieldsAFuture) {
+    // channel.get() returns a future (non-blocking); chaining .then on the
+    // result is the dist halo-exchange idiom.
+    const std::string src =
+        "void f(channels* cp) {\n"
+        "    amt::post([cp] {\n"
+        "        cp->corner_up.get().then([](amt::future<plane>&& m) {\n"
+        "            unpack(m.get());\n"
+        "        });\n"
+        "    });\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+TEST(Amt002, SilentOnGetOutsideAnyTaskBody) {
+    const std::string src =
+        "int f() {\n"
+        "    auto fut = amt::async([] { return 7; });\n"
+        "    return fut.get();\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+// ===================== AMT003: undeclared field accesses ==================
+
+TEST(Amt003, FlagsWriteToUndeclaredField) {
+    const std::string src =
+        "void my_kernel(domain& d, index_t lo, index_t hi) {\n"  // 1
+        "    hazard_touch(field::p, false, lo, hi);\n"           // 2
+        "    for (index_t i = lo; i < hi; ++i) {\n"              // 3
+        "        d.q[i] = d.p[i] * 2.0;\n"                       // 4
+        "    }\n"                                                // 5
+        "}\n";
+    const auto ds = lint(src);
+    ASSERT_EQ(ds.size(), 1u) << rules_of(ds);
+    EXPECT_EQ(ds[0].rule, "AMT003");
+    EXPECT_EQ(ds[0].line, 4);
+    EXPECT_NE(ds[0].message.find("writes field 'q'"), std::string::npos)
+        << ds[0].message;
+}
+
+TEST(Amt003, ReadOnlyProbeDoesNotCoverWrite) {
+    const std::string src =
+        "void my_kernel(domain& d, index_t lo, index_t hi) {\n"  // 1
+        "    hazard_touch(field::e, false, lo, hi);\n"           // 2
+        "    d.e[lo] = 1.0;\n"                                   // 3
+        "}\n";
+    const auto ds = lint(src);
+    ASSERT_EQ(ds.size(), 1u) << rules_of(ds);
+    EXPECT_EQ(ds[0].rule, "AMT003");
+    EXPECT_EQ(ds[0].line, 3);
+}
+
+TEST(Amt003, FollowsProbelessHelpersInSameFile) {
+    const std::string src =
+        "static void helper(domain& d, index_t i) {\n"           // 1
+        "    d.ss[i] = 0.0;\n"                                   // 2
+        "}\n"                                                    // 3
+        "void my_kernel(domain& d, index_t lo, index_t hi) {\n"  // 4
+        "    hazard_touch(field::vnew, true, lo, hi);\n"         // 5
+        "    for (index_t i = lo; i < hi; ++i) {\n"              // 6
+        "        d.vnew[i] = 1.0;\n"                             // 7
+        "        helper(d, i);\n"                                // 8
+        "    }\n"                                                // 9
+        "}\n";
+    const auto ds = lint(src);
+    ASSERT_EQ(ds.size(), 1u) << rules_of(ds);
+    EXPECT_EQ(ds[0].rule, "AMT003");
+    EXPECT_EQ(ds[0].line, 2);  // reported at the helper's access site
+    EXPECT_NE(ds[0].message.find("'my_kernel'"), std::string::npos)
+        << ds[0].message;
+}
+
+TEST(Amt003, HazardCoversSatisfiesIndirectAccess) {
+    const std::string src =
+        "void my_kernel(domain& d, index_t lo, index_t hi) {\n"
+        "    hazard_touch(field::vnew, true, lo, hi);\n"
+        "    hazard_covers(field::x);\n"
+        "    for (index_t k = lo; k < hi; ++k) {\n"
+        "        const index_t* nl = d.nodelist(k);\n"
+        "        d.vnew[k] = d.x[nl[0]];\n"
+        "    }\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+TEST(Amt003, SilentOnProbelessFunctions) {
+    // Probe-less kernels (serial-driver helpers, loop-granular forms) are
+    // exempt: the rule polices declared sets, it does not mandate probes.
+    const std::string src =
+        "void serial_kernel(domain& d, index_t lo, index_t hi) {\n"
+        "    for (index_t i = lo; i < hi; ++i) d.q[i] = 0.0;\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+TEST(Amt003, GatedOffWithKernelRulesDisabled) {
+    const std::string src =
+        "void my_kernel(domain& d, index_t lo, index_t hi) {\n"
+        "    hazard_touch(field::p, false, lo, hi);\n"
+        "    d.q[lo] = 1.0;\n"
+        "}\n";
+    EXPECT_TRUE(lint(src, /*kernel_rules=*/false).empty());
+}
+
+// ===================== AMT004: mutable shared state =======================
+
+TEST(Amt004, FlagsNamespaceScopeMutableAndFunctionStatic) {
+    const std::string src =
+        "namespace lulesh {\n"                                   // 1
+        "int call_counter = 0;\n"                                // 2
+        "void bump() {\n"                                        // 3
+        "    static int calls = 0;\n"                            // 4
+        "    ++calls;\n"                                         // 5
+        "}\n"                                                    // 6
+        "}\n";
+    const auto ds = lint(src);
+    ASSERT_EQ(ds.size(), 2u) << rules_of(ds);
+    EXPECT_EQ(ds[0].rule, "AMT004");
+    EXPECT_EQ(ds[0].line, 2);
+    EXPECT_NE(ds[0].message.find("'call_counter'"), std::string::npos);
+    EXPECT_EQ(ds[1].rule, "AMT004");
+    EXPECT_EQ(ds[1].line, 4);
+    EXPECT_NE(ds[1].message.find("'calls'"), std::string::npos);
+}
+
+TEST(Amt004, SilentOnConstAtomicAndThreadLocal) {
+    const std::string src =
+        "namespace lulesh {\n"
+        "constexpr int chunk = 64;\n"
+        "const char* const banner = \"lulesh\";\n"
+        "std::atomic<int> faults_seen = 0;\n"
+        "thread_local int scratch_high_water = 0;\n"
+        "void bump() {\n"
+        "    static std::atomic<long> hits = 0;\n"
+        "    static const int limit = 8;\n"
+        "    ++hits;\n"
+        "}\n"
+        "static void local_linkage_fn(int x) { (void)x; }\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+// ===================== AMT005: discarded futures ==========================
+
+TEST(Amt005, FlagsDiscardedAsyncResult) {
+    const std::string src =
+        "void f(amt::runtime& rt) {\n"                // 1
+        "    amt::async(rt, [] { work(); });\n"       // 2
+        "}\n";
+    const auto ds = lint(src);
+    ASSERT_EQ(ds.size(), 1u) << rules_of(ds);
+    EXPECT_EQ(ds[0].rule, "AMT005");
+    EXPECT_EQ(ds[0].line, 2);
+}
+
+TEST(Amt005, FlagsDiscardedWhenAllResult) {
+    const std::string src =
+        "void f(std::vector<amt::future<void>> wave) {\n"  // 1
+        "    amt::when_all_void(std::move(wave));\n"       // 2
+        "}\n";
+    const auto ds = lint(src);
+    ASSERT_EQ(ds.size(), 1u) << rules_of(ds);
+    EXPECT_EQ(ds[0].rule, "AMT005");
+    EXPECT_EQ(ds[0].line, 2);
+}
+
+TEST(Amt005, SilentWhenChainedOrAwaited) {
+    const std::string src =
+        "void f(amt::runtime& rt) {\n"
+        "    amt::async(rt, [] { work(); }).then([](amt::future<void>&& v) {\n"
+        "        v.get();\n"
+        "        more();\n"
+        "    }).get();\n"
+        "    amt::when_all_void(make_wave()).get();\n"
+        "    auto kept = amt::async(rt, [] { work(); });\n"
+        "    kept.get();\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+TEST(Amt005, SilentOnPostFireAndForget) {
+    // post() returns void by design; it is the explicit detach marker.
+    const std::string src =
+        "void f(amt::runtime& rt) {\n"
+        "    amt::post(rt, [] { work(); });\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+// ===================== suppressions and mechanics =========================
+
+TEST(Suppression, SameLineAndLineAboveCommentsSilenceOneRule) {
+    const std::string src =
+        "void f(amt::runtime& rt) {\n"
+        "    amt::async(rt, [] { a(); });  "
+        "// amtlint: allow(AMT005) detached: toy example\n"
+        "    // amtlint: allow(AMT005) detached: measured fire-and-forget\n"
+        "    amt::async(rt, [] { b(); });\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+TEST(Suppression, WrongRuleIdDoesNotSuppress) {
+    const std::string src =
+        "void f(amt::runtime& rt) {\n"
+        "    // amtlint: allow(AMT001) wrong rule\n"
+        "    amt::async(rt, [] { a(); });\n"
+        "}\n";
+    const auto ds = lint(src);
+    ASSERT_EQ(ds.size(), 1u) << rules_of(ds);
+    EXPECT_EQ(ds[0].rule, "AMT005");
+}
+
+TEST(Mechanics, DiagnosticsSortedByLineThenRule) {
+    const std::string src =
+        "void f(amt::runtime& rt) {\n"                      // 1
+        "    amt::async(rt, [] { b(); });\n"                // 2: AMT005
+        "    int x = 0;\n"                                  // 3
+        "    amt::async(rt, [&x] { ++x; });\n"              // 4: AMT001+AMT005
+        "}\n";
+    const auto ds = lint(src);
+    ASSERT_EQ(ds.size(), 3u) << rules_of(ds);
+    EXPECT_EQ(ds[0].line, 2);
+    EXPECT_EQ(ds[0].rule, "AMT005");
+    EXPECT_EQ(ds[1].line, 4);
+    EXPECT_EQ(ds[1].rule, "AMT001");
+    EXPECT_EQ(ds[2].line, 4);
+    EXPECT_EQ(ds[2].rule, "AMT005");
+}
+
+TEST(Mechanics, CommentsStringsAndPreprocessorAreNotCode) {
+    const std::string src =
+        "// amt::async(rt, [&x] { ++x; });\n"
+        "/* amt::async(rt, [&x] { ++x; }); */\n"
+        "#define SPAWN amt::async(rt, [&x] { ++x; })\n"
+        "const char* doc = \"amt::async(rt, [&x] { ++x; });\";\n"
+        "void f() { (void)doc; }\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+}  // namespace
