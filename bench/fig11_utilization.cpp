@@ -11,8 +11,35 @@
 // Claims to check: the task version reaches a higher ratio at every size
 // (70% → ~96% vs 54% → ≤ 87% in the paper), both improve with size, and
 // the ratio correlates with the Figure 10 speed-ups.
+//
+// A second section breaks the task-graph ratio down per leapfrog phase with
+// the task tracer (amt/trace): worker time in each phase window attributed
+// to productive / steal / idle / barrier, i.e. *where* the non-productive
+// time lives, which the aggregate counters cannot show.
 
 #include "bench_common.hpp"
+
+namespace {
+
+/// One traced task-graph run; returns the per-phase attribution.
+amt::trace::utilization_report traced_run(const lulesh::options& problem,
+                                          std::size_t threads,
+                                          lulesh::partition_sizes parts,
+                                          int iters) {
+    amt::trace::reset();
+    amt::trace::set_thread_name("main");
+    amt::trace::arm();
+    {
+        lulesh::domain dom(problem);
+        amt::runtime rt(threads);
+        lulesh::taskgraph_driver drv(rt, parts);
+        lulesh::run_simulation(dom, drv, iters);
+    }
+    amt::trace::disarm();
+    return amt::trace::build_utilization(amt::trace::drain());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
@@ -53,5 +80,42 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n# size,threads,omp_ratio,task_ratio\n";
     for (const auto& row : csv) std::cout << row << "\n";
+
+    // Per-phase breakdown (task tracer) for the largest swept size.
+    const int size = sweep.sizes.back();
+    lulesh::options problem;
+    problem.size = static_cast<lulesh::index_t>(size);
+    problem.num_regions = 11;
+    const auto report = traced_run(
+        problem, static_cast<std::size_t>(threads), bench::tuned_parts(size),
+        bench::ae_iteration_cap(size, sweep.iters));
+
+    std::cout << "\n=== per-phase breakdown (size " << size << ", "
+              << report.workers << " workers, traced) ===\n";
+    std::cout << std::left << std::setw(14) << "phase" << std::right
+              << std::setw(12) << "productive" << std::setw(10) << "steal"
+              << std::setw(10) << "idle" << std::setw(10) << "barrier"
+              << std::setw(8) << "util" << "\n";
+    for (const auto& p : report.phases) {
+        std::cout << std::left << std::setw(14) << p.name << std::right
+                  << std::fixed << std::setprecision(4) << std::setw(12)
+                  << p.productive_s << std::setw(10) << p.steal_s
+                  << std::setw(10) << p.idle_s << std::setw(10) << p.barrier_s
+                  << std::setprecision(3) << std::setw(8) << p.utilization()
+                  << "\n";
+    }
+    std::cout << "coverage " << std::setprecision(3) << report.coverage()
+              << ", overall utilization " << report.utilization()
+              << ", dropped " << report.dropped << "\n";
+    std::cout << "# CSV,fig11_phase,size,threads,phase,window_s,productive_s,"
+                 "steal_s,idle_s,barrier_s,tasks,steals,util\n";
+    for (const auto& p : report.phases) {
+        std::cout << "CSV,fig11_phase," << size << "," << threads << ","
+                  << p.name << "," << std::setprecision(6) << p.window_s
+                  << "," << p.productive_s << "," << p.steal_s << ","
+                  << p.idle_s << "," << p.barrier_s << "," << p.tasks << ","
+                  << p.steals << "," << std::setprecision(4)
+                  << p.utilization() << "\n";
+    }
     return 0;
 }

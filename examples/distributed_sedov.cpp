@@ -68,6 +68,18 @@ int main(int argc, char** argv) {
         lulesh::run_simulation(global, drv, cli.problem.max_cycles);
     }
 
+    const bool want_trace =
+        !cli.trace_file.empty() || !cli.utilization_report_file.empty();
+    if (want_trace) {
+        if (!amt::trace::compiled_in) {
+            std::cerr << "lulesh: tracing was compiled out "
+                         "(AMT_TRACE_DISABLE); rebuild to use --trace\n";
+            return 1;
+        }
+        amt::trace::set_thread_name("main");
+        amt::trace::arm();
+    }
+
     amt::runtime rt(threads);
     for (const auto mode : {lulesh::dist::dist_driver::exchange_mode::eager,
                             lulesh::dist::dist_driver::exchange_mode::futurized,
@@ -94,6 +106,33 @@ int main(int argc, char** argv) {
                   << result.final_origin_energy
                   << ", max |e - single-domain| = " << max_diff
                   << (max_diff == 0.0 ? "  (bitwise identical)" : "") << "\n";
+    }
+
+    if (want_trace) {
+        // All three exchange modes have completed and every future was
+        // consumed — the rings are quiescent even though the runtime is
+        // still alive.
+        amt::trace::disarm();
+        const auto snap = amt::trace::drain();
+        if (!cli.trace_file.empty()) {
+            if (!amt::trace::write_chrome_trace_file(cli.trace_file, snap)) {
+                std::cerr << "lulesh: cannot write trace file '"
+                          << cli.trace_file << "'\n";
+                return 1;
+            }
+            std::cout << "Trace written to '" << cli.trace_file << "'\n";
+        }
+        if (!cli.utilization_report_file.empty()) {
+            const auto report = amt::trace::build_utilization(snap);
+            if (!amt::trace::write_utilization_file(
+                    cli.utilization_report_file, report)) {
+                std::cerr << "lulesh: cannot write utilization report '"
+                          << cli.utilization_report_file << "'\n";
+                return 1;
+            }
+            std::cout << "Utilization report written to '"
+                      << cli.utilization_report_file << "'\n";
+        }
     }
 
     std::cout << "\nper-slab plane ranges:\n";

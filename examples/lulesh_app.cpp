@@ -46,6 +46,44 @@ lulesh::run_result run_with(lulesh::domain& dom, lulesh::driver& drv,
     return rr.result;
 }
 
+/// Drains the tracer and writes the requested trace / utilization outputs.
+/// Called after the runtime scope closes (workers joined, rings quiescent).
+int write_trace_outputs(const lulesh::cli_options& cli) {
+    if (cli.trace_file.empty() && cli.utilization_report_file.empty()) {
+        return 0;
+    }
+    const auto snap = amt::trace::drain();
+    if (!cli.trace_file.empty()) {
+        if (!amt::trace::write_chrome_trace_file(cli.trace_file, snap)) {
+            std::cerr << "lulesh: cannot write trace file '" << cli.trace_file
+                      << "'\n";
+            return 1;
+        }
+        if (!cli.quiet) {
+            std::cout << "Trace written to '" << cli.trace_file << "'";
+            if (snap.dropped > 0) {
+                std::cout << " (" << snap.dropped
+                          << " events dropped on ring overflow)";
+            }
+            std::cout << "\n";
+        }
+    }
+    if (!cli.utilization_report_file.empty()) {
+        const auto report = amt::trace::build_utilization(snap);
+        if (!amt::trace::write_utilization_file(cli.utilization_report_file,
+                                                report)) {
+            std::cerr << "lulesh: cannot write utilization report '"
+                      << cli.utilization_report_file << "'\n";
+            return 1;
+        }
+        if (!cli.quiet) {
+            std::cout << "Utilization report written to '"
+                      << cli.utilization_report_file << "'\n";
+        }
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,6 +97,20 @@ int main(int argc, char** argv) {
     if (cli.show_help) {
         std::cout << lulesh::usage_text(argv[0]);
         return 0;
+    }
+
+    const bool want_trace =
+        !cli.trace_file.empty() || !cli.utilization_report_file.empty();
+    if (want_trace) {
+        if (!amt::trace::compiled_in) {
+            std::cerr << "lulesh: tracing was compiled out "
+                         "(AMT_TRACE_DISABLE); rebuild to use --trace\n";
+            return 1;
+        }
+        // Arm before the runtime exists so every worker registers its ring
+        // from the first task on.
+        amt::trace::set_thread_name("main");
+        amt::trace::arm();
     }
 
     const std::size_t threads =
@@ -120,6 +172,13 @@ int main(int argc, char** argv) {
         amt::runtime rt(threads);
         lulesh::taskgraph_driver drv(rt, parts);
         result = run_with(dom, drv, cli);
+    }
+
+    if (want_trace) {
+        // The runtime scopes above have closed: workers are joined, rings
+        // quiescent.  Stop recording and flush the outputs.
+        amt::trace::disarm();
+        if (const int rc = write_trace_outputs(cli); rc != 0) return rc;
     }
 
     if (!cli.checkpoint_save.empty()) {

@@ -75,6 +75,43 @@ def summarize_fig11(rows):
         print(f"    size {size}: task graph {gap:.2f}x more productive")
 
 
+def summarize_phase_breakdown(title, rows):
+    # phase, workers, window_s, productive_s, steal_s, idle_s, barrier_s,
+    # tasks, steals, util — one row per leapfrog phase (tracer attribution).
+    table(title,
+          ["phase", "workers", "window(s)", "prod(s)", "steal(s)", "idle(s)",
+           "barrier(s)", "tasks", "steals", "util"], rows)
+    total = sum(float(r[3]) + float(r[4]) + float(r[5]) + float(r[6])
+                for r in rows)
+    if total <= 0:
+        return
+    print("  where the worker time goes:")
+    for r in sorted(rows, key=lambda r: -(float(r[4]) + float(r[5]) +
+                                          float(r[6]))):
+        lost = float(r[4]) + float(r[5]) + float(r[6])
+        print(f"    {r[0]}: {100 * float(r[3]) / total:5.1f}% productive, "
+              f"{100 * lost / total:5.1f}% lost "
+              f"(steal {float(r[4]):.4g}s, idle {float(r[5]):.4g}s, "
+              f"barrier {float(r[6]):.4g}s)")
+
+
+def summarize_util_phase(rows):
+    summarize_phase_breakdown(
+        "Per-phase utilization (--utilization-report)", rows)
+
+
+def summarize_fig11_phase(rows):
+    # size, threads, phase, window_s, productive_s, steal_s, idle_s,
+    # barrier_s, tasks, steals, util — reshape to the util_phase layout.
+    for (size, threads) in sorted({(r[0], r[1]) for r in rows},
+                                  key=lambda k: (int(k[0]), int(k[1]))):
+        subset = [[r[2], threads] + r[3:] for r in rows
+                  if r[0] == size and r[1] == threads]
+        summarize_phase_breakdown(
+            f"Figure 11 — per-phase breakdown (size {size}, "
+            f"{threads} threads)", subset)
+
+
 def summarize_table1(rows):
     # size, nodal, elems, seconds
     by_size = defaultdict(list)
@@ -108,6 +145,8 @@ def main(paths):
         "fig9": summarize_fig9,
         "fig10": summarize_fig10,
         "fig11": summarize_fig11,
+        "fig11_phase": summarize_fig11_phase,
+        "util_phase": summarize_util_phase,
         "table1": summarize_table1,
     }
     for name in sorted(rows):

@@ -24,6 +24,21 @@ echo "== Fault-probe overhead (<1% budget) =="
 ./build/bench/fault_overhead | tee results/fault_overhead.txt
 echo "== Hazard-probe overhead (<1% budget) =="
 ./build/bench/hazard_overhead | tee results/hazard_overhead.txt
+echo "== Trace-probe overhead (<1% budget, drop-not-block) =="
+./build/bench/trace_overhead | tee results/trace_overhead.txt
+
+# Task tracer smoke: a traced run producing the checked-in Chrome trace and
+# the per-phase utilization report, both validated (structure, monotonic
+# per-thread timestamps, span nesting, coverage within 2%) — see
+# docs/observability.md.
+echo "== Task trace + per-phase utilization =="
+./build/examples/lulesh_app -s 8 -i 10 -t 2 -d taskgraph \
+  --trace=results/trace_smoke.json \
+  --utilization-report=results/utilization_phase.txt
+./build/examples/lulesh_app -s 8 -i 10 -t 2 -d taskgraph \
+  --utilization-report=results/utilization_phase.json --quiet
+python3 scripts/validate_trace.py results/trace_smoke.json \
+  --report results/utilization_phase.json
 
 # Source-level lint: task/future misuse (dangling captures, blocking gets,
 # undeclared kernel accesses, mutable statics, discarded futures) against

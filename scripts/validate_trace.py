@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by --trace.
+
+Checks (all hard failures, exit code 1):
+  * the file is valid JSON with the object form the amt tracer writes:
+    {"displayTimeUnit": ..., "traceEvents": [...]};
+  * every event is well-formed: metadata (ph "M": process_name /
+    thread_name with a string args.name), complete spans (ph "X": numeric
+    ts >= 0 and dur >= 0, a non-empty name, a known cat) or instants
+    (ph "i");
+  * per thread, event *completion* timestamps (ts + dur for spans, ts for
+    instants) are monotonically non-decreasing in file order: spans are
+    pushed to the single-writer rings when they close, stamped from one
+    monotonic clock, so any inversion means a drain or writer bug.  Begin
+    timestamps are NOT monotone by design — an enclosing span (a task
+    body, an RAII scoped_span) is emitted after the spans it contains;
+  * per thread, spans nest properly (laminar family): sorted by begin,
+    every pair of spans is either disjoint or one contains the other.
+    Partial overlap would render as garbage in Perfetto and indicates
+    begin/end pairing corruption.
+
+Optionally cross-checks a utilization report (--report util.json): the
+four attribution categories must sum to wall_s x workers within
+--coverage-slack (default 2%, the acceptance bound).
+
+Usage:
+  validate_trace.py trace.json [--report util.json] [--coverage-slack 0.02]
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_CATS = {"task", "halo", "barrier", "sched", "phase", "mark"}
+EPS_US = 1e-6  # float slack when comparing microsecond timestamps
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event_shape(i, ev):
+    if not isinstance(ev, dict):
+        fail(f"event #{i} is not an object")
+    ph = ev.get("ph")
+    if ph not in ("M", "X", "i", "I"):
+        fail(f"event #{i} has unknown ph {ph!r}")
+    if "pid" not in ev or "tid" not in ev:
+        fail(f"event #{i} ({ph}) lacks pid/tid")
+    if ph == "M":
+        if ev.get("name") not in ("process_name", "thread_name"):
+            fail(f"metadata event #{i} has name {ev.get('name')!r}")
+        if not isinstance(ev.get("args", {}).get("name"), str):
+            fail(f"metadata event #{i} lacks args.name string")
+        return
+    name = ev.get("name")
+    if not isinstance(name, str) or not name:
+        fail(f"event #{i} ({ph}) lacks a non-empty name")
+    cat = ev.get("cat")
+    if cat not in KNOWN_CATS:
+        fail(f"event #{i} ({name}) has unknown cat {cat!r}")
+    ts = ev.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        fail(f"event #{i} ({name}) has bad ts {ts!r}")
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            fail(f"event #{i} ({name}) has bad dur {dur!r}")
+
+
+def check_thread_timeline(tid, events):
+    """Monotonic completion timestamps and proper span nesting."""
+    last_done = -1.0
+    spans = []
+    for i, ev in events:
+        done = ev["ts"] + ev["dur"] if ev["ph"] == "X" else ev["ts"]
+        if done < last_done - EPS_US:
+            fail(
+                f"tid {tid}: event #{i} ({ev['name']}) completes at {done} "
+                f"before the previously emitted event ({last_done})"
+            )
+        last_done = done
+        if ev["ph"] == "X":
+            spans.append((ev["ts"], done, i, ev["name"]))
+
+    # Laminar check: by (begin asc, end desc) an enclosing span precedes its
+    # children, so a stack of open spans catches any partial overlap.
+    spans.sort(key=lambda s: (s[0], -s[1]))
+    stack = []  # (begin, end, name) of open spans
+    for ts, end, i, name in spans:
+        while stack and ts >= stack[-1][1] - EPS_US:
+            stack.pop()
+        if stack and end > stack[-1][1] + EPS_US:
+            fail(
+                f"tid {tid}: span #{i} ({name}) [{ts}, {end}] partially "
+                f"overlaps {stack[-1][2]!r} [{stack[-1][0]}, {stack[-1][1]}]"
+            )
+        stack.append((ts, end, name))
+
+
+def validate_trace(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: missing top-level traceEvents")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents is empty")
+
+    per_thread = {}
+    named_threads = set()
+    spans = 0
+    for i, ev in enumerate(events):
+        check_event_shape(i, ev)
+        if ev["ph"] == "M":
+            if ev["name"] == "thread_name":
+                named_threads.add(ev["tid"])
+            continue
+        per_thread.setdefault(ev["tid"], []).append((i, ev))
+        if ev["ph"] == "X":
+            spans += 1
+
+    if spans == 0:
+        fail(f"{path}: no complete (ph X) spans")
+    unnamed = set(per_thread) - named_threads
+    if unnamed:
+        fail(f"{path}: tids {sorted(unnamed)} emit events but have no "
+             "thread_name metadata")
+    for tid, evs in per_thread.items():
+        check_thread_timeline(tid, evs)
+    return len(events), len(per_thread)
+
+
+def validate_report(path, slack):
+    try:
+        with open(path) as f:
+            rep = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    for key in ("workers", "wall_s", "productive_s", "steal_s", "idle_s",
+                "barrier_s"):
+        if key not in rep:
+            fail(f"{path}: missing {key!r}")
+    budget = rep["wall_s"] * rep["workers"]
+    if budget <= 0:
+        fail(f"{path}: non-positive time budget (wall_s x workers)")
+    accounted = (rep["productive_s"] + rep["steal_s"] + rep["idle_s"] +
+                 rep["barrier_s"])
+    coverage = accounted / budget
+    if abs(coverage - 1.0) > slack:
+        fail(
+            f"{path}: categories sum to {accounted:.6f}s but "
+            f"wall x workers = {budget:.6f}s (coverage {coverage:.4f}, "
+            f"allowed slack {slack})"
+        )
+    return coverage
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace JSON from --trace")
+    ap.add_argument("--report", help="utilization JSON from "
+                    "--utilization-report to cross-check")
+    ap.add_argument("--coverage-slack", type=float, default=0.02,
+                    help="allowed |coverage - 1| in the report (default "
+                    "0.02)")
+    args = ap.parse_args()
+
+    n_events, n_threads = validate_trace(args.trace)
+    print(f"validate_trace: OK: {args.trace}: {n_events} events across "
+          f"{n_threads} threads, monotonic and properly nested")
+    if args.report:
+        coverage = validate_report(args.report, args.coverage_slack)
+        print(f"validate_trace: OK: {args.report}: coverage "
+              f"{coverage:.4f} within {args.coverage_slack}")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,7 @@
 //   counters    — per-worker productive-time instrumentation (idle-rate)
 //   stop_token  — cooperative cancellation (stop_source / stop_token)
 //   fault       — deterministic fault injection for resilience testing
+//   trace       — task-level tracing (Chrome trace export, utilization)
 
 #pragma once
 
@@ -32,6 +33,7 @@
 #include "amt/stop_token.hpp"
 #include "amt/sync_primitives.hpp"
 #include "amt/task.hpp"
+#include "amt/trace.hpp"
 #include "amt/unique_function.hpp"
 #include "amt/unwrap.hpp"
 #include "amt/when_all.hpp"

@@ -5,6 +5,9 @@
 #include <cassert>
 #include <chrono>
 #include <stdexcept>
+#include <string>
+
+#include "amt/trace.hpp"
 
 namespace amt {
 
@@ -140,20 +143,39 @@ task_base* runtime::find_work(worker& self) {
     self.counters.steal_attempts.add(1);
     if (task_base* t = try_steal(self.index, self.rng_state)) {
         self.counters.steals.add(1);
+        if (trace::enabled()) {
+            trace::instant(trace::event_kind::steal, "steal",
+                           static_cast<std::int32_t>(self.index));
+        }
         return t;
     }
     return try_pop_global();
 }
 
-void runtime::execute(task_base* raw, worker_counters& c) {
+void runtime::execute(task_base* raw, worker_counters& c,
+                      clock::time_point* stamp) {
     task_ptr t(raw);
-    if (opts_.enable_timing) {
-        const auto t0 = clock::now();
+    const bool tracing = trace::enabled();
+    if (opts_.enable_timing || tracing) {
+        const auto t0 = stamp != nullptr && *stamp != clock::time_point{}
+                            ? *stamp
+                            : clock::now();
         t->execute();
-        c.productive_ns.add(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
-                                                                 t0)
-                .count()));
+        const auto t1 = clock::now();
+        if (stamp != nullptr) *stamp = t1;
+        if (opts_.enable_timing) {
+            c.productive_ns.add(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()));
+        }
+        if (tracing) {
+            // One span per task execution, named by whatever annotation the
+            // body left behind (trace::annotate_task, first one wins).
+            const auto label = trace::take_task_label();
+            trace::emit_span(trace::event_kind::task_span,
+                             label.name != nullptr ? label.name : "task", t0,
+                             t1, label.arg);
+        }
     } else {
         t->execute();
     }
@@ -162,13 +184,79 @@ void runtime::execute(task_base* raw, worker_counters& c) {
 
 void runtime::worker_loop(worker& self) {
     tls_worker = current_worker_info{this, self.index};
+    if (trace::compiled_in) {
+        trace::set_thread_name("worker" + std::to_string(self.index));
+    }
+
+    // Every interval between two consecutive task executions becomes one
+    // coalesced trace span (armed only): from the previous task's end
+    // (`anchor`) to the next successful dequeue.  Classified idle if the
+    // worker parked during the episode, steal-search if it swept victim
+    // deques without success, and dispatch if the next task was found on
+    // the first probe (pop overhead plus any OS descheduling); the
+    // failed-sweep count is the argument.  Making the non-task time
+    // explicit keeps worker timelines hole-free, so the utilization
+    // report's four categories sum to wall x workers.
+    // The first gap is anchored at runtime construction, not at the first
+    // loop iteration: on an oversubscribed machine the OS may schedule this
+    // thread well after it became runnable, and that wait is part of the
+    // worker's idle time.
+    clock::time_point anchor =
+        trace::enabled() ? start_time_ : clock::time_point{};
+    std::int64_t gap_start = 0;
+    std::uint32_t gap_sweeps = 0;
+    bool in_gap = false;
+    bool gap_parked = false;
+    auto close_gap = [&](std::int64_t end_ns) {
+        in_gap = false;
+        const char* name = gap_parked ? "idle"
+                           : gap_sweeps == 0 ? "dispatch"
+                                             : "steal-search";
+        trace::emit_span(gap_parked ? trace::event_kind::idle_span
+                                    : trace::event_kind::search_span,
+                         name, gap_start, end_ns,
+                         static_cast<std::int32_t>(gap_sweeps));
+    };
+    // Closes the current gap (opening a zero-sweep dispatch gap first when
+    // the task was found on the first probe), runs the task, and re-anchors.
+    // The gap end, task begin, task end and next gap begin all share exact
+    // clock readings, so consecutive spans tile the timeline with no
+    // unattributed slivers.
+    auto run_traced = [&](task_base* t) {
+        clock::time_point stamp{};
+        if (trace::enabled()) {
+            stamp = clock::now();
+            if (!in_gap && anchor != clock::time_point{}) {
+                gap_parked = false;
+                gap_sweeps = 0;
+                gap_start = trace::to_ns(anchor);
+                in_gap = true;
+            }
+            if (in_gap) close_gap(trace::to_ns(stamp));
+        } else {
+            in_gap = false;  // disarmed mid-gap: drop the episode
+        }
+        execute(t, self.counters, &stamp);
+        anchor = stamp;  // t1 when traced; reset to {} when disarmed
+    };
 
     std::size_t idle_rounds = 0;
     while (true) {
         if (task_base* t = find_work(self)) {
-            execute(t, self.counters);
+            run_traced(t);
             idle_rounds = 0;
             continue;
+        }
+        if (trace::enabled()) {
+            if (!in_gap) {
+                in_gap = true;
+                gap_parked = false;
+                gap_sweeps = 0;
+                gap_start = anchor != clock::time_point{}
+                                ? trace::to_ns(anchor)
+                                : trace::now_ns();
+            }
+            ++gap_sweeps;
         }
         if (shutdown_.load(std::memory_order_acquire)) break;
 
@@ -186,7 +274,7 @@ void runtime::worker_loop(worker& self) {
             seen = epoch_;
         }
         if (task_base* t = find_work(self)) {
-            execute(t, self.counters);
+            run_traced(t);
             idle_rounds = 0;
             continue;
         }
@@ -194,6 +282,7 @@ void runtime::worker_loop(worker& self) {
         {
             std::unique_lock lk(sleep_mu_);
             if (epoch_ == seen && !shutdown_.load(std::memory_order_acquire)) {
+                if (in_gap) gap_parked = true;
                 // Bounded wait as a belt-and-braces recovery for the rare
                 // case of a steal that failed spuriously under contention.
                 sleep_cv_.wait_for(lk, std::chrono::milliseconds(2));
@@ -201,6 +290,7 @@ void runtime::worker_loop(worker& self) {
         }
         idle_rounds = 0;
     }
+    if (in_gap) close_gap(trace::now_ns());
 
     tls_worker = current_worker_info{};
 }

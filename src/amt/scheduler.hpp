@@ -96,7 +96,12 @@ private:
     task_base* find_work(worker& self);
     task_base* try_pop_global();
     task_base* try_steal(std::size_t self_index, std::uint64_t& rng_state);
-    void execute(task_base* raw, worker_counters& c);
+    /// Runs one task.  `stamp` (optional, tracing only) carries the
+    /// already-read task start time in and the task end time out, so the
+    /// worker loop's gap spans and the task span share exact endpoints
+    /// (no unattributed slivers between consecutive trace spans).
+    void execute(task_base* raw, worker_counters& c,
+                 clock::time_point* stamp = nullptr);
     void notify_workers();
 
     struct alignas(cache_line_size) worker {

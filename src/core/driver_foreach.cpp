@@ -17,9 +17,14 @@ void foreach_driver::pf(index_t n, F&& body) {
     // tuning anything.
     const auto workers = static_cast<index_t>(rt_.num_workers());
     const index_t chunk = std::max<index_t>(1, n / (workers * 8));
+    const char* site = trace_site_;
     auto wave = amt::bulk_async(
         rt_, 0, n, chunk,
-        [body](amt::index_t lo, amt::index_t hi) mutable {
+        [body, site, chunk](amt::index_t lo, amt::index_t hi) mutable {
+            amt::trace::annotate_task(
+                site, static_cast<std::int32_t>(static_cast<std::int64_t>(lo) /
+                                                static_cast<std::int64_t>(
+                                                    chunk)));
             body(static_cast<index_t>(lo), static_cast<index_t>(hi));
         });
     amt::wait_all(wave);
@@ -51,6 +56,7 @@ void foreach_driver::advance(domain& d) {
     };
 
     // ---------------- LagrangeNodal ----------------
+    trace_site_ = "foreach:nodal";
     pf(ne, [&](index_t lo, index_t hi) {
         k::init_stress_terms(d, lo, hi, sigxx_.data(), sigyy_.data(),
                              sigzz_.data());
@@ -92,6 +98,7 @@ void foreach_driver::advance(domain& d) {
     pf(nn, [&](index_t lo, index_t hi) { k::calc_position(d, lo, hi, dt); });
 
     // ---------------- LagrangeElements ----------------
+    trace_site_ = "foreach:elem";
     pf(ne, [&](index_t lo, index_t hi) { k::calc_kinematics(d, lo, hi, dt); });
     pf(ne, [&](index_t lo, index_t hi) {
         if (!k::calc_lagrange_deviatoric(d, lo, hi)) {
@@ -123,6 +130,7 @@ void foreach_driver::advance(domain& d) {
     });
     require(status::volume_error, "relative volume out of EOS range");
 
+    trace_site_ = "foreach:eos";
     for (index_t r = 0; r < d.numReg(); ++r) {
         const auto& list = d.regElemList(r);
         const auto count = static_cast<index_t>(list.size());
@@ -177,6 +185,7 @@ void foreach_driver::advance(domain& d) {
     pf(ne, [&](index_t lo, index_t hi) { k::update_volumes(d, lo, hi); });
 
     // ---------------- time constraints ----------------
+    trace_site_ = "foreach:constraints";
     kernels::dt_constraints combined;
     for (index_t r = 0; r < d.numReg(); ++r) {
         const auto& list = d.regElemList(r);
@@ -195,7 +204,9 @@ void foreach_driver::advance(domain& d) {
             const index_t hi = std::min<index_t>(lo + chunk, count);
             kernels::dt_constraints* out = &partials_[slot++];
             domain* dp = &d;
-            wave.push_back(amt::async(rt_, [dp, lp, lo, hi, out] {
+            const auto part = static_cast<std::int32_t>(slot - 1);
+            wave.push_back(amt::async(rt_, [dp, lp, lo, hi, out, part] {
+                amt::trace::annotate_task("foreach:constraints", part);
                 *out = k::calc_time_constraints(*dp, lp, lo, hi);
             }));
         }

@@ -31,6 +31,11 @@ private:
 
     amt::runtime& rt_;
 
+    /// Trace label for the tasks of subsequent pf() loops; advance() points
+    /// it at the current algorithm section (static storage, like the wave
+    /// sites).
+    const char* trace_site_ = "foreach";
+
     std::vector<real_t> sigxx_, sigyy_, sigzz_;
     std::vector<real_t> dvdx_, dvdy_, dvdz_, x8n_, y8n_, z8n_;
     std::vector<real_t> determ_;

@@ -89,6 +89,7 @@ void taskgraph_driver::advance(domain& d) {
     amt::runtime* rt = &rt_;
 
     const auto t0 = clock_t_::now();
+    amt::trace::mark("cycle", d.cycle);
     std::array<clock_t_::time_point, phase_profile::num_phases> stamps{};
 
     // Wave 1 spawned directly; waves 2-5 spawned by continuation stages so
@@ -108,7 +109,8 @@ void taskgraph_driver::advance(domain& d) {
                                counter->fetch_add(w.tasks,
                                                   std::memory_order_relaxed);
                                return std::move(w.futures);
-                           }),
+                           },
+                           graph::wave_site::node),
         &stamps[phase_profile::node]);
 
     auto b3 = stamp(
@@ -120,7 +122,8 @@ void taskgraph_driver::advance(domain& d) {
                                counter->fetch_add(w.tasks,
                                                   std::memory_order_relaxed);
                                return std::move(w.futures);
-                           }),
+                           },
+                           graph::wave_site::elem),
         &stamps[phase_profile::elem]);
 
     auto b4 = stamp(
@@ -132,7 +135,8 @@ void taskgraph_driver::advance(domain& d) {
                                counter->fetch_add(w.tasks,
                                                   std::memory_order_relaxed);
                                return std::move(w.futures);
-                           }),
+                           },
+                           graph::wave_site::region_eos),
         &stamps[phase_profile::region_eos]);
 
     constraint_partials_.assign(graph::constraint_slot_count(d, p_elems),
@@ -146,13 +150,16 @@ void taskgraph_driver::advance(domain& d) {
                                counter->fetch_add(w.tasks,
                                                   std::memory_order_relaxed);
                                return std::move(w.futures);
-                           }),
+                           },
+                           graph::wave_site::constraints),
         &stamps[phase_profile::constraints]);
 
     // The single blocking synchronization of the iteration.  On failure,
     // make sure the stop request is visible (guarded() already requested it
     // from the throwing task; a failure surfaced by the barrier machinery
     // itself would not have) before propagating the first exception.
+    const bool tracing = amt::trace::enabled();
+    const auto wait0 = tracing ? clock_t_::now() : clock_t_::time_point{};
     try {
         b5.get();
     } catch (...) {
@@ -161,12 +168,27 @@ void taskgraph_driver::advance(domain& d) {
         throw;
     }
     tasks_last_iteration_ = counter->load(std::memory_order_relaxed);
+    if (tracing) {
+        amt::trace::emit_span(amt::trace::event_kind::barrier_span,
+                              "iteration_barrier", wait0, clock_t_::now(),
+                              static_cast<std::int32_t>(tasks_last_iteration_));
+    }
 
-    // Per-phase durations from the barrier-completion stamps.
+    // Per-phase durations from the barrier-completion stamps.  The tracer
+    // gets the same windows as retroactive phase spans (on a dedicated
+    // pseudo-thread, so they cannot break nesting on this thread's
+    // timeline) — the per-phase utilization report attributes worker time
+    // to these windows.
     auto prev = t0;
     for (std::size_t ph = 0; ph < phase_profile::num_phases; ++ph) {
         profile_.seconds[ph] +=
             std::chrono::duration<double>(stamps[ph] - prev).count();
+        if (tracing) {
+            const std::int64_t b = amt::trace::to_ns(prev);
+            const std::int64_t e = amt::trace::to_ns(stamps[ph]);
+            amt::trace::emit_phase(phase_profile::name(ph), b, e - b,
+                                   d.cycle);
+        }
         prev = stamps[ph];
     }
     ++profile_.iterations;

@@ -29,14 +29,17 @@ iteration_sentinel* sentinel_for(const error_flags& flags, const domain& d) {
 /// has failed, remaining tasks return immediately — their output is about
 /// to be rolled back anyway), progress counters and per-worker in-flight
 /// labels for the watchdog, stop-request propagation when the body throws,
-/// and — when the iteration sentinel is on — a hazard-tracker scope over
-/// the task's declared access set plus a NaN scan of its written ranges.
+/// a task-span annotation naming the wave site and partition for the
+/// tracer, and — when the iteration sentinel is on — a hazard-tracker
+/// scope over the task's declared access set plus a NaN scan of its
+/// written ranges.
 template <class Body>
-auto guarded(const error_flags& flags, const char* site,
+auto guarded(const error_flags& flags, const char* site, std::int32_t part,
              const iteration_sentinel::task_ctx* ctx, Body body) {
     return [progress = flags.progress, token = flags.stop.get_token(),
             stop = flags.stop, sent = flags.sentinel, nan_ok = flags.nan_ok,
-            ctx, site, body = std::move(body)]() mutable {
+            ctx, site, part, body = std::move(body)]() mutable {
+        amt::trace::annotate_task(site, part);
         if (token.stop_requested()) return;
         const auto& wk = amt::current_worker();
         const std::size_t slot =
@@ -85,13 +88,16 @@ auto guarded(const error_flags& flags, const char* site,
 /// chain shows up once in the progress counters, not once per link.
 template <class Body>
 auto guarded_cont(const error_flags& flags, const char* site,
+                  std::int32_t part,
                   const iteration_sentinel::task_ctx* ctx, Body body) {
-    return [g = guarded(flags, site, ctx, std::move(body))](
+    return [g = guarded(flags, site, part, ctx, std::move(body))](
                amt::future<void>&& f) mutable {
         f.get();
         g();
     };
 }
+
+std::int32_t part32(index_t part) { return static_cast<std::int32_t>(part); }
 
 }  // namespace
 
@@ -114,13 +120,15 @@ wave spawn_force_wave_range(amt::runtime& rt, domain& d, index_t elem_lo,
                  : nullptr;
         w.futures.push_back(amt::async(
             rt,
-            guarded(flags, wave_site::force, stress_ctx, [dp, lo, hi, vol_ok] {
+            guarded(flags, wave_site::force, part32(part), stress_ctx,
+                    [dp, lo, hi, vol_ok] {
                 if (!k::force_stress_chunk(*dp, lo, hi)) {
                     vol_ok->store(false, std::memory_order_relaxed);
                 }
             })));
         w.futures.push_back(amt::async(
-            rt, guarded(flags, wave_site::force, hg_ctx, [dp, lo, hi, vol_ok] {
+            rt, guarded(flags, wave_site::force, part32(part), hg_ctx,
+                        [dp, lo, hi, vol_ok] {
                 if (!k::force_hourglass_chunk(*dp, lo, hi)) {
                     vol_ok->store(false, std::memory_order_relaxed);
                 }
@@ -150,14 +158,16 @@ wave spawn_node_wave(amt::runtime& rt, domain& d, index_t p_nodal, real_t dt,
         const auto* velpos_ctx =
             sent ? sent->add(node_velpos_accesses(lo, hi), part) : nullptr;
         w.futures.push_back(
-            amt::async(rt, guarded(flags, wave_site::node, gather_ctx,
+            amt::async(rt, guarded(flags, wave_site::node, part32(part),
+                                   gather_ctx,
                                    [dp, lo, hi] {
                                        k::gather_forces(*dp, lo, hi);
                                        k::calc_acceleration(*dp, lo, hi);
                                        k::apply_acceleration_bc_masked(*dp, lo,
                                                                        hi);
                                    }))
-                .then(guarded_cont(flags, wave_site::node, velpos_ctx,
+                .then(guarded_cont(flags, wave_site::node, part32(part),
+                                   velpos_ctx,
                                    [dp, lo, hi, dt] {
                                        k::velocity_position_chunk(*dp, lo, hi,
                                                                   dt);
@@ -184,7 +194,7 @@ wave spawn_elem_wave_range(amt::runtime& rt, domain& d, index_t elem_lo,
                  : nullptr;
         w.futures.push_back(amt::async(
             rt,
-            guarded(flags, wave_site::elem, ctx,
+            guarded(flags, wave_site::elem, part32(lo / p_elems), ctx,
                     [dp, lo, hi, dt, vol_ok, q_ok] {
                 k::calc_kinematics(*dp, lo, hi, dt);
                 if (!k::calc_lagrange_deviatoric(*dp, lo, hi)) {
@@ -232,13 +242,13 @@ wave spawn_region_wave(amt::runtime& rt, domain& d, index_t p_elems,
                      : nullptr;
             w.futures.push_back(
                 amt::async(rt, guarded(flags, wave_site::region_eos,
-                                       monoq_ctx,
+                                       part32(part), monoq_ctx,
                                        [dp, lp, lo, hi] {
                                            k::calc_monotonic_q_region(
                                                *dp, lp, lo, hi);
                                        }))
                     .then(guarded_cont(
-                        flags, wave_site::region_eos, eos_ctx,
+                        flags, wave_site::region_eos, part32(part), eos_ctx,
                         [dp, lp, lo, hi, rep] {
                             // Task-local EOS scratch, sized to the chunk (T5).
                             k::eos_scratch scratch;
@@ -254,7 +264,8 @@ wave spawn_region_wave(amt::runtime& rt, domain& d, index_t p_elems,
             sent ? sent->add(volume_update_accesses(lo, hi), lo / p_elems)
                  : nullptr;
         w.futures.push_back(amt::async(
-            rt, guarded(flags, wave_site::region_eos, vol_ctx, [dp, lo, hi] {
+            rt, guarded(flags, wave_site::region_eos, part32(lo / p_elems),
+                        vol_ctx, [dp, lo, hi] {
                 k::update_volumes(*dp, lo, hi);
             })));
         ++w.tasks;
@@ -293,7 +304,8 @@ wave spawn_constraint_wave(amt::runtime& rt, domain& d, index_t p_elems,
                      : nullptr;
             ++slot;
             w.futures.push_back(amt::async(
-                rt, guarded(flags, wave_site::constraints, ctx,
+                rt, guarded(flags, wave_site::constraints,
+                            static_cast<std::int32_t>(slot - 1), ctx,
                             [dp, lp, lo, hi, out] {
                                 *out = k::calc_time_constraints(*dp, lp, lo,
                                                                 hi);

@@ -18,15 +18,21 @@
 
 namespace lulesh::graph {
 
+/// `name` labels the stage's continuation-ready trace instant (the moment
+/// the previous barrier resolved and this stage's wave gets spawned).
 inline amt::future<void> stage_after(
     amt::future<void> prev,
-    std::function<std::vector<amt::future<void>>()> spawn) {
+    std::function<std::vector<amt::future<void>>()> spawn,
+    const char* name = "stage") {
     auto pr = std::make_shared<amt::promise<void>>();
     auto done = pr->get_future();
     prev.then(amt::launch::sync,
-              [spawn = std::move(spawn), pr](amt::future<void>&& f) mutable {
+              [spawn = std::move(spawn), pr,
+               name](amt::future<void>&& f) mutable {
                   try {
                       f.get();
+                      amt::trace::instant(
+                          amt::trace::event_kind::continuation_ready, name);
                       auto wave = spawn();
                       amt::when_all_void(std::move(wave))
                           .then(amt::launch::sync,

@@ -4,6 +4,8 @@
 
 #include <utility>
 
+#include "amt/trace.hpp"
+
 namespace lulesh {
 
 watchdog::watchdog(std::shared_ptr<const graph::progress_state> progress,
@@ -34,6 +36,9 @@ watchdog::report watchdog::last_report() const {
 
 void watchdog::run() {
     using clock = std::chrono::steady_clock;
+    if (amt::trace::compiled_in) {
+        amt::trace::set_thread_name("watchdog");
+    }
 
     std::uint64_t last_finished = progress_->finished.load(std::memory_order_relaxed);
     clock::time_point last_advance = clock::now();
@@ -68,6 +73,11 @@ void watchdog::run() {
         for (const char* s : progress_->in_flight_sites()) {
             sites.emplace_back(s);
         }
+        // The site label has static storage (wave_site / probe contract),
+        // so it is a valid trace-event name; the mark lands on this
+        // monitor thread's own timeline.
+        amt::trace::mark(site != nullptr ? site : "stall",
+                         static_cast<std::int32_t>(started - finished));
         last_ = report{site != nullptr ? site : "?", started, finished,
                        stalled_for, std::move(sites)};
         reported_this_episode = true;

@@ -159,10 +159,16 @@ void dist_driver::advance_futurized(cluster& c, bool eager) {
                                                      flags);
             },
             [cp, dp, s] {
+                amt::trace::scoped_span halo(
+                    amt::trace::event_kind::halo_span, "halo:pack_corner",
+                    static_cast<std::int32_t>(s));
                 cp->boundary(s - 1).corner_down.set(
                     pack_corner_plane(*dp, dp->bottom_plane_elem_base()));
             },
             [cp, dp, s] {
+                amt::trace::scoped_span halo(
+                    amt::trace::event_kind::halo_span, "halo:pack_corner",
+                    static_cast<std::int32_t>(s));
                 cp->boundary(s).corner_up.set(
                     pack_corner_plane(*dp, dp->top_plane_elem_base()));
             });
@@ -176,13 +182,19 @@ void dist_driver::advance_futurized(cluster& c, bool eager) {
         for (auto& send : stage1.sends) ready.push_back(std::move(send));
         if (dp->has_lower_neighbor()) {
             ready.push_back(cp->boundary(s - 1).corner_up.get().then(
-                amt::launch::sync, [dp](amt::future<plane_buffer>&& m) {
+                amt::launch::sync, [dp, s](amt::future<plane_buffer>&& m) {
+                    amt::trace::scoped_span halo(
+                        amt::trace::event_kind::halo_span,
+                        "halo:unpack_corner", static_cast<std::int32_t>(s));
                     unpack_corner_ghosts(*dp, dp->ghost_lower_slot(), m.get());
                 }));
         }
         if (dp->has_upper_neighbor()) {
             ready.push_back(cp->boundary(s).corner_down.get().then(
-                amt::launch::sync, [dp](amt::future<plane_buffer>&& m) {
+                amt::launch::sync, [dp, s](amt::future<plane_buffer>&& m) {
+                    amt::trace::scoped_span halo(
+                        amt::trace::event_kind::halo_span,
+                        "halo:unpack_corner", static_cast<std::int32_t>(s));
                     unpack_corner_ghosts(*dp, dp->ghost_upper_slot(), m.get());
                 }));
         }
@@ -190,10 +202,12 @@ void dist_driver::advance_futurized(cluster& c, bool eager) {
 
         // ---- wave 2 ------------------------------------------------------
         auto b2 = graph::stage_after(
-            std::move(halo1), [rt, dp, p_nodal, dt, flags] {
+            std::move(halo1),
+            [rt, dp, p_nodal, dt, flags] {
                 return graph::spawn_node_wave(*rt, *dp, p_nodal, dt, flags)
                     .futures;
-            });
+            },
+            graph::wave_site::node);
 
         // ---- wave 3 with the delv_zeta halo for the monotonic-Q stencil --
         // The wave is spawned by a continuation once b2 resolves; its sends
@@ -211,10 +225,16 @@ void dist_driver::advance_futurized(cluster& c, bool eager) {
                                                             p_elems, dt, flags);
                     },
                     [cp, dp, s] {
+                        amt::trace::scoped_span halo(
+                            amt::trace::event_kind::halo_span,
+                            "halo:pack_delv", static_cast<std::int32_t>(s));
                         cp->boundary(s - 1).delv_down.set(pack_delv_plane(
                             *dp, dp->bottom_plane_elem_base()));
                     },
                     [cp, dp, s] {
+                        amt::trace::scoped_span halo(
+                            amt::trace::event_kind::halo_span,
+                            "halo:pack_delv", static_cast<std::int32_t>(s));
                         cp->boundary(s).delv_up.set(pack_delv_plane(
                             *dp, dp->top_plane_elem_base()));
                     });
@@ -239,13 +259,19 @@ void dist_driver::advance_futurized(cluster& c, bool eager) {
         ready3.push_back(std::move(wave3_done));
         if (dp->has_lower_neighbor()) {
             ready3.push_back(cp->boundary(s - 1).delv_up.get().then(
-                amt::launch::sync, [dp](amt::future<plane_buffer>&& m) {
+                amt::launch::sync, [dp, s](amt::future<plane_buffer>&& m) {
+                    amt::trace::scoped_span halo(
+                        amt::trace::event_kind::halo_span, "halo:unpack_delv",
+                        static_cast<std::int32_t>(s));
                     unpack_delv_ghosts(*dp, dp->ghost_lower_slot(), m.get());
                 }));
         }
         if (dp->has_upper_neighbor()) {
             ready3.push_back(cp->boundary(s).delv_down.get().then(
-                amt::launch::sync, [dp](amt::future<plane_buffer>&& m) {
+                amt::launch::sync, [dp, s](amt::future<plane_buffer>&& m) {
+                    amt::trace::scoped_span halo(
+                        amt::trace::event_kind::halo_span, "halo:unpack_delv",
+                        static_cast<std::int32_t>(s));
                     unpack_delv_ghosts(*dp, dp->ghost_upper_slot(), m.get());
                 }));
         }
@@ -253,21 +279,25 @@ void dist_driver::advance_futurized(cluster& c, bool eager) {
 
         // ---- waves 4 and 5 ------------------------------------------------
         auto b4 = graph::stage_after(
-            std::move(halo3), [rt, dp, p_elems, flags] {
+            std::move(halo3),
+            [rt, dp, p_elems, flags] {
                 return graph::spawn_region_wave(*rt, *dp, p_elems, flags)
                     .futures;
-            });
+            },
+            graph::wave_site::region_eos);
 
         auto& slab_partials = partials_[static_cast<std::size_t>(s)];
         slab_partials.assign(graph::constraint_slot_count(*dp, p_elems),
                              k::dt_constraints{});
         auto* partials = slab_partials.data();
         finals.push_back(graph::stage_after(
-            std::move(b4), [rt, dp, p_elems, partials, flags] {
+            std::move(b4),
+            [rt, dp, p_elems, partials, flags] {
                 return graph::spawn_constraint_wave(*rt, *dp, p_elems,
                                                     partials, flags)
                     .futures;
-            }));
+            },
+            graph::wave_site::constraints));
     }
 
     // Failed-slab propagation: each slab's chain settles into one error
@@ -292,6 +322,11 @@ void dist_driver::advance_futurized(cluster& c, bool eager) {
     }
     auto all = amt::when_all_void(std::move(settled));
 
+    // The iteration's one blocking wait: every slab's chain plus the halo
+    // messages feeding it.  The span closes (RAII) even when get() throws.
+    amt::trace::scoped_span halo_wait(amt::trace::event_kind::barrier_span,
+                                      "halo_wait",
+                                      static_cast<std::int32_t>(num_slabs));
     bool timed_out = false;
     if (halo_timeout_.count() > 0) {
         // Per-iteration progress deadline: a full timeout window with zero
@@ -368,6 +403,9 @@ void dist_driver::advance_bulk_synchronous(cluster& c) {
             auto futures = spawn_for_slab(c.slab(s), s);
             for (auto& f : futures) all.push_back(std::move(f));
         }
+        amt::trace::scoped_span wait(amt::trace::event_kind::barrier_span,
+                                     "global_wave",
+                                     static_cast<std::int32_t>(all.size()));
         amt::when_all_void(std::move(all)).get();
     };
 
@@ -376,6 +414,9 @@ void dist_driver::advance_bulk_synchronous(cluster& c) {
     });
     // Main-thread exchange between the global barriers (the MPI-ish step).
     for (index_t b = 0; b + 1 < num_slabs; ++b) {
+        amt::trace::scoped_span halo(amt::trace::event_kind::halo_span,
+                                     "halo:exchange_corner",
+                                     static_cast<std::int32_t>(b));
         domain& lower = c.slab(b);
         domain& upper = c.slab(b + 1);
         unpack_corner_ghosts(upper, upper.ghost_lower_slot(),
@@ -391,6 +432,9 @@ void dist_driver::advance_bulk_synchronous(cluster& c) {
         return graph::spawn_elem_wave(rt_, d, p_elems, dt, flags).futures;
     });
     for (index_t b = 0; b + 1 < num_slabs; ++b) {
+        amt::trace::scoped_span halo(amt::trace::event_kind::halo_span,
+                                     "halo:exchange_delv",
+                                     static_cast<std::int32_t>(b));
         domain& lower = c.slab(b);
         domain& upper = c.slab(b + 1);
         unpack_delv_ghosts(upper, upper.ghost_lower_slot(),

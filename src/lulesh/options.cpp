@@ -89,6 +89,24 @@ cli_options parse_cli(int argc, const char* const* argv, env_lookup env) {
                 parse_long(arg, require_value(arg, argc, argv, i)));
         } else if (arg == "--audit-graph") {
             cli.audit_graph = true;
+        } else if (arg == "--trace") {
+            cli.trace_file = require_value(arg, argc, argv, i);
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            cli.trace_file = arg.substr(std::string("--trace=").size());
+            if (cli.trace_file.empty()) {
+                throw std::invalid_argument(
+                    "lulesh: --trace requires a non-empty file name");
+            }
+        } else if (arg == "--utilization-report") {
+            cli.utilization_report_file = require_value(arg, argc, argv, i);
+        } else if (arg.rfind("--utilization-report=", 0) == 0) {
+            cli.utilization_report_file =
+                arg.substr(std::string("--utilization-report=").size());
+            if (cli.utilization_report_file.empty()) {
+                throw std::invalid_argument(
+                    "lulesh: --utilization-report requires a non-empty file "
+                    "name");
+            }
         } else if (arg == "-q" || arg == "--q" || arg == "--quiet") {
             cli.quiet = true;
         } else if (arg == "-h" || arg == "--help") {
@@ -134,6 +152,25 @@ cli_options parse_cli(int argc, const char* const* argv, env_lookup env) {
             "pre-built task graph, which driver '" + cli.driver +
             "' never spawns — use taskgraph or foreach");
     }
+    // Environment twins of --trace / --utilization-report.  A non-empty
+    // value is an output path; the explicit flag takes precedence.
+    if (const char* raw = env("LULESH_TRACE");
+        raw != nullptr && *raw != '\0' && cli.trace_file.empty()) {
+        cli.trace_file = raw;
+    }
+    if (const char* raw = env("LULESH_UTILIZATION_REPORT");
+        raw != nullptr && *raw != '\0' &&
+        cli.utilization_report_file.empty()) {
+        cli.utilization_report_file = raw;
+    }
+    if ((!cli.trace_file.empty() || !cli.utilization_report_file.empty()) &&
+        (cli.driver == "serial" || cli.driver == "parallel_for")) {
+        throw std::invalid_argument(
+            "lulesh: --trace/--utilization-report (or LULESH_TRACE/"
+            "LULESH_UTILIZATION_REPORT) observe scheduler tasks, which "
+            "driver '" + cli.driver +
+            "' never spawns — use taskgraph or foreach");
+    }
     return cli;
 }
 
@@ -158,6 +195,14 @@ std::string usage_text(const std::string& program) {
        << "                  read-write/write-write overlaps before running\n"
        << "                  (env twin: LULESH_AUDIT_GRAPH=1; needs a\n"
        << "                  task-graph driver)\n"
+       << "  --trace <file>  record per-task trace events and write a Chrome\n"
+       << "                  trace-event JSON (load in Perfetto / chrome://\n"
+       << "                  tracing; env twin: LULESH_TRACE=<file>; needs a\n"
+       << "                  task-spawning driver)\n"
+       << "  --utilization-report <file>\n"
+       << "                  write a per-phase utilization report (.json →\n"
+       << "                  JSON, else text; env twin:\n"
+       << "                  LULESH_UTILIZATION_REPORT=<file>)\n"
        << "  -h              this help\n"
        << "Exit codes: 0 ok, 1 usage, 2 volume error, 3 qstop exceeded,\n"
        << "            4 task fault, 5 stalled, 6 graph hazard,\n"

@@ -114,6 +114,14 @@ struct cli_options {
     /// Run the static task-graph hazard audit at startup (core/graph_audit)
     /// and exit with status::hazard if an unordered overlap is found.
     bool audit_graph = false;
+
+    /// Non-empty: arm the task tracer (amt/trace) and write a Chrome
+    /// trace-event JSON file here after the run.
+    std::string trace_file;
+
+    /// Non-empty: arm the tracer and write the per-phase utilization report
+    /// here (".json" suffix → JSON, anything else → text table).
+    std::string utilization_report_file;
 };
 
 /// Environment lookup used by parse_cli — std::getenv by default, injectable
@@ -127,6 +135,11 @@ using env_lookup = const char* (*)(const char* name);
 /// else rejected) as the environment twin of --audit-graph.  The audit
 /// models the task-graph wave structure, so either spelling combined with a
 /// driver that spawns no task graph (serial, parallel_for) is rejected.
+/// --trace / --utilization-report have environment twins LULESH_TRACE /
+/// LULESH_UTILIZATION_REPORT (non-empty value = output path; the flag wins
+/// when both are given) and are rejected with the non-tasking drivers under
+/// the same rule — the tracer observes scheduler tasks, which serial and
+/// parallel_for never spawn.
 /// Throws std::invalid_argument on malformed input.
 cli_options parse_cli(int argc, const char* const* argv);
 

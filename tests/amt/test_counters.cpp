@@ -1,0 +1,106 @@
+// tests/amt/test_counters.cpp — the per-worker counter primitives that both
+// the Figure 11 counters and the tracer's ring drop-counting rely on.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "amt/counters.hpp"
+
+namespace {
+
+TEST(RelaxedCounter, StartsAtZeroAndAccumulates) {
+    amt::relaxed_counter c;
+    EXPECT_EQ(c.load(), 0u);
+    c.add(1);
+    c.add(41);
+    EXPECT_EQ(c.load(), 42u);
+}
+
+TEST(RelaxedCounter, ResetClears) {
+    amt::relaxed_counter c;
+    c.add(7);
+    c.reset();
+    EXPECT_EQ(c.load(), 0u);
+    c.add(3);
+    EXPECT_EQ(c.load(), 3u);
+}
+
+TEST(RelaxedCounter, SingleWriterVisibleToConcurrentReader) {
+    // The contract: one owning writer, any number of relaxed readers that
+    // tolerate staleness but must eventually observe the final value.
+    amt::relaxed_counter c;
+    constexpr std::uint64_t n = 100000;
+    std::thread writer([&] {
+        for (std::uint64_t i = 0; i < n; ++i) c.add(1);
+    });
+    std::uint64_t last = 0;
+    while (last < n) {
+        const std::uint64_t v = c.load();
+        ASSERT_GE(v, last);  // monotone: single writer never goes backwards
+        last = v;
+    }
+    writer.join();
+    EXPECT_EQ(c.load(), n);
+}
+
+TEST(WorkerCounters, ResetClearsAllFields) {
+    amt::worker_counters w;
+    w.tasks_executed.add(5);
+    w.steals.add(2);
+    w.steal_attempts.add(9);
+    w.productive_ns.add(123);
+    w.reset();
+    EXPECT_EQ(w.tasks_executed.load(), 0u);
+    EXPECT_EQ(w.steals.load(), 0u);
+    EXPECT_EQ(w.steal_attempts.load(), 0u);
+    EXPECT_EQ(w.productive_ns.load(), 0u);
+}
+
+TEST(CountersSnapshot, ProductiveRatio) {
+    amt::counters_snapshot s;
+    s.productive_ns = 600;
+    s.wall_ns = 1000;
+    s.num_workers = 2;
+    EXPECT_DOUBLE_EQ(s.productive_ratio(), 0.3);  // 600 / (1000 * 2)
+}
+
+TEST(CountersSnapshot, ProductiveRatioZeroDenominatorGuards) {
+    amt::counters_snapshot s;
+    s.productive_ns = 600;
+    // Both zero-wall and zero-worker snapshots must yield 0, not NaN/inf.
+    s.wall_ns = 0;
+    s.num_workers = 4;
+    EXPECT_DOUBLE_EQ(s.productive_ratio(), 0.0);
+    s.wall_ns = 1000;
+    s.num_workers = 0;
+    EXPECT_DOUBLE_EQ(s.productive_ratio(), 0.0);
+}
+
+TEST(CountersSnapshot, DeltaSubtractsWindowAndKeepsWorkerCount) {
+    amt::counters_snapshot begin;
+    begin.tasks_executed = 10;
+    begin.steals = 1;
+    begin.steal_attempts = 4;
+    begin.productive_ns = 1000;
+    begin.wall_ns = 2000;
+    begin.num_workers = 4;
+
+    amt::counters_snapshot end = begin;
+    end.tasks_executed = 35;
+    end.steals = 3;
+    end.steal_attempts = 10;
+    end.productive_ns = 5000;
+    end.wall_ns = 6000;
+
+    const amt::counters_snapshot d = amt::delta(begin, end);
+    EXPECT_EQ(d.tasks_executed, 25u);
+    EXPECT_EQ(d.steals, 2u);
+    EXPECT_EQ(d.steal_attempts, 6u);
+    EXPECT_EQ(d.productive_ns, 4000u);
+    EXPECT_EQ(d.wall_ns, 4000u);
+    EXPECT_EQ(d.num_workers, 4u);
+    EXPECT_DOUBLE_EQ(d.productive_ratio(), 4000.0 / (4000.0 * 4.0));
+}
+
+}  // namespace

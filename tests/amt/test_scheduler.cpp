@@ -200,7 +200,15 @@ TEST(RuntimeCounters, CountsExecutedTasks) {
     std::vector<amt::future<void>> fs;
     for (int i = 0; i < 50; ++i) fs.push_back(amt::async([] {}));
     amt::wait_all(fs);
+    // The last task bumps the counter just after fulfilling its future;
+    // poll briefly instead of snapshotting once (as below).
     auto s = rt.snapshot_counters();
+    const auto deadline = std::chrono::steady_clock::now() + 5s;
+    while (s.tasks_executed < 50u &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+        s = rt.snapshot_counters();
+    }
     EXPECT_GE(s.tasks_executed, 50u);
     EXPECT_EQ(s.num_workers, 2u);
     EXPECT_GT(s.wall_ns, 0u);
@@ -240,7 +248,15 @@ TEST(RuntimeCounters, DeltaComputesWindow) {
     amt::runtime rt(1);
     auto a = rt.snapshot_counters();
     amt::async([] {}).get();
+    // tasks_executed is bumped just after the future is fulfilled; poll
+    // briefly instead of snapshotting once (as above).
     auto b = rt.snapshot_counters();
+    const auto deadline = std::chrono::steady_clock::now() + 5s;
+    while (b.tasks_executed == a.tasks_executed &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+        b = rt.snapshot_counters();
+    }
     auto d = amt::delta(a, b);
     EXPECT_GE(d.tasks_executed, 1u);
     EXPECT_GT(d.wall_ns, 0u);

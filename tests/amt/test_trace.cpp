@@ -1,0 +1,279 @@
+// tests/amt/test_trace.cpp — the task tracer: arming, the label handshake,
+// ring overflow (drop-not-block), the Chrome trace writer, and the
+// per-phase utilization attribution.
+//
+// Each test resets the global registry; the fixture serializes them so a
+// concurrent gtest shard cannot interleave ring registrations.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "amt/amt.hpp"
+#include "amt/trace.hpp"
+
+namespace {
+
+namespace trace = amt::trace;
+
+class TraceTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        if (!trace::compiled_in) GTEST_SKIP() << "AMT_TRACE_DISABLE build";
+        trace::reset();
+        trace::set_ring_capacity(trace::default_ring_capacity);
+    }
+    void TearDown() override {
+        if (trace::compiled_in) {
+            trace::disarm();
+            trace::reset();
+        }
+    }
+};
+
+TEST_F(TraceTest, DisarmedRecordsNothing) {
+    trace::emit_span(trace::event_kind::task_span, "t", 0, 100);
+    trace::mark("m");
+    trace::emit_phase("p", 0, 10);
+    const auto snap = trace::drain();
+    std::size_t events = 0;
+    for (const auto& t : snap.threads) events += t.events.size();
+    EXPECT_EQ(events, 0u);
+}
+
+TEST_F(TraceTest, ArmRecordsSpansWithMonotonicEpochTimestamps) {
+    trace::set_thread_name("main");
+    trace::arm();
+    const std::int64_t a = trace::now_ns();
+    trace::emit_span(trace::event_kind::task_span, "body", a,
+                     trace::now_ns(), 7);
+    trace::mark("cycle", 3);
+    trace::disarm();
+    const auto snap = trace::drain();
+    ASSERT_EQ(snap.threads.size(), 1u);
+    EXPECT_EQ(snap.threads[0].name, "main");
+    ASSERT_EQ(snap.threads[0].events.size(), 2u);
+    const auto& span = snap.threads[0].events[0];
+    EXPECT_EQ(std::string(span.name), "body");
+    EXPECT_EQ(span.arg, 7);
+    EXPECT_GE(span.ts_ns, 0);
+    EXPECT_GE(span.dur_ns, 0);
+    const auto& m = snap.threads[0].events[1];
+    EXPECT_EQ(m.kind, trace::event_kind::mark);
+    EXPECT_GE(m.ts_ns, span.ts_ns);
+}
+
+TEST_F(TraceTest, LabelHandshakeFirstAnnotationWins) {
+    trace::arm();
+    trace::annotate_task("outer", 1);
+    trace::annotate_task("inner", 2);  // inlined completion: must not win
+    const auto label = trace::take_task_label();
+    EXPECT_EQ(std::string(label.name), "outer");
+    EXPECT_EQ(label.arg, 1);
+    // The take cleared it.
+    const auto empty = trace::take_task_label();
+    EXPECT_EQ(empty.name, nullptr);
+}
+
+TEST_F(TraceTest, OverflowDropsKeepsFirstAndCounts) {
+    trace::set_ring_capacity(4);
+    trace::set_thread_name("main");
+    trace::arm();
+    for (int i = 0; i < 10; ++i) {
+        trace::emit_span(trace::event_kind::task_span, "t",
+                         static_cast<std::int64_t>(i) * 100,
+                         static_cast<std::int64_t>(i) * 100 + 50, i);
+    }
+    const auto snap = trace::drain();
+    ASSERT_EQ(snap.threads.size(), 1u);
+    ASSERT_EQ(snap.threads[0].events.size(), 4u);  // keep-first semantics
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(snap.threads[0].events[static_cast<std::size_t>(i)].arg, i);
+    }
+    EXPECT_EQ(snap.threads[0].dropped, 6u);
+    EXPECT_EQ(snap.dropped, 6u);
+    EXPECT_EQ(trace::dropped_total(), 6u);
+}
+
+TEST_F(TraceTest, ScopedSpanEmitsOnlyWhenArmed) {
+    {
+        trace::scoped_span off(trace::event_kind::halo_span, "off");
+    }
+    trace::arm();
+    {
+        trace::scoped_span on(trace::event_kind::halo_span, "on", 5);
+    }
+    const auto snap = trace::drain();
+    ASSERT_EQ(snap.threads.size(), 1u);
+    ASSERT_EQ(snap.threads[0].events.size(), 1u);
+    EXPECT_EQ(std::string(snap.threads[0].events[0].name), "on");
+    EXPECT_EQ(snap.threads[0].events[0].kind, trace::event_kind::halo_span);
+}
+
+TEST_F(TraceTest, DrainOrdersMainWorkersPhases) {
+    trace::arm();
+    trace::emit_phase("force", 0, 10);
+    std::thread w1([&] {
+        trace::set_thread_name("worker1");
+        trace::mark("w1");
+    });
+    w1.join();
+    std::thread w0([&] {
+        trace::set_thread_name("worker0");
+        trace::mark("w0");
+    });
+    w0.join();
+    trace::set_thread_name("main");
+    trace::mark("m");
+    const auto snap = trace::drain();
+    ASSERT_EQ(snap.threads.size(), 4u);
+    EXPECT_EQ(snap.threads[0].name, "main");
+    EXPECT_EQ(snap.threads[1].name, "worker0");
+    EXPECT_EQ(snap.threads[2].name, "worker1");
+    EXPECT_EQ(snap.threads[3].name, "phases");
+}
+
+TEST_F(TraceTest, ChromeWriterProducesValidSkeleton) {
+    trace::set_thread_name("main");
+    trace::arm();
+    trace::emit_span(trace::event_kind::task_span, "quote\"back\\slash", 1000,
+                     2000, 1);
+    trace::emit_phase("force", 0, 5000, 2);
+    const auto snap = trace::drain();
+    std::ostringstream os;
+    trace::write_chrome_trace(os, snap);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(out.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(out.find("\"thread_name\""), std::string::npos);
+    // Escaping of name characters that would break JSON.
+    EXPECT_NE(out.find("quote\\\"back\\\\slash"), std::string::npos);
+    // Span timestamps are microseconds: 1000 ns = 1.000 us.
+    EXPECT_NE(out.find("\"ts\":1.000"), std::string::npos);
+    EXPECT_NE(out.find("\"cat\":\"phase\""), std::string::npos);
+}
+
+TEST_F(TraceTest, UtilizationAttributesCategoriesPerPhase) {
+    trace::arm();
+    // Two phase windows of 1 ms each with a 0.5 ms serial hole between.
+    trace::emit_phase("force", 0, 1'000'000);
+    trace::emit_phase("node", 1'500'000, 1'000'000);
+    std::thread worker([&] {
+        trace::set_thread_name("worker0");
+        // 0.6 ms productive + 0.4 ms search inside "force" (search ends at
+        // the window end: barrier); fully idle through the serial hole and
+        // "node" (gap crosses both: barrier tail attribution in each).
+        trace::emit_span(trace::event_kind::task_span, "force", 0, 600'000,
+                         0);
+        trace::emit_span(trace::event_kind::search_span, "steal-search",
+                         600'000, 1'000'000, 3);
+        trace::emit_span(trace::event_kind::idle_span, "idle", 1'000'000,
+                         2'500'000, 9);
+        // Zero-duration steal event pinned inside the force window (instant()
+        // would stamp real wall time, outside these synthetic windows).
+        trace::emit_span(trace::event_kind::steal, "steal", 650'000, 650'000,
+                         0);
+    });
+    worker.join();
+    const auto snap = trace::drain();
+    const auto rep = trace::build_utilization(snap);
+
+    EXPECT_EQ(rep.workers, 1u);
+    EXPECT_NEAR(rep.wall_s, 2.5e-3, 1e-9);
+    ASSERT_EQ(rep.phases.size(), 3u);  // force, node, (serial) filler
+
+    const auto* force = &rep.phases[0];
+    const auto* node = &rep.phases[1];
+    if (force->name != "force") std::swap(force, node);
+    EXPECT_EQ(force->name, "force");
+    EXPECT_NEAR(force->productive_s, 0.6e-3, 1e-9);
+    // The search gap runs into the force window's closing barrier.
+    EXPECT_NEAR(force->barrier_s, 0.4e-3, 1e-9);
+    EXPECT_EQ(force->tasks, 1u);
+    EXPECT_EQ(force->steals, 1u);
+    EXPECT_NEAR(node->barrier_s, 1.0e-3, 1e-9);
+
+    // Everything is attributed: coverage == 1 within fp noise.
+    EXPECT_NEAR(rep.coverage(), 1.0, 1e-6);
+    EXPECT_NEAR(rep.accounted_s(), 2.5e-3, 1e-9);
+    EXPECT_EQ(rep.tasks, 1u);
+    EXPECT_EQ(rep.steals, 1u);
+}
+
+TEST_F(TraceTest, UtilizationFallsBackToSingleRunWindow) {
+    trace::arm();
+    std::thread worker([&] {
+        trace::set_thread_name("worker0");
+        trace::emit_span(trace::event_kind::task_span, "t", 0, 1'000'000, 0);
+    });
+    worker.join();
+    const auto snap = trace::drain();
+    const auto rep = trace::build_utilization(snap);
+    ASSERT_EQ(rep.phases.size(), 1u);
+    EXPECT_EQ(rep.phases[0].name, "run");
+    EXPECT_NEAR(rep.productive_s, 1e-3, 1e-9);
+    EXPECT_NEAR(rep.utilization(), 1.0, 1e-6);
+}
+
+TEST_F(TraceTest, UtilizationWritersIncludeTotalsAndCsv) {
+    trace::arm();
+    trace::emit_phase("force", 0, 1'000'000);
+    std::thread worker([&] {
+        trace::set_thread_name("worker0");
+        trace::emit_span(trace::event_kind::task_span, "force", 0, 1'000'000,
+                         0);
+    });
+    worker.join();
+    const auto rep = trace::build_utilization(trace::drain());
+    std::ostringstream text;
+    trace::write_utilization_text(text, rep);
+    EXPECT_NE(text.str().find("CSV,util_phase,force"), std::string::npos);
+    EXPECT_NE(text.str().find("coverage"), std::string::npos);
+    std::ostringstream json;
+    trace::write_utilization_json(json, rep);
+    EXPECT_NE(json.str().find("\"phases\""), std::string::npos);
+    EXPECT_NE(json.str().find("\"coverage\""), std::string::npos);
+}
+
+TEST_F(TraceTest, SchedulerEmitsLabeledTaskSpans) {
+    trace::set_thread_name("test-main");
+    trace::arm();
+    {
+        amt::runtime rt(2);
+        auto f = amt::async(rt, [] {
+            trace::annotate_task("unit-task", 42);
+        });
+        f.get();
+    }
+    trace::disarm();
+    const auto snap = trace::drain();
+    bool found = false;
+    for (const auto& t : snap.threads) {
+        for (const auto& e : t.events) {
+            if (e.kind == trace::event_kind::task_span &&
+                std::string(e.name) == "unit-task" && e.arg == 42) {
+                found = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(TraceTest, ResetDropsEventsAndReopensRegistration) {
+    trace::set_thread_name("main");
+    trace::arm();
+    trace::mark("before");
+    trace::reset();
+    EXPECT_EQ(trace::drain().threads.size(), 0u);
+    // Re-arm starts a fresh epoch and re-registers this thread lazily.
+    trace::arm();
+    trace::mark("after");
+    const auto snap = trace::drain();
+    ASSERT_EQ(snap.threads.size(), 1u);
+    ASSERT_EQ(snap.threads[0].events.size(), 1u);
+    EXPECT_EQ(std::string(snap.threads[0].events[0].name), "after");
+}
+
+}  // namespace

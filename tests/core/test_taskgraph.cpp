@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "amt/amt.hpp"
 #include "core/autotune.hpp"
 #include "core/driver_foreach.hpp"
@@ -81,9 +84,19 @@ TEST(TaskGraph, RuntimeCountersSeeTheTasks) {
     lulesh::taskgraph_driver drv(rt, {32, 32});
     rt.reset_counters();
     lulesh::run_simulation(d, drv, 3);
-    const auto counters = rt.snapshot_counters();
     // Every created task must have been executed (plus stage spawners).
-    EXPECT_GE(counters.tasks_executed, 3 * drv.tasks_last_iteration());
+    // The last task bumps its counter just after fulfilling the future the
+    // driver blocks on, so poll briefly instead of snapshotting once.
+    const auto wanted = 3 * drv.tasks_last_iteration();
+    auto counters = rt.snapshot_counters();
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(5);
+    while (counters.tasks_executed < wanted &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+        counters = rt.snapshot_counters();
+    }
+    EXPECT_GE(counters.tasks_executed, wanted);
     EXPECT_GT(counters.productive_ns, 0u);
 }
 

@@ -156,15 +156,91 @@ TEST(CliAudit, EnvFlagHonorsTheDriverValidation) {
     EXPECT_THROW(parse_env({"-d", "serial"},
                            [](const char*) -> const char* { return "1"; }),
                  std::invalid_argument);
-    // An explicit 0 is not a request, so any driver is fine.
-    EXPECT_NO_THROW(parse_env({"-d", "serial"},
-                              [](const char*) -> const char* { return "0"; }));
+    // An explicit 0 is not a request, so any driver is fine.  (Scoped to
+    // the audit variable: for the path-valued twins "0" is a filename.)
+    EXPECT_NO_THROW(
+        parse_env({"-d", "serial"}, [](const char* name) -> const char* {
+            return std::string(name) == "LULESH_AUDIT_GRAPH" ? "0" : nullptr;
+        }));
 }
 
 TEST(CliAudit, UsageTextDocumentsBothSpellings) {
     const auto text = lulesh::usage_text("prog");
     EXPECT_NE(text.find("--audit-graph"), std::string::npos);
     EXPECT_NE(text.find("LULESH_AUDIT_GRAPH"), std::string::npos);
+}
+
+// ---------------- --trace / --utilization-report and env twins ----------
+
+TEST(CliTrace, FlagsCarryPathsInBothSpellings) {
+    auto cli = parse_env({"--trace", "a.json", "--utilization-report",
+                          "u.txt"},
+                         no_env);
+    EXPECT_EQ(cli.trace_file, "a.json");
+    EXPECT_EQ(cli.utilization_report_file, "u.txt");
+    cli = parse_env({"--trace=b.json", "--utilization-report=v.json"},
+                    no_env);
+    EXPECT_EQ(cli.trace_file, "b.json");
+    EXPECT_EQ(cli.utilization_report_file, "v.json");
+    EXPECT_TRUE(parse_env({}, no_env).trace_file.empty());
+}
+
+TEST(CliTrace, EmptyPathsAreRejected) {
+    EXPECT_THROW(parse_env({"--trace="}, no_env), std::invalid_argument);
+    EXPECT_THROW(parse_env({"--utilization-report="}, no_env),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_env({"--trace"}, no_env), std::invalid_argument);
+}
+
+TEST(CliTrace, GraphlessDriversAreRejected) {
+    // serial and parallel_for never spawn scheduler tasks, so a trace of
+    // them would be an empty lie — same policy as --audit-graph.
+    EXPECT_THROW(parse_env({"--trace=t.json", "-d", "serial"}, no_env),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_env({"-d", "parallel_for",
+                            "--utilization-report=u.txt"},
+                           no_env),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(parse_env({"--trace=t.json", "-d", "foreach"}, no_env));
+}
+
+TEST(CliTrace, EnvTwinsFillOnlyUnsetFlags) {
+    const auto env = [](const char* name) -> const char* {
+        if (std::string(name) == "LULESH_TRACE") return "env.json";
+        if (std::string(name) == "LULESH_UTILIZATION_REPORT") {
+            return "env.txt";
+        }
+        return nullptr;
+    };
+    auto cli = parse_env({}, env);
+    EXPECT_EQ(cli.trace_file, "env.json");
+    EXPECT_EQ(cli.utilization_report_file, "env.txt");
+    // The flag wins over the twin.
+    cli = parse_env({"--trace=cli.json"}, env);
+    EXPECT_EQ(cli.trace_file, "cli.json");
+    EXPECT_EQ(cli.utilization_report_file, "env.txt");
+    // Empty env values are not requests.
+    EXPECT_TRUE(parse_env({}, [](const char*) -> const char* {
+                    return "";
+                }).trace_file.empty());
+}
+
+TEST(CliTrace, EnvTwinsHonorTheDriverValidation) {
+    EXPECT_THROW(
+        parse_env({"-d", "serial"},
+                  [](const char* name) -> const char* {
+                      return std::string(name) == "LULESH_TRACE" ? "t.json"
+                                                                 : nullptr;
+                  }),
+        std::invalid_argument);
+}
+
+TEST(CliTrace, UsageTextDocumentsAllSpellings) {
+    const auto text = lulesh::usage_text("prog");
+    EXPECT_NE(text.find("--trace"), std::string::npos);
+    EXPECT_NE(text.find("--utilization-report"), std::string::npos);
+    EXPECT_NE(text.find("LULESH_TRACE"), std::string::npos);
+    EXPECT_NE(text.find("LULESH_UTILIZATION_REPORT"), std::string::npos);
 }
 
 TEST(Cli, UsageTextMentionsAllFlags) {

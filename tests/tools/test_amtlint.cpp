@@ -230,6 +230,24 @@ TEST(Amt003, SilentOnProbelessFunctions) {
     EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
 }
 
+TEST(Amt003, SilentOnTracerProbesInProbedKernels) {
+    // The task tracer's annotations (amt/trace.hpp) sit inside probed
+    // kernel bodies — graph_waves.cpp annotates every guarded task, and
+    // the dist driver wraps pack/unpack in scoped spans.  None of that is
+    // a domain field access, and the probe-bearing kernel must stay clean.
+    const std::string src =
+        "void my_kernel(domain& d, index_t lo, index_t hi) {\n"
+        "    hazard_touch(field::vnew, true, lo, hi);\n"
+        "    amt::trace::annotate_task(\"elem:vnew\", "
+        "static_cast<std::int32_t>(lo));\n"
+        "    amt::trace::scoped_span span(\n"
+        "        amt::trace::event_kind::halo_span, \"halo:pack\", 3);\n"
+        "    amt::trace::mark(\"kernel-entry\", 1);\n"
+        "    for (index_t i = lo; i < hi; ++i) d.vnew[i] = 1.0;\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
 TEST(Amt003, GatedOffWithKernelRulesDisabled) {
     const std::string src =
         "void my_kernel(domain& d, index_t lo, index_t hi) {\n"
