@@ -147,8 +147,12 @@ int main(int argc, char** argv) {
 
     if (cli.audit_graph) {
         // Prove the barrier elision race-free for this exact mesh and
-        // partition decomposition before trusting it with a run.
-        const auto model = lulesh::graph::build_iteration_model(dom, parts);
+        // partition decomposition before trusting it with a run.  The
+        // model includes the overlapped checkpoint-pack tasks the
+        // resilient loop can inject, so the audit also proves packing
+        // never races the compute it overlaps.
+        auto model = lulesh::graph::build_iteration_model(dom, parts);
+        lulesh::graph::add_checkpoint_pack_tasks(model, dom);
         const auto audit = lulesh::graph::audit_graph(model, dom);
         std::cout << lulesh::graph::format_audit(audit, model);
         if (!audit.ok()) {

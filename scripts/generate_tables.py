@@ -126,6 +126,17 @@ def summarize_table1(rows):
               f"{seconds:.4g}s; worst/best = {worst[2] / seconds:.2f}x")
 
 
+def summarize_checkpoint_overhead(rows):
+    # plain_ms, full_ms, incr_ms, full_pct, incr_pct — iteration cost at
+    # checkpoint-every-1, incremental+overlapped vs full stop-and-copy.
+    table("Checkpoint overhead at every-cycle cadence (budget: incr < 5%)",
+          ["plain(ms)", "full(ms)", "incr(ms)", "full(%)", "incr(%)"], rows)
+    for plain, _, _, full_pct, incr_pct in rows:
+        saved = float(full_pct) - float(incr_pct)
+        print(f"    incremental checkpointing saves {saved:.2f}% of the "
+              f"{float(plain):.3g} ms/iter baseline vs a full snapshot")
+
+
 def summarize_generic(name, rows):
     if not rows:
         return
@@ -148,6 +159,7 @@ def main(paths):
         "fig11_phase": summarize_fig11_phase,
         "util_phase": summarize_util_phase,
         "table1": summarize_table1,
+        "checkpoint_overhead": summarize_checkpoint_overhead,
     }
     for name in sorted(rows):
         handler = handlers.get(name)

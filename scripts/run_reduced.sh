@@ -26,6 +26,8 @@ echo "== Hazard-probe overhead (<1% budget) =="
 ./build/bench/hazard_overhead | tee results/hazard_overhead.txt
 echo "== Trace-probe overhead (<1% budget, drop-not-block) =="
 ./build/bench/trace_overhead | tee results/trace_overhead.txt
+echo "== Checkpoint overhead at every-cycle cadence (<5% budget) =="
+./build/bench/checkpoint_overhead | tee results/checkpoint_overhead.txt
 
 # Task tracer smoke: a traced run producing the checked-in Chrome trace and
 # the per-phase utilization report, both validated (structure, monotonic

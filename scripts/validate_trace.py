@@ -31,7 +31,8 @@ import argparse
 import json
 import sys
 
-KNOWN_CATS = {"task", "halo", "barrier", "sched", "phase", "mark"}
+KNOWN_CATS = {"task", "halo", "barrier", "sched", "phase", "checkpoint",
+              "mark"}
 EPS_US = 1e-6  # float slack when comparing microsecond timestamps
 
 

@@ -52,6 +52,7 @@ enum class event_kind : std::uint8_t {
     search_span,   ///< deque empty: actively stealing (never parked)
     idle_span,     ///< deque empty: parked on the wakeup cv at least once
     phase_span,    ///< one leapfrog phase window (driver barrier stamps)
+    checkpoint_span,  ///< checkpoint-pack work, nested inside a task span
     steal,         ///< successful steal from a victim deque
     continuation_ready,  ///< a stage spawner fired (barrier became ready)
     mark,          ///< point annotation (cycle boundaries, watchdog stalls)
@@ -254,6 +255,11 @@ struct phase_utilization {
     double steal_s = 0.0;
     double idle_s = 0.0;
     double barrier_s = 0.0;
+    /// Worker-seconds spent packing checkpoint regions in this phase.
+    /// Checkpoint spans are nested inside pack task spans, so this is a
+    /// *subset* of productive_s (not a fifth coverage category) — it makes
+    /// the overlapped packing visible without changing the coverage math.
+    double checkpoint_s = 0.0;
     std::uint64_t tasks = 0;
     std::uint64_t steals = 0;
 
@@ -276,6 +282,7 @@ struct utilization_report {
     double steal_s = 0.0;
     double idle_s = 0.0;
     double barrier_s = 0.0;
+    double checkpoint_s = 0.0;  ///< subset of productive_s (see above)
     double unattributed_s = 0.0;
     std::uint64_t tasks = 0;
     std::uint64_t steals = 0;

@@ -12,6 +12,7 @@
 #include <cmath>
 
 #include "core/graph_waves.hpp"
+#include "lulesh/checkpoint_chain.hpp"
 
 namespace lulesh::graph {
 
@@ -264,6 +265,8 @@ inline constexpr const char* region_monoq = "region_eos.monoq";
 inline constexpr const char* region_eos = "region_eos.eos";
 inline constexpr const char* region_volume = "region_eos.volume";
 inline constexpr const char* constraints = "constraints";
+inline constexpr const char* ckpt_pack_node = "ckpt.pack.node";
+inline constexpr const char* ckpt_pack_elem = "ckpt.pack.elem";
 }  // namespace model_site
 
 graph_model build_iteration_model(const domain& d, partition_sizes parts) {
@@ -350,6 +353,31 @@ graph_model build_iteration_model(const domain& d, partition_sizes parts) {
     m.num_stages = 5;
     m.num_slots = static_cast<std::size_t>(slot);
     return m;
+}
+
+void add_checkpoint_pack_tasks(graph_model& m, const domain& d) {
+    // One read-only pack task per checkpointed field, spanning the stages
+    // the runtime allows it to still be in flight (driver_taskgraph.cpp):
+    // node packs are joined into barrier 1 — before the node wave (stage 1)
+    // writes x/y/z/xd/yd/zd — so they occupy stage 0 only; elem packs are
+    // joined into barrier 3½ ahead of the region wave (stage 3), the first
+    // writer of e/p/q/ss/v, so they may run through stages 0-2.
+    index_t part = 0;
+    for (std::size_t s = 0; s < num_checkpoint_fields; ++s, ++part) {
+        const field f = checkpoint_field_at(s);
+        const bool node_field = field_space(f) == space::node;
+        const index_t extent = node_field ? d.numNode() : d.numElem();
+        task_decl t;
+        t.site = node_field ? model_site::ckpt_pack_node
+                            : model_site::ckpt_pack_elem;
+        t.partition = part;
+        t.lo = 0;
+        t.hi = extent;
+        t.stage = 0;
+        t.stage_last = node_field ? 0 : 2;
+        t.accesses = {{f, mode::read, 0, extent}};
+        m.tasks.push_back(std::move(t));
+    }
 }
 
 // --- bridges ---------------------------------------------------------------

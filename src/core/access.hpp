@@ -174,6 +174,12 @@ struct task_decl {
     std::vector<access> accesses;
     std::vector<int> deps;       ///< tasks ordered *before* this one by a
                                  ///< declared continuation edge (task ids)
+    int stage_last = -1;         ///< last stage the task may still be running
+                                 ///< in (inclusive); -1 means == stage.  Only
+                                 ///< checkpoint pack tasks span stages: they
+                                 ///< start with stage 0 and are joined into
+                                 ///< the barrier before the first wave that
+                                 ///< writes their field.
 };
 
 /// The pre-built graph of one leapfrog iteration: tasks grouped into
@@ -190,6 +196,16 @@ struct graph_model {
 /// with partition sizes `parts` — the same chunk decomposition, chain
 /// edges, and barrier structure graph_waves.cpp spawns.
 graph_model build_iteration_model(const domain& d, partition_sizes parts);
+
+/// Appends the overlapped checkpoint-packing tasks the task-graph driver
+/// spawns when the resilient loop hands it a capture: one read-only task
+/// per checkpointed field, modelled conservatively over the field's full
+/// extent.  Node-field packs run within stage 0 (they are joined into the
+/// barrier before the node wave writes coordinates/velocities); elem-field
+/// packs span stages 0-2 (joined before the region/volume wave writes
+/// e/p/q/ss/v).  The audit over this extended model is the proof that
+/// packing never races the compute it overlaps.
+void add_checkpoint_pack_tasks(graph_model& m, const domain& d);
 
 // --- bridges to the dynamic tracker and the NaN sentinel -------------------
 

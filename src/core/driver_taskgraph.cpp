@@ -4,16 +4,21 @@
 
 #include "core/driver_taskgraph.hpp"
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "amt/hazard.hpp"
 #include "core/access.hpp"
 #include "core/graph_waves.hpp"
 #include "core/stage.hpp"
+#include "lulesh/checkpoint_chain.hpp"
 
 namespace lulesh {
 
@@ -33,6 +38,60 @@ amt::future<void> stamp(amt::future<void> f, clock_t_::time_point* out) {
 bool env_enabled(const char* name) {
     const char* v = std::getenv(name);
     return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+constexpr const char* ckpt_site = "ckpt.pack";
+
+/// Spawns one overlapped pack task per capture region.  Node-field pack
+/// futures go to `node_out` (joined into B1), element-field ones to
+/// `elem_out` (joined into B3).  The body mirrors guarded()'s progress and
+/// tracing plumbing, with two deliberate differences: no stop-token
+/// early-return (a capture of the *previous* iteration stays valid even
+/// when this iteration faults — it is committed by the rollback path), and
+/// exceptions are swallowed into mark_failed() instead of propagating (a
+/// faulted pack must never fail the compute iteration; the resilient loop
+/// re-marks the capture's regions dirty and retries at the next
+/// checkpoint).
+std::size_t spawn_pack_tasks(amt::runtime& rt,
+                             const std::shared_ptr<lulesh::state_capture>& cap,
+                             const graph::error_flags& flags,
+                             std::vector<amt::future<void>>& node_out,
+                             std::vector<amt::future<void>>& elem_out) {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < cap->num_regions(); ++i) {
+        auto body = [cap, i, progress = flags.progress] {
+            amt::trace::annotate_task(ckpt_site,
+                                      static_cast<std::int32_t>(i));
+            const auto& wk = amt::current_worker();
+            const std::size_t slot =
+                wk.rt != nullptr
+                    ? std::min<std::size_t>(
+                          wk.index + 1,
+                          graph::progress_state::max_tracked_workers)
+                    : 0;
+            progress->site.store(ckpt_site, std::memory_order_relaxed);
+            progress->worker_site[slot].store(ckpt_site,
+                                              std::memory_order_relaxed);
+            progress->started.fetch_add(1, std::memory_order_relaxed);
+            try {
+                amt::fault::probe(ckpt_site);
+                amt::trace::scoped_span span(
+                    amt::trace::event_kind::checkpoint_span, ckpt_site,
+                    static_cast<std::int32_t>(i));
+                cap->pack_region(i);
+            } catch (...) {
+                cap->mark_failed();
+            }
+            progress->worker_site[slot].store(nullptr,
+                                              std::memory_order_relaxed);
+            progress->finished.fetch_add(1, std::memory_order_relaxed);
+        };
+        auto& out = field_space(cap->region(i).f) == space::node ? node_out
+                                                                 : elem_out;
+        out.push_back(amt::async(rt, std::move(body)));
+        ++n;
+    }
+    return n;
 }
 
 }  // namespace
@@ -97,6 +156,26 @@ void taskgraph_driver::advance(domain& d) {
     // once, at the end.
     auto w1 = graph::spawn_force_wave(rt_, d, p_nodal, flags);
     counter->fetch_add(w1.tasks, std::memory_order_relaxed);
+
+    // Overlapped checkpoint packing: a capture handed over by the resilient
+    // loop (the previous iteration's state) is packed by ordinary graph
+    // tasks running concurrently with this iteration's compute.  Node-field
+    // packs join B1 — wave 1 writes only corner force fields — so they
+    // finish before the node wave writes x..zd; element-field packs join B3
+    // (waves 1-3 write no checkpointed element field).
+    // add_checkpoint_pack_tasks models exactly this placement, so the graph
+    // audit is the proof the overlap cannot race.
+    std::vector<amt::future<void>> elem_packs;
+    if (std::shared_ptr<state_capture> cap = std::move(pending_capture_)) {
+        if (cap->source() == &d) {
+            const std::size_t n =
+                spawn_pack_tasks(rt_, cap, flags, w1.futures, elem_packs);
+            counter->fetch_add(n, std::memory_order_relaxed);
+        } else {
+            cap->pack_remaining();  // different domain: pack on the spot
+        }
+    }
+
     auto b1 = stamp(amt::when_all_void(std::move(w1.futures)),
                     &stamps[phase_profile::force]);
 
@@ -125,6 +204,13 @@ void taskgraph_driver::advance(domain& d) {
                            },
                            graph::wave_site::elem),
         &stamps[phase_profile::elem]);
+
+    // Element-field packs must be complete before wave 4 writes e/p/q/ss/v:
+    // fold them into the barrier the region wave is gated on.
+    if (!elem_packs.empty()) {
+        elem_packs.push_back(std::move(b3));
+        b3 = amt::when_all_void(std::move(elem_packs));
+    }
 
     auto b4 = stamp(
         graph::stage_after(std::move(b3),
@@ -227,6 +313,58 @@ void taskgraph_driver::advance(domain& d) {
                                "shadow tracker: " + violations.front()
                                    .describe());
     }
+}
+
+void taskgraph_driver::record_dirty(dirty_tracker& t, const domain& d) const {
+    if (write_set_elems_ != d.numElem() || write_set_nodes_ != d.numNode()) {
+        // Derive once per shape: every write access of the declarative
+        // model collapses to a per-field span.  Indirect (region-list) or
+        // closure-expanded writes cover the whole field conservatively;
+        // interval writes take the union of their [lo, hi) ranges.
+        write_set_.clear();
+        const graph::graph_model m = graph::build_iteration_model(d, parts_);
+        std::array<std::pair<index_t, index_t>, num_checkpoint_fields> span;
+        span.fill({std::numeric_limits<index_t>::max(), 0});
+        for (const graph::task_decl& td : m.tasks) {
+            for (const graph::access& a : td.accesses) {
+                if (a.m != graph::mode::write) continue;
+                const int slot = checkpoint_slot(a.f);
+                if (slot < 0) continue;
+                auto& s = span[static_cast<std::size_t>(slot)];
+                if (a.list != nullptr || a.c != graph::closure::none) {
+                    s = {0, static_cast<index_t>(graph::space_extent(
+                                field_space(a.f), d, m.num_slots))};
+                } else {
+                    s.first = std::min(s.first, a.lo);
+                    s.second = std::max(s.second, a.hi);
+                }
+            }
+        }
+        for (std::size_t i = 0; i < num_checkpoint_fields; ++i) {
+            if (span[i].second > span[i].first) {
+                write_set_.push_back({checkpoint_field_at(i), span[i].first,
+                                      span[i].second});
+            }
+        }
+        write_set_elems_ = d.numElem();
+        write_set_nodes_ = d.numNode();
+    }
+    for (const dirty_region& r : write_set_) t.mark(r.f, r.lo, r.hi);
+}
+
+bool taskgraph_driver::submit_overlapped_capture(
+    std::shared_ptr<state_capture> cap) {
+    // Overlap only pays when a worker can pack while another computes; on
+    // a single-worker runtime the pack tasks just interleave with compute
+    // at a worse cache footprint, so decline and let the resilient loop
+    // pack synchronously while the capture's source fields are still warm.
+    if (rt_.num_workers() <= 1) return false;
+    // Overwriting a leftover capture is safe: the resilient loop finalizes
+    // (packs + commits) every capture before handing over the next one, so
+    // a leftover here is already fully packed and its pack tasks, if any
+    // still run, fail their claim CAS and no-op.
+    pending_capture_ = std::move(cap);
+    return true;
 }
 
 }  // namespace lulesh

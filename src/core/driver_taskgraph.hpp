@@ -39,6 +39,7 @@
 
 #include "amt/amt.hpp"
 #include "core/graph_waves.hpp"
+#include "lulesh/checkpoint_chain.hpp"
 #include "lulesh/driver.hpp"
 #include "lulesh/kernels.hpp"
 
@@ -121,6 +122,22 @@ public:
     /// by the AMT_HAZARD_TRACK / LULESH_NAN_SCAN environment variables.
     void enable_instrumentation(bool track_hazards, bool scan_nan);
 
+    /// Reports the iteration's checkpointed write-set, derived once per
+    /// domain shape from the declarative model (build_iteration_model):
+    /// each write access on a checkpointed field collapses to a per-field
+    /// span, so delta records cover exactly what an iteration can change.
+    void record_dirty(dirty_tracker& t, const domain& d) const override;
+
+    /// Accepts a capture for overlapped packing.  The pack jobs become
+    /// ordinary graph tasks of the *next* advance(): node-field packs are
+    /// joined into barrier B1 (before the node wave writes coordinates and
+    /// velocities), element-field packs into B3 (waves 1-3 write no
+    /// checkpointed element field).  Always returns true; if the next
+    /// advance() runs on a different domain the capture is packed
+    /// synchronously on the spot instead.
+    bool submit_overlapped_capture(
+        std::shared_ptr<state_capture> cap) override;
+
 private:
     void prepare_instrumentation(domain& d);
 
@@ -133,6 +150,16 @@ private:
 
     bool instrumentation_checked_ = false;
     const domain* hazard_arena_for_ = nullptr;  ///< domain with a bound arena
+
+    /// Capture handed over by submit_overlapped_capture(), consumed (its
+    /// regions spawned as pack tasks) at the start of the next advance().
+    std::shared_ptr<state_capture> pending_capture_;
+
+    /// Per-field write spans of one iteration, derived from the model and
+    /// cached by domain shape (record_dirty is called every iteration).
+    mutable std::vector<dirty_region> write_set_;
+    mutable index_t write_set_elems_ = -1;
+    mutable index_t write_set_nodes_ = -1;
 };
 
 }  // namespace lulesh

@@ -124,11 +124,21 @@ audit_result audit_graph(const graph_model& m, const domain& d) {
     std::vector<std::uint32_t> field_stamp(num_fields, 0);
     std::uint32_t stamp = 0;
 
+    // A task occupies the stage range [stage, stage_last] (stage_last < 0
+    // means the single stage it was declared in).  Checkpoint pack tasks
+    // span stages — they run concurrently with every wave up to the barrier
+    // they are joined into — so their accesses participate in every stage
+    // of the range.
+    const auto in_stage = [](const task_decl& td, int s) {
+        const int last = td.stage_last < 0 ? td.stage : td.stage_last;
+        return s >= td.stage && s <= last;
+    };
+
     for (int s = 0; s < m.num_stages; ++s) {
         ++stamp;
         for (std::size_t t = 0; t < m.tasks.size(); ++t) {
             const task_decl& td = m.tasks[t];
-            if (td.stage != s) continue;
+            if (!in_stage(td, s)) continue;
             for (const access& a : td.accesses) {
                 if (a.m != mode::write) continue;
                 ++res.accesses;
@@ -162,7 +172,7 @@ audit_result audit_graph(const graph_model& m, const domain& d) {
         }
         for (std::size_t t = 0; t < m.tasks.size(); ++t) {
             const task_decl& td = m.tasks[t];
-            if (td.stage != s) continue;
+            if (!in_stage(td, s)) continue;
             for (const access& a : td.accesses) {
                 if (a.m != mode::read) continue;
                 ++res.accesses;

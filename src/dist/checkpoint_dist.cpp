@@ -1,0 +1,51 @@
+// dist/checkpoint_dist.cpp — per-slab v3 checkpoint chains.
+
+#include "dist/checkpoint_dist.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lulesh/checkpoint.hpp"
+#include "lulesh/checkpoint_chain.hpp"
+
+namespace lulesh::dist {
+
+namespace {
+
+/// Packs one record of `d` synchronously (the dist layer does not overlap
+/// packing yet — the slab drivers would each need their own pack waves).
+std::string pack_record(const domain& d, bool base) {
+    state_capture cap(d, full_coverage(d), base);
+    cap.pack_remaining();
+    cap.wait_packed();
+    return cap.take_record();
+}
+
+}  // namespace
+
+std::string slab_chain_path(const std::string& path, index_t i) {
+    return path + ".slab" + std::to_string(i);
+}
+
+void save_cluster_chains(cluster& c, const std::string& path) {
+    for (index_t i = 0; i < c.num_slabs(); ++i) {
+        write_chain_file(slab_chain_path(path, i),
+                         {pack_record(c.slab(i), /*base=*/true)});
+    }
+}
+
+void append_cluster_deltas(cluster& c, const std::string& path) {
+    for (index_t i = 0; i < c.num_slabs(); ++i) {
+        append_chain_record_file(slab_chain_path(path, i),
+                                 pack_record(c.slab(i), /*base=*/false));
+    }
+}
+
+void load_cluster_chains(cluster& c, const std::string& path) {
+    for (index_t i = 0; i < c.num_slabs(); ++i) {
+        load_checkpoint_file(c.slab(i), slab_chain_path(path, i));
+    }
+}
+
+}  // namespace lulesh::dist

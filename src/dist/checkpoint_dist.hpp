@@ -1,0 +1,41 @@
+// dist/checkpoint_dist.hpp
+//
+// Per-slab checkpoint chains for the multi-domain cluster.  Each slab owns
+// its own v3 chain file — `path + ".slab" + i` — so a future multi-node
+// deployment can write every slab's chain from the node that owns it with
+// no global serialization point.  The records themselves are the same
+// crash-consistent format as the single-domain chains (see
+// lulesh/checkpoint_chain.hpp and docs/resilience.md): a torn write in any
+// slab file costs only that slab's uncommitted tail, never the set.
+//
+// The dist layer has no per-slab dirty tracking yet, so delta records are
+// conservative full-coverage captures; the chain format and the recovery
+// semantics are identical regardless.
+
+#pragma once
+
+#include <string>
+
+#include "dist/cluster.hpp"
+
+namespace lulesh::dist {
+
+/// Writes a fresh chain per slab (one base record each) with the atomic
+/// temp+fsync+rename protocol.  Throws checkpoint_error on I/O failure.
+void save_cluster_chains(cluster& c, const std::string& path);
+
+/// Appends one committed delta record to every slab's chain file.  The
+/// files must already exist (save_cluster_chains first).  A crash
+/// mid-append leaves at most one slab with a torn tail, which restore
+/// ignores.
+void append_cluster_deltas(cluster& c, const std::string& path);
+
+/// Restores every slab from its chain file (longest-valid-prefix replay).
+/// Throws checkpoint_error — naming the offending slab file — if any slab
+/// has no loadable committed base.
+void load_cluster_chains(cluster& c, const std::string& path);
+
+/// The chain file of slab `i` under `path`.
+std::string slab_chain_path(const std::string& path, index_t i);
+
+}  // namespace lulesh::dist

@@ -9,6 +9,7 @@
 #include <istream>
 #include <ostream>
 
+#include "lulesh/checkpoint_chain.hpp"
 #include "lulesh/crc32.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -66,6 +67,12 @@ void read_field(std::istream& in, std::vector<real_t>& v, std::size_t expect,
     crc.update(v.data(), expect * sizeof(real_t));
 }
 
+std::string hex32(std::uint32_t v) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%08X", v);
+    return buf;
+}
+
 /// CRC-32 over the field payload exactly as save_checkpoint writes it.
 std::uint32_t payload_crc(const domain& d) {
     const auto nn = static_cast<std::size_t>(d.numNode());
@@ -112,20 +119,26 @@ void save_checkpoint(const domain& d, std::ostream& out) {
     write_field(out, d.ss, ne);
 }
 
-void load_checkpoint(domain& d, std::istream& in) {
+namespace {
+
+/// `where` names the source for error messages: "" for an anonymous stream,
+/// "in file '<path>'" for the file wrapper.
+void load_checkpoint_impl(domain& d, std::istream& in,
+                          const std::string& where) {
     header h;
     read_bytes(in, &h, sizeof(h));
     if (h.magic != checkpoint_magic) {
-        throw checkpoint_error("lulesh: not a checkpoint file");
+        throw checkpoint_error("lulesh: not a checkpoint" + where);
     }
     if (h.version != checkpoint_version) {
-        throw checkpoint_error("lulesh: unsupported checkpoint version");
+        throw checkpoint_error("lulesh: unsupported checkpoint version" +
+                               where);
     }
     if (h.size != d.size_per_edge() || h.plane_begin != d.slab().plane_begin ||
         h.plane_end != d.slab().plane_end || h.num_elem != d.numElem() ||
         h.num_node != d.numNode()) {
-        throw checkpoint_error(
-            "lulesh: checkpoint shape does not match this domain");
+        throw checkpoint_error("lulesh: checkpoint" + where +
+                               " does not match this domain's shape");
     }
 
     const auto nn = static_cast<std::size_t>(d.numNode());
@@ -147,7 +160,9 @@ void load_checkpoint(domain& d, std::istream& in) {
         // point; callers must treat the load as failed and restore from
         // elsewhere (resilient_run falls back to an older checkpoint).
         throw checkpoint_error(
-            "lulesh: checkpoint payload checksum mismatch (corrupt data)");
+            "lulesh: checkpoint payload checksum mismatch" + where +
+            " (cycle " + std::to_string(h.cycle) + ", expected " +
+            hex32(h.payload_crc) + ", actual " + hex32(crc.value()) + ")");
     }
 
     d.cycle = h.cycle;
@@ -155,6 +170,12 @@ void load_checkpoint(domain& d, std::istream& in) {
     d.deltatime = h.deltatime;
     d.dtcourant = h.dtcourant;
     d.dthydro = h.dthydro;
+}
+
+}  // namespace
+
+void load_checkpoint(domain& d, std::istream& in) {
+    load_checkpoint_impl(d, in, "");
 }
 
 void save_checkpoint_file(const domain& d, const std::string& path) {
@@ -198,7 +219,14 @@ void save_checkpoint_file(const domain& d, const std::string& path) {
 void load_checkpoint_file(domain& d, const std::string& path) {
     std::ifstream in(path, std::ios::binary);
     if (!in) throw checkpoint_error("lulesh: cannot open '" + path + "' for reading");
-    load_checkpoint(d, in);
+    // The resilient loop's file mirror is a v3 chain; standalone
+    // checkpoints are monolithic v2.  Both restore bitwise — dispatch on
+    // the leading magic.
+    if (stream_is_chain(in)) {
+        restore_chain_stream(d, in, "file '" + path + "'");
+    } else {
+        load_checkpoint_impl(d, in, " in file '" + path + "'");
+    }
 }
 
 }  // namespace lulesh

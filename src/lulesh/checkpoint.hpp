@@ -41,6 +41,9 @@ void load_checkpoint(domain& d, std::istream& in);
 /// File convenience wrappers; throw checkpoint_error on I/O failure.
 /// save_checkpoint_file writes atomically (temp file, fsync, rename):
 /// a crash leaves either the previous checkpoint or the new one intact.
+/// load_checkpoint_file auto-detects the format by magic: a monolithic v2
+/// checkpoint is loaded directly, a v3 incremental chain (see
+/// lulesh/checkpoint_chain.hpp) is replayed base-plus-committed-deltas.
 void save_checkpoint_file(const domain& d, const std::string& path);
 void load_checkpoint_file(domain& d, const std::string& path);
 

@@ -1,0 +1,195 @@
+// lulesh/checkpoint_chain.hpp
+//
+// Incremental, crash-consistent checkpointing (format v3).  Instead of a
+// monolithic snapshot on the critical path every K cycles, the resilient
+// loop appends *delta records* — the (field × index-range) regions the
+// declared task write-sets dirtied since the last checkpoint — over a
+// periodic full base record.  A chain is a byte sequence of records:
+//
+//   [base record][delta record][delta record]...
+//
+// Every record is self-delimiting and individually verifiable:
+//
+//   record_header   magic, version, kind (base/delta), region count,
+//                   a CRC-32C over the header itself, the problem shape,
+//                   and the scalar time/cycle controls
+//   region × N      {slot, payload CRC-32C, lo, hi} + payload doubles
+//   commit trailer  magic + header-CRC echo + CRC-32C over region entries
+//
+// The trailer is written last, so a record is *committed* only once its
+// final byte is on disk.  Restore replays the longest valid prefix of
+// committed records; a crash at any byte leaves either the previous chain
+// (torn tail ignored) or the new one — never a torn state.  Base records
+// are written with the same temp+fsync+rename protocol as v2 checkpoints;
+// delta records are appended and fsync'd in place, which is crash-safe
+// because an incomplete append simply fails trailer validation.
+//
+// Packing a record is decomposed into independent per-region copies
+// (state_capture) so the task-graph driver can run them as ordinary graph
+// tasks overlapped with the next iteration's compute — see
+// docs/resilience.md for the non-interference argument and the recovery
+// matrix.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lulesh/checkpoint.hpp"
+#include "lulesh/domain.hpp"
+#include "lulesh/fields.hpp"
+
+namespace lulesh {
+
+/// The 11 fields that carry state across iterations, in v2 payload order:
+/// x, y, z, xd, yd, zd (node), then e, p, q, v, ss (elem).
+inline constexpr std::size_t num_checkpoint_fields = 11;
+
+/// Field for a checkpoint slot in [0, num_checkpoint_fields).
+field checkpoint_field_at(std::size_t slot) noexcept;
+
+/// Slot for a field, or -1 if the field is not part of the checkpoint.
+int checkpoint_slot(field f) noexcept;
+
+inline bool is_checkpointed_field(field f) noexcept {
+    return checkpoint_slot(f) >= 0;
+}
+
+/// A half-open dirty interval [lo, hi) of one checkpointed field.
+struct dirty_region {
+    field f = field::x;
+    index_t lo = 0;
+    index_t hi = 0;
+};
+
+/// Full coverage of every checkpointed field — the region set of a base
+/// record (and the conservative fallback for drivers that do not report
+/// write-sets).
+std::vector<dirty_region> full_coverage(const domain& d);
+
+/// Accumulates the (field × index-range) write-sets the drivers report
+/// after each advance().  Marks on non-checkpointed fields are ignored;
+/// take() clamps to the domain's extents and coalesces overlapping or
+/// adjacent intervals per field.  Not thread-safe: the resilient loop
+/// feeds it between iterations.
+class dirty_tracker {
+public:
+    void mark(field f, index_t lo, index_t hi);
+    [[nodiscard]] bool empty() const noexcept;
+    void clear() noexcept;
+
+    /// Returns the coalesced dirty regions (in checkpoint slot order) and
+    /// clears the tracker.
+    std::vector<dirty_region> take(const domain& d);
+
+private:
+    std::vector<std::pair<index_t, index_t>> marks_[num_checkpoint_fields];
+};
+
+/// One in-flight checkpoint record: the scalars are captured and the record
+/// buffer laid out at construction time (cheap), then each region's payload
+/// is copied + checksummed by pack_region() — either synchronously via
+/// pack_remaining() or as overlapped graph tasks that claim regions with a
+/// CAS.  take_record() finalizes the commit trailer after wait_packed().
+///
+/// The capture holds a pointer to the source domain; the caller must keep
+/// the domain's state unchanged (for the captured regions) until packing
+/// completes — the task-graph driver guarantees this by joining region
+/// packs into the barrier *before* the wave that first writes that field.
+class state_capture {
+public:
+    /// `recycled` (optional) donates its heap allocation as the record
+    /// buffer — the resilient loop feeds retired chain records back in so
+    /// steady-state checkpointing touches no fresh pages.  Every byte of
+    /// the buffer is overwritten before take_record() returns it, so stale
+    /// contents are harmless.
+    state_capture(const domain& d, std::vector<dirty_region> regions,
+                  bool base, std::string recycled = {});
+
+    [[nodiscard]] const domain* source() const noexcept { return d_; }
+    [[nodiscard]] std::size_t num_regions() const noexcept {
+        return regions_.size();
+    }
+    [[nodiscard]] const dirty_region& region(std::size_t i) const {
+        return regions_[i];
+    }
+    [[nodiscard]] bool is_base() const noexcept { return base_; }
+    [[nodiscard]] int cycle() const noexcept { return cycle_; }
+
+    /// Claims and packs region i; returns false if another packer already
+    /// claimed it.  Safe to call concurrently for distinct or identical i.
+    bool pack_region(std::size_t i) noexcept;
+
+    /// Synchronously packs every unclaimed region (the no-overlap path and
+    /// the finalization path for regions the driver never got to).
+    void pack_remaining() noexcept;
+
+    /// Marks the capture unusable (a pack task faulted); wait_packed()
+    /// returns and take_record() must not be called.
+    void mark_failed() noexcept;
+    [[nodiscard]] bool failed() const noexcept { return failed_.load(); }
+
+    /// Blocks until every claimed region finished packing (call
+    /// pack_remaining() first to claim leftovers, or this can wait on
+    /// regions nobody owns).
+    void wait_packed();
+
+    /// Moves the finished record out (trailer is computed here).  Only
+    /// valid after wait_packed() on a non-failed capture.
+    [[nodiscard]] std::string take_record();
+
+private:
+    const domain* d_;
+    std::vector<dirty_region> regions_;
+    std::vector<std::size_t> payload_offset_;  // payload byte offset in buf_
+    std::string buf_;
+    bool base_;
+    int cycle_ = 0;
+    std::unique_ptr<std::atomic<int>[]> claims_;  // 0 free, 1 packing, 2 done
+    std::atomic<std::size_t> packed_{0};
+    std::atomic<bool> failed_{false};
+    std::mutex mu_;
+    std::condition_variable cv_;
+};
+
+/// Fully validates `record` (header CRC, commit trailer, per-region
+/// payload CRCs, shape) and only then applies it to `d`.  Throws
+/// checkpoint_error — with `context`, the record's cycle, and
+/// expected-vs-actual CRCs where applicable — without having modified `d`.
+void apply_chain_record(domain& d, std::string_view record,
+                        const std::string& context);
+
+/// True if the stream starts with the v3 chain record magic (peeks; the
+/// stream position is restored).
+bool stream_is_chain(std::istream& in);
+
+/// Replays the longest valid prefix of committed records from `in` into
+/// `d` (torn or corrupt tails are ignored).  Throws checkpoint_error if no
+/// valid leading base record exists.  Used by load_checkpoint_file when it
+/// detects a chain.
+void restore_chain_stream(domain& d, std::istream& in,
+                          const std::string& context);
+
+/// Writes a whole chain atomically: temp file, fsync, rename — a crash
+/// leaves the previous file intact.
+void write_chain_file(const std::string& path,
+                      const std::vector<std::string>& records);
+
+/// Appends one committed record to an existing chain file and fsyncs.  A
+/// crash mid-append leaves a torn tail that restore_chain_stream ignores.
+void append_chain_record_file(const std::string& path,
+                              std::string_view record);
+
+/// Test seam for the crash-consistency torture harness: after `n` more
+/// bytes of chain-file writes, the process _exit()s mid-write.  Negative
+/// disables (the default).  Only meaningful in a forked child.
+void set_chain_crash_after_bytes(long long n) noexcept;
+
+}  // namespace lulesh

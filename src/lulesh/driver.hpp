@@ -19,6 +19,7 @@
 
 #pragma once
 
+#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -27,6 +28,9 @@
 #include "lulesh/types.hpp"
 
 namespace lulesh {
+
+class dirty_tracker;   // lulesh/checkpoint_chain.hpp
+class state_capture;   // lulesh/checkpoint_chain.hpp
 
 /// Thrown when the simulation hits one of the reference's abort conditions.
 class simulation_error : public std::runtime_error {
@@ -53,6 +57,20 @@ public:
     /// LagrangeNodal, LagrangeElements, CalcTimeConstraintsForElems.
     /// Throws simulation_error on a volume or qstop violation.
     virtual void advance(domain& d) = 0;
+
+    /// Reports the (field × index-range) write-sets of one advance() to the
+    /// incremental-checkpoint dirty tracker.  The default conservatively
+    /// marks every checkpointed field over its full extent; the task-graph
+    /// driver reports its declared per-task write-sets instead.
+    virtual void record_dirty(dirty_tracker& t, const domain& d) const;
+
+    /// Offers the driver a checkpoint capture to pack as tasks overlapped
+    /// with its next advance().  Returns false (the default) when the
+    /// driver does not overlap; the resilient loop then packs
+    /// synchronously.  A driver that accepts must guarantee every region is
+    /// packed from the pre-advance state (the task-graph driver joins packs
+    /// into the barrier before the first wave that writes each field).
+    virtual bool submit_overlapped_capture(std::shared_ptr<state_capture> cap);
 };
 
 /// Reference-ordered single-threaded driver; the ground truth for tests.

@@ -190,6 +190,8 @@ std::string usage_text(const std::string& program) {
        << "  --checkpoint-load <path>   restore state before the run\n"
        << "  --checkpoint-every <k>     resilient mode: checkpoint every k\n"
        << "                             cycles, roll back + retry on faults\n"
+       << "                             (k = 0: entry-snapshot-only — faults\n"
+       << "                             roll back to the run's start state)\n"
        << "  --retries <n>   retry budget per incident (default 3)\n"
        << "  --audit-graph   statically audit the task graph for unordered\n"
        << "                  read-write/write-write overlaps before running\n"

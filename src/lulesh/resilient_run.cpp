@@ -1,32 +1,22 @@
-// lulesh/resilient_run.cpp — rollback-and-retry iteration loop.
+// lulesh/resilient_run.cpp — rollback-and-retry iteration loop over an
+// incremental checkpoint chain.
 
 #include "lulesh/resilient_run.hpp"
 
 #include <chrono>
+#include <memory>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "amt/fault.hpp"
 #include "lulesh/checkpoint.hpp"
+#include "lulesh/checkpoint_chain.hpp"
 #include "lulesh/kernels.hpp"
 
 namespace lulesh {
 
 namespace {
-
-/// In-memory checkpoints reuse the binary file format, so rollback is
-/// exactly a restart — the property the checkpoint tests already verify to
-/// be bitwise exact.
-std::string snapshot_state(const domain& d) {
-    std::ostringstream os(std::ios::binary);
-    save_checkpoint(d, os);
-    return std::move(os).str();
-}
-
-void rollback_state(domain& d, const std::string& snap) {
-    std::istringstream is(snap, std::ios::binary);
-    load_checkpoint(d, is);
-}
 
 std::string describe_failure(const char* what, int cycle, real_t dt,
                              int retries) {
@@ -44,27 +34,113 @@ resilient_result run_resilient(domain& d, driver& drv,
     resilient_result rr;
     const auto t0 = std::chrono::steady_clock::now();
 
-    // Latest and previous snapshot.  Rollback prefers the latest; if its
-    // checksum no longer verifies (corrupted after capture), it falls back
-    // to the previous one.  Both start as the entry snapshot.
-    std::string snapshot = snapshot_state(d);
-    if (opt.snapshot_hook) opt.snapshot_hook(snapshot);
-    std::string prev_snapshot = snapshot;
-    if (!opt.checkpoint_path.empty()) {
-        save_checkpoint_file(d, opt.checkpoint_path);
+    // The in-memory chain: a base record followed by committed deltas.
+    // Rollback replays the longest valid prefix, so "fall back to the
+    // previous snapshot" is simply dropping a corrupt tail — the chain
+    // subsumes the v2 latest/previous snapshot pair.
+    std::vector<std::string> chain;
+    dirty_tracker dirty;
+
+    // Retired record buffers, recycled into new captures.  Every re-base
+    // frees a chain's worth of large allocations; without reuse each
+    // capture faults in fresh pages (the chain keeps the old ones alive),
+    // which at checkpoint-every-1 costs more than the packing itself.
+    std::vector<std::string> spare;
+    const auto spare_buffer = [&]() -> std::string {
+        if (spare.empty()) return {};
+        std::string buf = std::move(spare.back());
+        spare.pop_back();
+        return buf;
+    };
+    const auto retire = [&](std::vector<std::string>&& old) {
+        for (std::string& s : old) spare.push_back(std::move(s));
+        old.clear();
+    };
+
+    // The capture whose packing may still be overlapped with compute.  Its
+    // record is appended (and the snapshot hook run) when the next
+    // checkpoint is due, on rollback, or at loop exit — always before the
+    // domain is mutated by anything but the driver itself.
+    std::shared_ptr<state_capture> pending;
+
+    const auto sync_mirror = [&] {
+        if (!opt.checkpoint_path.empty()) {
+            write_chain_file(opt.checkpoint_path, chain);
+        }
+    };
+
+    const auto finalize_pending = [&] {
+        if (!pending) return;
+        auto cap = std::move(pending);
+        cap->pack_remaining();
+        cap->wait_packed();
+        if (cap->failed()) {
+            // A pack task faulted: drop the capture, but hand its regions
+            // back to the tracker so the next delta still covers them.
+            for (std::size_t i = 0; i < cap->num_regions(); ++i) {
+                const dirty_region& r = cap->region(i);
+                dirty.mark(r.f, r.lo, r.hi);
+            }
+            return;
+        }
+        std::string rec = cap->take_record();
+        if (opt.snapshot_hook) opt.snapshot_hook(rec);
+        if (cap->is_base()) retire(std::move(chain));
+        const bool rewrite = cap->is_base();
+        chain.push_back(std::move(rec));
+        if (!opt.checkpoint_path.empty()) {
+            if (rewrite) {
+                write_chain_file(opt.checkpoint_path, chain);
+            } else {
+                append_chain_record_file(opt.checkpoint_path, chain.back());
+            }
+        }
+    };
+
+    // Whatever way this function exits, no pack task may outlive it with a
+    // dangling domain reference: claim and finish any in-flight capture.
+    struct quiesce_guard {
+        std::shared_ptr<state_capture>* p;
+        ~quiesce_guard() {
+            if (*p != nullptr) {
+                (*p)->pack_remaining();
+                (*p)->wait_packed();
+            }
+        }
+    } quiesce{&pending};
+
+    // Entry snapshot: the chain's first base record (not counted in
+    // rr.checkpoints, like the v2 entry snapshot).  With
+    // checkpoint_every <= 0 this stays the only record — still enough to
+    // recover, just a full replay.
+    {
+        state_capture cap(d, full_coverage(d), /*base=*/true);
+        cap.pack_remaining();
+        std::string rec = cap.take_record();
+        if (opt.snapshot_hook) opt.snapshot_hook(rec);
+        chain.push_back(std::move(rec));
+        sync_mirror();
     }
 
     const auto rollback = [&](domain& dom) {
+        finalize_pending();
+        std::size_t applied = 0;
         try {
-            rollback_state(dom, snapshot);
+            for (const std::string& rec : chain) {
+                apply_chain_record(dom, rec, "in-memory checkpoint chain");
+                ++applied;
+            }
         } catch (const checkpoint_error&) {
-            // Latest snapshot is corrupt: restore the previous one and
-            // discard the bad bytes so later retries don't re-trip on them.
-            // If prev_snapshot is corrupt too there is nothing valid left to
-            // restore — let that checkpoint_error propagate.
-            rollback_state(dom, prev_snapshot);
-            snapshot = prev_snapshot;
+            // A corrupt record ends the usable prefix.  If not even the
+            // base applies there is nothing valid left — propagate.
+            if (applied == 0) throw;
+        }
+        if (applied < chain.size()) {
+            // Drop the corrupt tail so later retries don't re-trip on it,
+            // and from the file mirror so a restart can't either.
+            chain.resize(applied);
             ++rr.snapshot_fallbacks;
+            sync_mirror();
         }
     };
 
@@ -119,16 +195,31 @@ resilient_result run_resilient(domain& d, driver& drv,
             incident_cycle = -1;
             retries = 0;
         }
-        if (opt.checkpoint_every > 0 && d.cycle % opt.checkpoint_every == 0) {
-            prev_snapshot = std::move(snapshot);
-            snapshot = snapshot_state(d);
-            if (opt.snapshot_hook) opt.snapshot_hook(snapshot);
-            if (!opt.checkpoint_path.empty()) {
-                save_checkpoint_file(d, opt.checkpoint_path);
+        if (opt.checkpoint_every > 0) {
+            drv.record_dirty(dirty, d);
+            if (d.cycle % opt.checkpoint_every == 0) {
+                finalize_pending();
+                // Re-base periodically so the chain (and every replay)
+                // stays bounded; otherwise append a delta of the regions
+                // dirtied since the last capture.
+                const bool base =
+                    chain.empty() ||
+                    (opt.rebase_every > 0 &&
+                     static_cast<int>(chain.size()) >= opt.rebase_every);
+                pending = std::make_shared<state_capture>(
+                    d, base ? full_coverage(d) : dirty.take(d), base,
+                    spare_buffer());
+                if (base) dirty.clear();
+                if (!opt.overlap_packing ||
+                    !drv.submit_overlapped_capture(pending)) {
+                    pending->pack_remaining();
+                }
+                ++rr.checkpoints;
             }
-            ++rr.checkpoints;
         }
     }
+
+    finalize_pending();
 
     const auto t1 = std::chrono::steady_clock::now();
     rr.result.cycles = d.cycle;

@@ -32,23 +32,38 @@
 namespace lulesh {
 
 struct resilience_options {
-    /// Snapshot the state every K successful cycles (K <= 0 keeps only the
-    /// entry snapshot — still enough to recover, just a longer replay).
+    /// Checkpoint every K successful cycles.  K <= 0 is the documented
+    /// *entry-snapshot-only* mode: the chain holds just the base record
+    /// captured before the first iteration — still enough to recover from
+    /// any fault, at the cost of replaying the whole run (tested in
+    /// tests/lulesh/test_checkpoint_chain.cpp).
     int checkpoint_every = 10;
 
     /// Retry budget per incident (failing cycle); each retry rolls back to
-    /// the last snapshot.
+    /// the chain's last committed state.
     int max_retries = 3;
 
-    /// When non-empty, every snapshot is also written to this file with
-    /// save_checkpoint_file's atomic temp+rename protocol, so a crash
-    /// leaves either the previous or the new checkpoint, never a torn one.
+    /// Append a full base record (instead of a delta) once the chain holds
+    /// this many records, bounding chain length and replay cost.  <= 0
+    /// never re-bases (the chain grows one delta per checkpoint).
+    int rebase_every = 16;
+
+    /// When false, checkpoint regions are always packed synchronously at
+    /// capture time even if the driver could overlap them with the next
+    /// iteration's compute.  Exists so bench/checkpoint_overhead can
+    /// measure the critical-path cost the overlap removes.
+    bool overlap_packing = true;
+
+    /// When non-empty, the chain is mirrored to this file: base records
+    /// rewrite it with the atomic temp+fsync+rename protocol, deltas are
+    /// appended and fsync'd.  A crash at any byte leaves a loadable chain
+    /// (a torn appended record is simply uncommitted).
     std::string checkpoint_path;
 
-    /// Test seam: invoked on each in-memory snapshot right after it is
-    /// taken, with the serialized bytes.  Corruption tests flip a byte here
-    /// to prove that rollback detects the bad checksum and falls back to
-    /// the previous snapshot instead of silently restoring corrupt state.
+    /// Test seam: invoked on each finished record's bytes just before it
+    /// is committed to the chain.  Corruption tests flip a byte here to
+    /// prove that rollback detects the invalid record and replays the
+    /// shorter prefix instead of silently restoring corrupt state.
     std::function<void(std::string&)> snapshot_hook;
 };
 
@@ -66,12 +81,16 @@ struct resilient_result {
 /// described above.  Exceptions other than injected faults and
 /// simulation_error are not retryable and propagate to the caller.
 ///
-/// The loop keeps the latest *and* the previous in-memory snapshot.  Every
-/// checkpoint carries a CRC-32 over its payload, so a snapshot corrupted
-/// after capture (bit rot, a bad copy) is detected when rollback tries to
-/// restore it; the loop then falls back to the previous snapshot (counted
-/// in snapshot_fallbacks) and replays from there.  Only if *both* are
-/// corrupt does the checkpoint_error propagate.
+/// Checkpoints form an incremental chain (lulesh/checkpoint_chain.hpp): a
+/// base record plus per-checkpoint delta records covering the regions the
+/// driver's write-sets dirtied, each individually CRC-protected and
+/// commit-stamped.  Rollback replays the longest valid prefix, so a record
+/// corrupted after capture (bit rot, a bad copy) just shortens the replay
+/// to the previous committed state (counted in snapshot_fallbacks).  Only
+/// if the base record itself is corrupt does the checkpoint_error
+/// propagate.  Drivers that can (the task graph) pack the capture as
+/// ordinary tasks overlapped with the next iteration's compute, taking the
+/// serialization off the critical path.
 resilient_result run_resilient(domain& d, driver& drv,
                                const resilience_options& opt,
                                int max_cycles = std::numeric_limits<int>::max());

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/access.hpp"
+#include "lulesh/checkpoint_chain.hpp"
 #include "lulesh/domain.hpp"
 
 namespace {
@@ -140,6 +141,86 @@ TEST(GraphAuditAdversarial, WriteRangeGrownPastItsPartitionIsWriteWrite) {
     const std::string line = h.describe(model);
     EXPECT_NE(line.find("region_eos.volume"), std::string::npos) << line;
     EXPECT_NE(line.find("write-write"), std::string::npos) << line;
+}
+
+TEST(GraphAuditCheckpoint, PackExtendedModelIsProvenRaceFree) {
+    // The overlapped-packing proof: the iteration model plus the pack tasks
+    // the task-graph driver actually spawns (one read-only task per
+    // checkpointed field, node packs in stage 0, elem packs spanning stages
+    // 0-2) must still audit clean.
+    const domain d(small_opts());
+    auto model = graph::build_iteration_model(d, {64, 64});
+    const std::size_t before = model.tasks.size();
+    graph::add_checkpoint_pack_tasks(model, d);
+    EXPECT_EQ(model.tasks.size(), before + lulesh::num_checkpoint_fields);
+
+    std::size_t node_packs = 0, elem_packs = 0;
+    for (const auto& t : model.tasks) {
+        if (std::string(t.site) == "ckpt.pack.node") {
+            ++node_packs;
+            EXPECT_EQ(t.stage, 0);
+            EXPECT_EQ(t.stage_last, 0);
+        } else if (std::string(t.site) == "ckpt.pack.elem") {
+            ++elem_packs;
+            EXPECT_EQ(t.stage, 0);
+            EXPECT_EQ(t.stage_last, 2);
+        }
+    }
+    EXPECT_EQ(node_packs, 6u);  // x y z xd yd zd
+    EXPECT_EQ(elem_packs, 5u);  // e p q v ss
+
+    const auto res = graph::audit_graph(model, d);
+    EXPECT_TRUE(res.ok()) << graph::format_audit(res, model);
+}
+
+TEST(GraphAuditCheckpoint, ElemPackHeldIntoRegionStageIsFlagged) {
+    // Adversarial: let one element-field pack stay in flight one barrier
+    // too long — through stage 3, where the region wave writes e/p/q/ss/v.
+    // The audit must flag the unordered read-write overlap; this is what
+    // would happen if the driver joined elem packs into B4 instead of B3.
+    const domain d(small_opts());
+    auto model = graph::build_iteration_model(d, {64, 64});
+    graph::add_checkpoint_pack_tasks(model, d);
+
+    const auto pack = std::find_if(
+        model.tasks.begin(), model.tasks.end(), [](const graph::task_decl& t) {
+            return std::string(t.site) == "ckpt.pack.elem" &&
+                   t.accesses.front().f == field::e;
+        });
+    ASSERT_NE(pack, model.tasks.end());
+    pack->stage_last = 3;
+
+    const auto res = graph::audit_graph(model, d);
+    ASSERT_FALSE(res.ok());
+    for (const auto& h : res.hazards) {
+        EXPECT_EQ(h.k, graph::hazard_report::kind::read_write);
+        EXPECT_EQ(h.f, field::e);
+        const std::string line = h.describe(model);
+        EXPECT_NE(line.find("ckpt.pack.elem"), std::string::npos) << line;
+    }
+}
+
+TEST(GraphAuditCheckpoint, NodePackHeldIntoNodeStageIsFlagged) {
+    // Same seam on the node side: a coordinate pack surviving into stage 1
+    // races the node wave's position update.
+    const domain d(small_opts());
+    auto model = graph::build_iteration_model(d, {64, 64});
+    graph::add_checkpoint_pack_tasks(model, d);
+
+    const auto pack = std::find_if(
+        model.tasks.begin(), model.tasks.end(), [](const graph::task_decl& t) {
+            return std::string(t.site) == "ckpt.pack.node" &&
+                   t.accesses.front().f == field::x;
+        });
+    ASSERT_NE(pack, model.tasks.end());
+    pack->stage_last = 1;
+
+    const auto res = graph::audit_graph(model, d);
+    ASSERT_FALSE(res.ok());
+    for (const auto& h : res.hazards) {
+        EXPECT_EQ(h.k, graph::hazard_report::kind::read_write);
+        EXPECT_EQ(h.f, field::x);
+    }
 }
 
 // ---------------- hand-built toy models ----------------------------------

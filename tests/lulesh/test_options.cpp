@@ -90,6 +90,21 @@ TEST(Cli, RejectsOutOfRangeValues) {
     EXPECT_THROW(parse({"-i", "0"}), std::invalid_argument);
 }
 
+TEST(Cli, CheckpointEveryAcceptsZeroAndRejectsNegatives) {
+    // k = 0 is the documented entry-snapshot-only resilient mode; anything
+    // negative is meaningless and must be rejected at parse time.
+    EXPECT_EQ(parse({"--checkpoint-every", "0"}).checkpoint_every, 0);
+    EXPECT_EQ(parse({"--checkpoint-every", "7"}).checkpoint_every, 7);
+    EXPECT_THROW(parse({"--checkpoint-every", "-1"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--checkpoint-every", "-100"}), std::invalid_argument);
+}
+
+TEST(Cli, UsageDocumentsEntrySnapshotOnlyMode) {
+    const std::string text = lulesh::usage_text("prog");
+    EXPECT_NE(text.find("--checkpoint-every"), std::string::npos);
+    EXPECT_NE(text.find("entry-snapshot-only"), std::string::npos);
+}
+
 TEST(Cli, RejectsNonPositivePartitions) {
     EXPECT_THROW(parse({"-p", "0", "64"}), std::invalid_argument);
     EXPECT_THROW(parse({"-p", "64", "0"}), std::invalid_argument);

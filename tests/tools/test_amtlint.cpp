@@ -248,6 +248,35 @@ TEST(Amt003, SilentOnTracerProbesInProbedKernels) {
     EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
 }
 
+TEST(Amt003, SilentOnCheckpointPackStyleDynamicTouch) {
+    // The overlapped checkpoint pack task (checkpoint_chain.cpp
+    // pack_region) declares its read with a *runtime* field value —
+    // hazard_touch(r.f, ...) — because the field is data, not code.  The
+    // rule keys on literal field:: declarations, so pack-style bodies must
+    // not trip it; this fixture pins that down so pack tasks can never
+    // introduce new AMT003 positives.
+    const std::string src =
+        "void pack_region(const domain& d, field f, index_t lo, index_t hi,\n"
+        "                 char* out) {\n"
+        "    hazard_touch(f, /*write=*/false, lo, hi);\n"
+        "    const real_t* src = field_data(d, f);\n"
+        "    std::memcpy(out, src + lo,\n"
+        "                static_cast<std::size_t>(hi - lo) * sizeof(real_t));\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+TEST(Amt003, ReadOnlyProbeCoversMatchingReads) {
+    // The literal read-only declaration a non-overlapped pack would use:
+    // reads of the declared field are covered, and nothing else fires.
+    const std::string src =
+        "void pack_e(const domain& d, index_t lo, index_t hi, real_t* out) {\n"
+        "    hazard_touch(field::e, false, lo, hi);\n"
+        "    for (index_t i = lo; i < hi; ++i) out[i - lo] = d.e[i];\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
 TEST(Amt003, GatedOffWithKernelRulesDisabled) {
     const std::string src =
         "void my_kernel(domain& d, index_t lo, index_t hi) {\n"
