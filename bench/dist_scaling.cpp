@@ -11,11 +11,16 @@
 // physics to the single-domain run (verified by the test suite), so the
 // comparison is pure synchronization structure.
 
+#include <chrono>
+#include <cstdlib>
+
 #include "bench_common.hpp"
 #include "dist/cluster.hpp"
 #include "dist/driver_dist.hpp"
 
 namespace {
+
+std::chrono::milliseconds g_halo_timeout{0};
 
 double run_dist(const lulesh::options& problem, lulesh::index_t slabs,
                 lulesh::dist::dist_driver::exchange_mode mode,
@@ -23,16 +28,40 @@ double run_dist(const lulesh::options& problem, lulesh::index_t slabs,
                 int iters) {
     lulesh::dist::cluster c(problem, slabs);
     amt::runtime rt(threads);
-    lulesh::dist::dist_driver drv(rt, parts, mode);
+    lulesh::dist::dist_driver drv(rt, parts, mode, g_halo_timeout);
     return lulesh::dist::run_simulation(c, drv, iters).elapsed_seconds;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+    // bench::parse_sweep rejects flags it does not know, so --halo-timeout
+    // (and its env twin LULESH_HALO_TIMEOUT) is peeled off the argv first.
+    std::vector<char*> args;
+    args.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--halo-timeout" && i + 1 < argc) {
+            g_halo_timeout = std::chrono::milliseconds(std::atol(argv[++i]));
+            continue;
+        }
+        if (arg.rfind("--halo-timeout=", 0) == 0) {
+            g_halo_timeout = std::chrono::milliseconds(
+                std::atol(arg.c_str() + std::string("--halo-timeout=").size()));
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    if (g_halo_timeout.count() == 0) {
+        if (const char* raw = std::getenv("LULESH_HALO_TIMEOUT");
+            raw != nullptr && *raw != '\0') {
+            g_halo_timeout = std::chrono::milliseconds(std::atol(raw));
+        }
+    }
+
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
     bench::sweep_options sweep = bench::parse_sweep(
-        argc, argv,
+        static_cast<int>(args.size()), args.data(),
         {.sizes = {12},
          .threads = {static_cast<int>(std::min(4u, hw * 2))},
          .regions = {11},
@@ -43,7 +72,7 @@ int main(int argc, char** argv) {
     std::cout << "=== Extension: multi-domain decomposition — eager vs "
                  "futurized vs bulk-synchronous halo exchange ===\n"
               << "threads: " << threads << ", iterations: " << sweep.iters
-              << "\n\n";
+              << ", halo timeout: " << g_halo_timeout.count() << " ms\n\n";
     std::cout << std::left << std::setw(6) << "size" << std::setw(7) << "slabs"
               << std::setw(14) << "eager(s)" << std::setw(14)
               << "futurized(s)" << std::setw(14) << "bulk-sync(s)"

@@ -9,6 +9,7 @@
 //   ./distributed_sedov -s 12 -i 50 -t 4        # 4 slabs by default
 //   ./distributed_sedov -s 16 -i 80 -t 2 -r 21
 
+#include <chrono>
 #include <cmath>
 #include <iostream>
 
@@ -16,8 +17,30 @@
 #include "dist/cluster.hpp"
 #include "dist/driver_dist.hpp"
 #include "dist/halo_audit.hpp"
+#include "dist/resilient_dist.hpp"
 #include "lulesh/driver.hpp"
 #include "lulesh/validate.hpp"
+
+namespace {
+
+/// Max |e − single-domain| over every slab slice — 0.0 means bitwise.
+lulesh::real_t max_energy_diff(lulesh::dist::cluster& c,
+                               const lulesh::domain& global) {
+    lulesh::real_t max_diff = 0.0;
+    for (lulesh::index_t s = 0; s < c.num_slabs(); ++s) {
+        const auto& d = c.slab(s);
+        const lulesh::index_t eoff = d.elem_offset();
+        for (lulesh::index_t e = 0; e < d.numElem(); ++e) {
+            max_diff = std::max(
+                max_diff,
+                std::fabs(d.e[static_cast<std::size_t>(e)] -
+                          global.e[static_cast<std::size_t>(eoff + e)]));
+        }
+    }
+    return max_diff;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     lulesh::cli_options cli;
@@ -85,22 +108,14 @@ int main(int argc, char** argv) {
                             lulesh::dist::dist_driver::exchange_mode::futurized,
                             lulesh::dist::dist_driver::exchange_mode::bulk_synchronous}) {
         lulesh::dist::cluster c(cli.problem, num_slabs);
-        lulesh::dist::dist_driver drv(rt, parts, mode);
+        lulesh::dist::dist_driver drv(
+            rt, parts, mode,
+            std::chrono::milliseconds(cli.halo_timeout_ms));
         const auto result =
             lulesh::dist::run_simulation(c, drv, cli.problem.max_cycles);
 
         // Validate every slab slice against the single-domain solution.
-        lulesh::real_t max_diff = 0.0;
-        for (lulesh::index_t s = 0; s < c.num_slabs(); ++s) {
-            const auto& d = c.slab(s);
-            const lulesh::index_t eoff = d.elem_offset();
-            for (lulesh::index_t e = 0; e < d.numElem(); ++e) {
-                max_diff = std::max(
-                    max_diff,
-                    std::fabs(d.e[static_cast<std::size_t>(e)] -
-                              global.e[static_cast<std::size_t>(eoff + e)]));
-            }
-        }
+        const lulesh::real_t max_diff = max_energy_diff(c, global);
         std::cout << drv.name() << ": " << result.cycles << " cycles in "
                   << result.elapsed_seconds << " s, origin energy "
                   << result.final_origin_energy
@@ -108,8 +123,48 @@ int main(int argc, char** argv) {
                   << (max_diff == 0.0 ? "  (bitwise identical)" : "") << "\n";
     }
 
+    int exit_status = 0;
+    if (cli.checkpoint_every > 0) {
+        // Fail-soft mode: the futurized exchange under the failure detector
+        // and the channel-level retry layer, with coordinated rollback over
+        // per-slab checkpoint chains.  Fault-injection campaigns (slab_kill,
+        // halo_drop, halo_corrupt sites — see docs/resilience.md) recover
+        // bitwise-identically here instead of exiting.
+        amt::resilience().reset();
+        lulesh::dist::cluster c(cli.problem, num_slabs);
+        lulesh::dist::dist_driver drv(
+            rt, parts, lulesh::dist::dist_driver::exchange_mode::futurized,
+            std::chrono::milliseconds(cli.halo_timeout_ms),
+            lulesh::dist::retry_policy{});
+        lulesh::dist::dist_resilience_options ropt;
+        ropt.checkpoint_every = cli.checkpoint_every;
+        ropt.max_recoveries = cli.max_recoveries;
+        ropt.checkpoint_path = cli.checkpoint_save;
+        const auto rr =
+            lulesh::dist::run_resilient(c, drv, ropt, cli.problem.max_cycles);
+        const auto& rc = amt::resilience();
+        std::cout << "dist_resilient: " << rr.result.cycles << " cycles in "
+                  << rr.result.elapsed_seconds << " s, origin energy "
+                  << rr.result.final_origin_energy
+                  << ", max |e - single-domain| = " << max_energy_diff(c, global)
+                  << "\n  recoveries " << rr.recoveries << " (slab rebuilds "
+                  << rr.slab_rebuilds << ", entry fallbacks "
+                  << rr.entry_fallbacks << ", dt halvings " << rr.dt_halvings
+                  << "), checkpoints " << rr.checkpoints
+                  << "\n  counters: crc_failures " << rc.halo_crc_failures.load()
+                  << ", retries " << rc.halo_retries.load() << ", resends "
+                  << rc.halo_resends.load() << ", drops "
+                  << rc.halo_drops.load() << ", slab_deaths "
+                  << rc.slab_deaths.load() << ", heartbeats "
+                  << rc.heartbeats.load() << "\n";
+        if (rr.result.run_status != lulesh::status::ok) {
+            std::cerr << "dist_resilient: " << rr.result.error_message << "\n";
+            exit_status = lulesh::exit_code_for(rr.result.run_status);
+        }
+    }
+
     if (want_trace) {
-        // All three exchange modes have completed and every future was
+        // All exchange modes have completed and every future was
         // consumed — the rings are quiescent even though the runtime is
         // still alive.
         amt::trace::disarm();
@@ -143,5 +198,5 @@ int main(int argc, char** argv) {
                   << ext.plane_end << ") — " << census.slab(s).numElem()
                   << " elements\n";
     }
-    return 0;
+    return exit_status;
 }

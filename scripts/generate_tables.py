@@ -137,6 +137,21 @@ def summarize_checkpoint_overhead(rows):
               f"{float(plain):.3g} ms/iter baseline vs a full snapshot")
 
 
+def summarize_dist_recovery(rows):
+    # size, slabs, base_s, armed_s, overhead_pct, mttr_ms, recoveries —
+    # fault-free run vs a run with an injected slab_kill that the resilient
+    # driver rolls back and replays (bench/dist_recovery).
+    table("Distributed recovery — slab_kill rollback cost (MTTR + overhead)",
+          ["size", "slabs", "base(s)", "armed(s)", "overhead%", "mttr(ms)",
+           "recoveries"], rows)
+    for size, slabs, base, armed, overhead, mttr, recoveries in rows:
+        per = float(mttr) / float(recoveries) if float(recoveries) > 0 else 0.0
+        print(f"    size {size} x {slabs} slabs: {recoveries} recovery(ies), "
+              f"{per:.1f} ms MTTR each, run stretched "
+              f"{float(armed) - float(base):.3g}s "
+              f"({float(overhead):.1f}%) over the fault-free baseline")
+
+
 def summarize_generic(name, rows):
     if not rows:
         return
@@ -160,6 +175,7 @@ def main(paths):
         "util_phase": summarize_util_phase,
         "table1": summarize_table1,
         "checkpoint_overhead": summarize_checkpoint_overhead,
+        "dist_recovery": summarize_dist_recovery,
     }
     for name in sorted(rows):
         handler = handlers.get(name)

@@ -102,6 +102,19 @@ public:
         }
     }
 
+    /// Reverses close(): the channel (every handle copy — they share state)
+    /// accepts values again.  close() already failed all pending getters and
+    /// discarded buffered values, so a reopened channel starts empty.  Only
+    /// meaningful at a quiescent point (no in-flight set/get racing the
+    /// transition); the distributed recovery layer calls it after a
+    /// coordinated rollback to re-wire a failed halo fabric.  Idempotent,
+    /// and a no-op on a channel that was never closed.
+    void reopen() {
+        std::lock_guard lk(state_->mu);
+        state_->closed = false;
+        state_->values.clear();
+    }
+
     /// Buffered values not yet claimed by a getter (diagnostic; racy by
     /// nature under concurrency).
     [[nodiscard]] std::size_t size_approx() const {

@@ -40,6 +40,56 @@ private:
     std::atomic<std::uint64_t> value_{0};
 };
 
+/// Multi-writer event counter: any thread may add().  Pays the lock-prefixed
+/// fetch_add, so keep these off per-task fast paths — they exist for rare
+/// events (retries, recoveries) recorded from whichever thread observes them.
+class shared_counter {
+public:
+    void add(std::uint64_t v) noexcept {
+        value_.fetch_add(v, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t load() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Process-wide resilience event counters (fail-soft distributed runs —
+/// see docs/resilience.md).  Any thread may bump any field: halo retries
+/// and resends happen on workers, detector verdicts and recoveries on the
+/// driver thread.  Reset between runs the way tests reset fault stats.
+struct resilience_counters {
+    shared_counter halo_crc_failures;  ///< corrupt halo messages detected
+    shared_counter halo_retries;       ///< receiver-side retry rounds begun
+    shared_counter halo_resends;       ///< messages re-delivered from cache
+    shared_counter halo_drops;         ///< injected in-transit message drops
+    shared_counter heartbeats;         ///< liveness stamps recorded
+    shared_counter slab_deaths;        ///< detector verdicts naming a slab
+    shared_counter recoveries;         ///< coordinated rollbacks performed
+    shared_counter entry_fallbacks;    ///< rollbacks that fell back to the
+                                       ///< global entry snapshot
+
+    void reset() noexcept {
+        halo_crc_failures.reset();
+        halo_retries.reset();
+        halo_resends.reset();
+        halo_drops.reset();
+        heartbeats.reset();
+        slab_deaths.reset();
+        recoveries.reset();
+        entry_fallbacks.reset();
+    }
+};
+
+/// The process-wide resilience counter block.
+inline resilience_counters& resilience() {
+    static resilience_counters c;
+    return c;
+}
+
 /// Counters owned by a single worker thread.  Only that worker writes them;
 /// snapshot readers load each field relaxed.  Padded to a cache line so
 /// counters of different workers never share one.

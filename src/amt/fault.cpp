@@ -76,24 +76,42 @@ void stall_here(std::chrono::milliseconds timeout) {
 
 }  // namespace
 
-void probe_slow(const char* site) {
-    fault_state& s = state();
+namespace {
+
+/// Shared matching + budget claim for probe_slow()/decide_slow().  Returns
+/// whether this evaluation injects; `idx_out` receives the probe index the
+/// draw used (for the exception message).
+bool match_and_claim(fault_state& s, const char* site, std::uint64_t& idx_out) {
     s.probes.fetch_add(1, std::memory_order_relaxed);
 
     const plan& p = s.active;
     if (p.epoch >= 0 && s.epoch.load(std::memory_order_relaxed) != p.epoch) {
-        return;
+        return false;
     }
-    if (!p.site.empty() && p.site != site) return;
+    if (!p.site.empty() && p.site != site) return false;
 
     const std::uint64_t idx = s.next_index.fetch_add(1, std::memory_order_relaxed);
-    if (p.probability < 1.0 && uniform01(p.seed, idx) >= p.probability) return;
+    idx_out = idx;
+    if (p.probability < 1.0 && uniform01(p.seed, idx) >= p.probability) {
+        return false;
+    }
 
     // Claim one unit of the injection budget; losing the race means another
     // probe got the last one.
-    if (s.budget.fetch_sub(1, std::memory_order_acq_rel) <= 0) return;
+    if (s.budget.fetch_sub(1, std::memory_order_acq_rel) <= 0) return false;
 
     s.injections.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+}  // namespace
+
+void probe_slow(const char* site) {
+    fault_state& s = state();
+    std::uint64_t idx = 0;
+    if (!match_and_claim(s, site, idx)) return;
+
+    const plan& p = s.active;
     switch (p.kind) {
         case action::delay:
             std::this_thread::sleep_for(p.delay);
@@ -108,6 +126,26 @@ void probe_slow(const char* site) {
         "amt::fault: injected fault at site '" + std::string(site) +
         "' (epoch " + std::to_string(s.epoch.load(std::memory_order_relaxed)) +
         ", probe index " + std::to_string(idx) + ")");
+}
+
+bool decide_slow(const char* site) {
+    fault_state& s = state();
+    std::uint64_t idx = 0;
+    if (!match_and_claim(s, site, idx)) return false;
+
+    const plan& p = s.active;
+    switch (p.kind) {
+        case action::delay:
+            std::this_thread::sleep_for(p.delay);
+            return false;
+        case action::stall:
+            stall_here(p.stall_timeout);
+            return false;
+        case action::throw_exception:
+            break;
+    }
+    // The caller models the fault (drop/corrupt the message) itself.
+    return true;
 }
 
 }  // namespace detail

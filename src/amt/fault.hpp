@@ -109,12 +109,14 @@ void release_stalls();
 namespace detail {
 extern std::atomic<bool> g_armed;
 void probe_slow(const char* site);
+bool decide_slow(const char* site);
 }  // namespace detail
 
 #if defined(AMT_FAULT_DISABLE)
 
 /// Compiled out: calls vanish entirely.
 inline void probe(const char*) noexcept {}
+[[nodiscard]] inline bool decide(const char*) noexcept { return false; }
 inline constexpr bool compiled_in = false;
 
 [[nodiscard]] inline bool armed() noexcept { return false; }
@@ -128,6 +130,21 @@ inline void probe(const char* site) {
         detail::probe_slow(site);
     }
 }
+/// Non-throwing injection *decision* for instrumentation points that model
+/// the fault themselves instead of raising an exception — e.g. the
+/// distributed halo layer's `halo_drop` (swallow a message) and
+/// `halo_corrupt` (flip a payload bit) sites.  Matching and budget
+/// accounting are identical to probe(): a throw_exception-kind plan that
+/// would have injected here returns true (consuming one unit of the
+/// budget) and the caller applies its own effect; delay/stall plans
+/// perform their usual side effect and return false, like probe().
+[[nodiscard]] inline bool decide(const char* site) {
+    if (detail::g_armed.load(std::memory_order_acquire)) {
+        return detail::decide_slow(site);
+    }
+    return false;
+}
+
 inline constexpr bool compiled_in = true;
 
 [[nodiscard]] inline bool armed() noexcept {

@@ -2,6 +2,8 @@
 
 #include "dist/checkpoint_dist.hpp"
 
+#include <algorithm>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -43,8 +45,52 @@ void append_cluster_deltas(cluster& c, const std::string& path) {
 }
 
 void load_cluster_chains(cluster& c, const std::string& path) {
-    for (index_t i = 0; i < c.num_slabs(); ++i) {
-        load_checkpoint_file(c.slab(i), slab_chain_path(path, i));
+    const auto n = static_cast<std::size_t>(c.num_slabs());
+    std::vector<std::vector<std::string>> records(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string file = slab_chain_path(path, static_cast<index_t>(i));
+        std::ifstream in(file, std::ios::binary);
+        if (!in) {
+            throw checkpoint_error("cannot open checkpoint chain: " + file);
+        }
+        records[i] = read_chain_records(c.slab(static_cast<index_t>(i)), in,
+                                        file);
+        if (records[i].empty() || !chain_record_is_base(records[i][0])) {
+            throw checkpoint_error("checkpoint chain has no committed base "
+                                   "record: " + file);
+        }
+    }
+
+    // Consistent-cycle replay: the target is the newest cycle every slab
+    // has (min of the chain heads — the chains append in lockstep, so that
+    // cycle exists in every chain).  A delta that fails full validation
+    // during replay truncates its slab's chain and lowers the target; the
+    // replay restarts from the bases, which is idempotent because
+    // apply_chain_record never partially mutates and a base record fully
+    // overwrites the restored state.
+    for (;;) {
+        int target = chain_record_cycle(records[0].back());
+        for (std::size_t i = 1; i < n; ++i) {
+            target = std::min(target, chain_record_cycle(records[i].back()));
+        }
+        bool truncated = false;
+        for (std::size_t i = 0; i < n && !truncated; ++i) {
+            const std::string file =
+                slab_chain_path(path, static_cast<index_t>(i));
+            for (std::size_t j = 0; j < records[i].size(); ++j) {
+                if (chain_record_cycle(records[i][j]) > target) break;
+                try {
+                    apply_chain_record(c.slab(static_cast<index_t>(i)),
+                                       records[i][j], file);
+                } catch (const checkpoint_error&) {
+                    if (j == 0) throw;  // base itself is corrupt
+                    records[i].resize(j);
+                    truncated = true;
+                    break;
+                }
+            }
+        }
+        if (!truncated) return;
     }
 }
 

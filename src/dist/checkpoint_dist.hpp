@@ -30,9 +30,17 @@ void save_cluster_chains(cluster& c, const std::string& path);
 /// ignores.
 void append_cluster_deltas(cluster& c, const std::string& path);
 
-/// Restores every slab from its chain file (longest-valid-prefix replay).
-/// Throws checkpoint_error — naming the offending slab file — if any slab
-/// has no loadable committed base.
+/// Restores every slab to the *same committed cycle* — the consistent-cycle
+/// rule.  Per-slab longest-valid-prefix replay alone is not enough for a
+/// cluster: a crash mid-append can leave slab A's chain one committed delta
+/// ahead of slab B's torn one, and restoring each slab to its own newest
+/// record would desynchronize the lockstep clock.  This loader reads every
+/// slab's committed records first, picks the newest cycle *every* slab has
+/// (the minimum of the per-slab chain heads), and replays each slab exactly
+/// to that cycle.  A corrupt delta discovered during replay truncates that
+/// slab's chain and lowers the target for everyone.  Throws
+/// checkpoint_error — naming the offending slab file — if any slab has no
+/// loadable committed base.
 void load_cluster_chains(cluster& c, const std::string& path);
 
 /// The chain file of slab `i` under `path`.

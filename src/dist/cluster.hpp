@@ -21,7 +21,10 @@
 
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "amt/channel.hpp"
@@ -37,14 +40,63 @@ namespace lulesh::dist {
 /// bit flipped in transit.
 using plane_buffer = std::vector<real_t>;
 
+/// Retransmit cache for one directed message stream of a boundary.  When
+/// the driver's retry layer is enabled, the sender parks a pristine copy of
+/// each packed message here before committing it to the channel; a dropped
+/// or corrupt delivery is then healed by re-delivering the cached copy
+/// (dist/retry_policy.hpp) instead of failing the iteration.  `packed_seq`
+/// advances when a message is cached, `sent_seq` when it is delivered —
+/// packed_seq > sent_seq marks an in-flight message the driver's poll loop
+/// may need to resend.
+struct retransmit_slot {
+    std::mutex mu;
+    plane_buffer payload;
+    std::uint64_t packed_seq = 0;
+    std::uint64_t sent_seq = 0;
+    int attempts = 0;  ///< delivery attempts beyond the original send
+    std::chrono::steady_clock::time_point last_attempt{};
+
+    void reset() {
+        std::lock_guard lk(mu);
+        payload.clear();
+        packed_seq = 0;
+        sent_seq = 0;
+        attempts = 0;
+        last_attempt = {};
+    }
+};
+
 /// Channels across one interior boundary (between slab b and slab b+1).
-/// "up" flows from slab b to slab b+1.
+/// "up" flows from slab b to slab b+1.  Each channel pairs with the
+/// retransmit cache of its sender.
 struct boundary_channels {
     amt::channel<plane_buffer> corner_up;
     amt::channel<plane_buffer> corner_down;
     amt::channel<plane_buffer> delv_up;
     amt::channel<plane_buffer> delv_down;
+
+    retransmit_slot corner_up_tx;
+    retransmit_slot corner_down_tx;
+    retransmit_slot delv_up_tx;
+    retransmit_slot delv_down_tx;
 };
+
+/// The four directed message streams of a boundary, in the order the
+/// members of boundary_channels are declared.  Used to index channels,
+/// retransmit slots, and fault-site labels uniformly.
+enum class halo_stream : int {
+    corner_up = 0,
+    corner_down = 1,
+    delv_up = 2,
+    delv_down = 3
+};
+inline constexpr int num_halo_streams = 4;
+
+[[nodiscard]] const char* halo_stream_name(halo_stream which) noexcept;
+[[nodiscard]] amt::channel<plane_buffer>& stream_channel(boundary_channels& b,
+                                                         halo_stream which);
+[[nodiscard]] retransmit_slot& stream_slot(boundary_channels& b,
+                                           halo_stream which);
 
 /// The set of slab domains plus their connecting channels.
 class cluster {
@@ -65,7 +117,7 @@ public:
     }
     /// Channels between slab b and slab b+1, b in [0, num_slabs-1).
     [[nodiscard]] boundary_channels& boundary(index_t b) {
-        return channels_[static_cast<std::size_t>(b)];
+        return *channels_[static_cast<std::size_t>(b)];
     }
 
     /// Fails the whole halo fabric: closes every channel of every boundary,
@@ -77,12 +129,27 @@ public:
     /// is not reusable for further iterations afterwards.
     void close_channels() {
         for (auto& b : channels_) {
-            b.corner_up.close();
-            b.corner_down.close();
-            b.delv_up.close();
-            b.delv_down.close();
+            b->corner_up.close();
+            b->corner_down.close();
+            b->delv_up.close();
+            b->delv_down.close();
         }
     }
+
+    /// Re-wires a halo fabric failed by close_channels(): every channel is
+    /// reopened (same channel objects — the driver's cached handles stay
+    /// valid) and every retransmit cache is cleared, so the next iteration
+    /// starts from a clean fabric.  Only valid at a quiescent point — after
+    /// the failed iteration's chains have all settled — which the recovery
+    /// layer (dist/resilient_dist) guarantees by construction.
+    void reopen_channels();
+
+    /// Replaces slab `i` with a freshly constructed domain over the same
+    /// extent — the recovery path for a confirmed slab death, where the old
+    /// domain's memory is presumed lost/poisoned.  The new domain is at the
+    /// entry state; the caller restores it from the slab's checkpoint chain.
+    void rebuild_slab(index_t i);
+
     [[nodiscard]] const options& problem() const noexcept { return opts_; }
 
     /// Shared simulation clock (all slabs advance in lockstep; slab 0 is
@@ -93,24 +160,40 @@ public:
 private:
     options opts_;
     std::vector<std::unique_ptr<domain>> slabs_;
-    std::vector<boundary_channels> channels_;
+    // unique_ptr because boundary_channels holds mutexes (retransmit
+    // slots), which are neither movable nor copyable.
+    std::vector<std::unique_ptr<boundary_channels>> channels_;
 };
 
 // --- halo pack/unpack helpers -------------------------------------------
+
+/// Where a halo message came from, for CRC-failure reporting parity with
+/// checkpoint_error: the boundary index and direction name make a corrupt
+/// message attributable.  Default (-1, "") marks a direct pack/unpack with
+/// no fabric context (the BSP exchange and unit tests).
+struct halo_message_info {
+    index_t boundary = -1;
+    const char* direction = "";
+};
 
 /// Packs the corner forces (stress + hourglass) of the element plane
 /// starting at `elem_base` into a flat buffer.
 plane_buffer pack_corner_plane(const domain& d, index_t elem_base);
 
 /// Unpacks a neighbor's corner-plane message into the ghost slots starting
-/// at `ghost_slot`.
+/// at `ghost_slot`.  A CRC mismatch throws simulation_error with
+/// status::data_corruption naming the boundary/direction (when given) and
+/// the expected-vs-actual CRC.
 void unpack_corner_ghosts(domain& d, index_t ghost_slot,
-                          const plane_buffer& buf);
+                          const plane_buffer& buf,
+                          const halo_message_info& info = {});
 
 /// Packs delv_zeta of the element plane starting at `elem_base`.
 plane_buffer pack_delv_plane(const domain& d, index_t elem_base);
 
-/// Unpacks a neighbor's delv_zeta plane into the ghost slots.
-void unpack_delv_ghosts(domain& d, index_t ghost_slot, const plane_buffer& buf);
+/// Unpacks a neighbor's delv_zeta plane into the ghost slots.  CRC-failure
+/// reporting as for unpack_corner_ghosts.
+void unpack_delv_ghosts(domain& d, index_t ghost_slot, const plane_buffer& buf,
+                        const halo_message_info& info = {});
 
 }  // namespace lulesh::dist

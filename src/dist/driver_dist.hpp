@@ -24,15 +24,31 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "amt/amt.hpp"
 #include "dist/cluster.hpp"
+#include "dist/failure_detector.hpp"
+#include "dist/retry_policy.hpp"
 #include "lulesh/driver.hpp"
 #include "lulesh/kernels.hpp"
 
 namespace lulesh::dist {
+
+/// What the driver learned about the last failed iteration: which slab
+/// failed (-1 when unattributable — e.g. a global volume error), the status
+/// the failure maps to, and whether it was transient (an injected/dropped
+/// fault that a replay at unchanged dt can clear).  The recovery layer
+/// (dist/resilient_dist) uses this to decide which slab to rebuild.
+struct slab_failure {
+    index_t slab = -1;
+    status code = status::ok;
+    bool transient = false;
+    std::string message;
+};
 
 class dist_driver {
 public:
@@ -42,12 +58,28 @@ public:
     /// exchanges: if no task of the iteration finishes for a whole timeout
     /// window while the final barrier is pending, the halo fabric is failed
     /// (channels closed) and the iteration aborts with status::stalled
-    /// instead of waiting forever on a peer that will never send.
+    /// instead of waiting forever on a peer that will never send.  With a
+    /// timeout armed the failure detector's per-slab heartbeats name the
+    /// suspect slab in last_failure().
+    ///
+    /// `retry` (when enabled) arms the transient-fault retry layer on the
+    /// futurized exchanges: every boundary send parks a pristine copy in
+    /// the boundary's retransmit cache, a CRC-corrupt delivery triggers a
+    /// backed-off resend-request round-trip, and a dropped (fault-injected)
+    /// message is re-delivered by the driver's wait loop — bounded by
+    /// retry_policy::max_attempts before the failure escalates.  Disabled
+    /// (the default), the send/receive paths are exactly the fail-stop
+    /// ones.
     dist_driver(amt::runtime& rt, partition_sizes parts,
                 exchange_mode mode = exchange_mode::futurized,
                 std::chrono::milliseconds halo_timeout =
-                    std::chrono::milliseconds(0))
-        : rt_(rt), parts_(parts), mode_(mode), halo_timeout_(halo_timeout) {}
+                    std::chrono::milliseconds(0),
+                retry_policy retry = retry_policy::none())
+        : rt_(rt),
+          parts_(parts),
+          mode_(mode),
+          halo_timeout_(halo_timeout),
+          retry_(retry) {}
 
     dist_driver(const dist_driver&) = delete;
     dist_driver& operator=(const dist_driver&) = delete;
@@ -69,16 +101,71 @@ public:
     /// simulation_error on volume/qstop violations in any slab.
     void advance(cluster& c);
 
+    /// The retry policy the exchange layer runs under.
+    [[nodiscard]] const retry_policy& retry() const noexcept { return retry_; }
+
+    /// Diagnosis of the last advance() that threw: slab attribution, mapped
+    /// status, transience.  Reset at the start of every advance().
+    [[nodiscard]] const slab_failure& last_failure() const noexcept {
+        return last_failure_;
+    }
+
+    /// Re-delivers the cached copy of one boundary message (recovery
+    /// plumbing; public for the receive-retry chain and tests).  With
+    /// `force` false, only an in-flight (packed > sent), overdue,
+    /// within-budget message is resent — the wait loop's drop recovery.
+    /// With `force` true the delivered/overdue checks are skipped: the
+    /// receiver found the delivered copy corrupt and asks for a fresh one.
+    /// The resend passes the same halo_drop/halo_corrupt fault sites as the
+    /// original send, so unbounded injection plans exhaust the retry budget
+    /// deterministically.  Returns true if a message entered the channel.
+    bool resend_from_cache(cluster& c, index_t b, halo_stream which,
+                           bool force);
+
 private:
     void advance_futurized(cluster& c, bool eager);
     void advance_bulk_synchronous(cluster& c);
     void reduce_constraints(cluster& c);
 
+    /// Packs and sends one boundary plane, routing through the retransmit
+    /// cache and the halo_drop/halo_corrupt fault sites when retry is on.
+    void send_halo(cluster& c, index_t s, bool upper, bool corner);
+
+    /// Future for one incoming boundary message, unpacked by `unpack`.
+    /// When retry is enabled a CRC-corrupt delivery requests a backed-off
+    /// resend (bounded by the policy) before the error escalates.
+    amt::future<void> receive_halo(cluster& c, index_t s, index_t b,
+                                   halo_stream which, const char* span_name,
+                                   std::function<void(const plane_buffer&)>
+                                       unpack);
+
+    /// Scans every retransmit slot for overdue undelivered messages and
+    /// resends them (called from the armed wait loop).
+    void service_resends(cluster& c);
+
+    /// (Re)builds the per-boundary fault-site labels, per-slab kill-switch
+    /// labels, and the failure detector for `c`'s topology.  The label
+    /// strings are stable for the cluster's lifetime — fault plans compare
+    /// site strings by content, and the tracer requires outliving storage.
+    void ensure_fabric(cluster& c);
+
     amt::runtime& rt_;
     partition_sizes parts_;
     exchange_mode mode_;
     std::chrono::milliseconds halo_timeout_{0};
+    retry_policy retry_;
     std::vector<std::vector<kernels::dt_constraints>> partials_;
+
+    /// Per-boundary fault-injection site labels, e.g. "halo_drop:corner_up:2"
+    /// = drop the corner_up message of boundary 2 (see docs/resilience.md).
+    struct halo_labels {
+        std::string drop[num_halo_streams];
+        std::string corrupt[num_halo_streams];
+    };
+    std::vector<halo_labels> labels_;
+    std::vector<std::string> kill_labels_;  ///< "slab_kill:<s>" per slab
+    std::shared_ptr<failure_detector> detector_;
+    slab_failure last_failure_;
 };
 
 /// Iteration loop over a cluster, mirroring lulesh::run_simulation: shared

@@ -548,6 +548,57 @@ void restore_chain_stream(domain& d, std::istream& in,
     }
 }
 
+std::vector<std::string> read_chain_records(const domain& d, std::istream& in,
+                                            const std::string& context) {
+    // Same shape peek as restore_chain_stream: a committed chain for a
+    // different mesh must be reported as such, not as "no records".
+    {
+        const auto start = in.tellg();
+        record_header h;
+        in.read(reinterpret_cast<char*>(&h), sizeof(h));
+        if (in.gcount() == static_cast<std::streamsize>(sizeof(h)) &&
+            h.magic == record_magic && h.version == chain_version &&
+            header_crc_of(h) == h.header_crc &&
+            (h.size != d.size_per_edge() ||
+             h.plane_begin != d.slab().plane_begin ||
+             h.plane_end != d.slab().plane_end ||
+             h.num_elem != d.numElem() || h.num_node != d.numNode())) {
+            throw checkpoint_error("lulesh: chain record in " + context +
+                                   " does not match this domain's shape");
+        }
+        in.clear();
+        in.seekg(start);
+    }
+    std::vector<std::string> records;
+    std::string record;
+    while (extract_record(in, d, record)) {
+        records.push_back(record);
+    }
+    return records;
+}
+
+int chain_record_cycle(std::string_view record) noexcept {
+    record_header h;
+    if (record.size() < sizeof(h)) return -1;
+    std::memcpy(&h, record.data(), sizeof(h));
+    if (h.magic != record_magic || h.version != chain_version ||
+        header_crc_of(h) != h.header_crc) {
+        return -1;
+    }
+    return h.cycle;
+}
+
+bool chain_record_is_base(std::string_view record) noexcept {
+    record_header h;
+    if (record.size() < sizeof(h)) return false;
+    std::memcpy(&h, record.data(), sizeof(h));
+    if (h.magic != record_magic || h.version != chain_version ||
+        header_crc_of(h) != h.header_crc) {
+        return false;
+    }
+    return h.kind == kind_base;
+}
+
 void write_chain_file(const std::string& path,
                       const std::vector<std::string>& records) {
     // Same atomic protocol as v2 checkpoints: temp file, fsync, rename.

@@ -177,6 +177,24 @@ bool stream_is_chain(std::istream& in);
 void restore_chain_stream(domain& d, std::istream& in,
                           const std::string& context);
 
+/// Splits the longest validly *framed* prefix of `in` into individual
+/// record byte strings without applying them (payload CRCs are validated
+/// later, by apply_chain_record).  Torn or invalid framing ends the list,
+/// exactly like restore_chain_stream; a committed leading record for a
+/// different mesh shape throws checkpoint_error.  The distributed
+/// consistent-cycle loader uses this to inspect every slab's chain before
+/// deciding which cycle to restore.
+std::vector<std::string> read_chain_records(const domain& d, std::istream& in,
+                                            const std::string& context);
+
+/// The cycle recorded in `record`'s header, or -1 if the header is torn or
+/// fails its CRC.  Cheap (header-only); does not validate payloads.
+int chain_record_cycle(std::string_view record) noexcept;
+
+/// True if `record`'s (CRC-valid) header marks a base record; false for a
+/// delta or an invalid header.
+bool chain_record_is_base(std::string_view record) noexcept;
+
 /// Writes a whole chain atomically: temp file, fsync, rename — a crash
 /// leaves the previous file intact.
 void write_chain_file(const std::string& path,

@@ -42,6 +42,7 @@ cli_options parse_cli(int argc, const char* const* argv) {
 
 cli_options parse_cli(int argc, const char* const* argv, env_lookup env) {
     cli_options cli;
+    bool halo_timeout_flag = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "-s" || arg == "--s") {
@@ -87,6 +88,18 @@ cli_options parse_cli(int argc, const char* const* argv, env_lookup env) {
         } else if (arg == "--retries") {
             cli.max_retries = static_cast<int>(
                 parse_long(arg, require_value(arg, argc, argv, i)));
+        } else if (arg == "--halo-timeout") {
+            cli.halo_timeout_ms = static_cast<int>(
+                parse_long(arg, require_value(arg, argc, argv, i)));
+            halo_timeout_flag = true;
+        } else if (arg.rfind("--halo-timeout=", 0) == 0) {
+            cli.halo_timeout_ms = static_cast<int>(parse_long(
+                "--halo-timeout",
+                arg.substr(std::string("--halo-timeout=").size()).c_str()));
+            halo_timeout_flag = true;
+        } else if (arg == "--max-recoveries") {
+            cli.max_recoveries = static_cast<int>(
+                parse_long(arg, require_value(arg, argc, argv, i)));
         } else if (arg == "--audit-graph") {
             cli.audit_graph = true;
         } else if (arg == "--trace") {
@@ -130,6 +143,12 @@ cli_options parse_cli(int argc, const char* const* argv, env_lookup env) {
     if (cli.max_retries < 0) {
         throw std::invalid_argument("lulesh: --retries must be >= 0");
     }
+    if (cli.halo_timeout_ms < 0) {
+        throw std::invalid_argument("lulesh: --halo-timeout must be >= 0");
+    }
+    if (cli.max_recoveries < 0) {
+        throw std::invalid_argument("lulesh: --max-recoveries must be >= 0");
+    }
     if (cli.partitions &&
         (cli.partitions->nodal < 1 || cli.partitions->elems < 1)) {
         throw std::invalid_argument("lulesh: -p sizes must be >= 1");
@@ -151,6 +170,25 @@ cli_options parse_cli(int argc, const char* const* argv, env_lookup env) {
             "lulesh: --audit-graph (or LULESH_AUDIT_GRAPH=1) audits the "
             "pre-built task graph, which driver '" + cli.driver +
             "' never spawns — use taskgraph or foreach");
+    }
+    // Environment twin of --halo-timeout.  The value must parse as a
+    // non-negative integer (milliseconds); the explicit flag wins.
+    if (const char* raw = env("LULESH_HALO_TIMEOUT");
+        raw != nullptr && *raw != '\0' && !halo_timeout_flag) {
+        const long v = parse_long("LULESH_HALO_TIMEOUT", raw);
+        if (v < 0) {
+            throw std::invalid_argument(
+                "lulesh: LULESH_HALO_TIMEOUT must be >= 0, got '" +
+                std::string(raw) + "'");
+        }
+        cli.halo_timeout_ms = static_cast<int>(v);
+    }
+    if (cli.halo_timeout_ms > 0 &&
+        (cli.driver == "serial" || cli.driver == "parallel_for")) {
+        throw std::invalid_argument(
+            "lulesh: --halo-timeout (or LULESH_HALO_TIMEOUT) guards the "
+            "distributed halo exchange, which driver '" + cli.driver +
+            "' never performs — use taskgraph or foreach");
     }
     // Environment twins of --trace / --utilization-report.  A non-empty
     // value is an output path; the explicit flag takes precedence.
@@ -193,6 +231,15 @@ std::string usage_text(const std::string& program) {
        << "                             (k = 0: entry-snapshot-only — faults\n"
        << "                             roll back to the run's start state)\n"
        << "  --retries <n>   retry budget per incident (default 3)\n"
+       << "  --halo-timeout <ms>        distributed runs: fail the halo\n"
+       << "                             fabric after <ms> of zero progress\n"
+       << "                             (status: stalled) instead of hanging\n"
+       << "                             on a dead slab (0 = no deadline; env\n"
+       << "                             twin: LULESH_HALO_TIMEOUT, flag\n"
+       << "                             wins; needs a task-spawning driver)\n"
+       << "  --max-recoveries <n>       distributed resilient mode: bound\n"
+       << "                             coordinated rollback-and-replay\n"
+       << "                             attempts per incident (default 3)\n"
        << "  --audit-graph   statically audit the task graph for unordered\n"
        << "                  read-write/write-write overlaps before running\n"
        << "                  (env twin: LULESH_AUDIT_GRAPH=1; needs a\n"

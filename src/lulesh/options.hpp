@@ -111,6 +111,17 @@ struct cli_options {
     /// Retry budget per incident for the resilient loop.
     int max_retries = 3;
 
+    /// Distributed halo-exchange progress deadline in milliseconds (0 = no
+    /// deadline, the default).  > 0 arms the dist driver's per-slab failure
+    /// detector: a deadline's worth of zero progress fails the halo fabric
+    /// with status::stalled and names the suspect slab instead of hanging.
+    /// Env twin: LULESH_HALO_TIMEOUT (the flag wins).  Only meaningful for
+    /// the distributed executables; rejected with the non-tasking drivers.
+    int halo_timeout_ms = 0;
+    /// Coordinated-recovery budget per incident for the distributed
+    /// resilient loop (dist/resilient_dist.hpp).
+    int max_recoveries = 3;
+
     /// Run the static task-graph hazard audit at startup (core/graph_audit)
     /// and exit with status::hazard if an unordered overlap is found.
     bool audit_graph = false;

@@ -20,6 +20,11 @@
 //
 // An incident is one failing cycle: it ends when the run advances past it,
 // at which point the retry budget re-arms for future faults.
+//
+// The multi-slab analogue is dist::run_resilient (dist/resilient_dist.hpp):
+// same incident/budget/dt rules, but the rollback is coordinated — every
+// slab restores to one consistent cycle and the halo fabric is re-wired.
+// docs/resilience.md covers both and the distributed recovery matrix.
 
 #pragma once
 

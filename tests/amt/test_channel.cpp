@@ -110,6 +110,39 @@ TEST(Channel, CloseIsIdempotent) {
     EXPECT_NO_THROW(ch.close());
 }
 
+TEST(Channel, ReopenAcceptsValuesAgainOnEveryHandle) {
+    channel<int> a;
+    channel<int> b = a;  // handle copy shares the state
+    a.close();
+    EXPECT_THROW(a.set(1), channel_closed);
+    a.reopen();
+    b.set(5);
+    EXPECT_EQ(a.get().get(), 5);
+}
+
+TEST(Channel, ReopenStartsEmptyAndIsIdempotent) {
+    channel<int> ch;
+    ch.set(1);  // buffered value must not survive the close/reopen cycle
+    ch.close();
+    ch.reopen();
+    EXPECT_EQ(ch.size_approx(), 0u);
+    EXPECT_NO_THROW(ch.reopen());  // idempotent, and a no-op when open
+    ch.set(2);
+    EXPECT_EQ(ch.get().get(), 2);
+}
+
+TEST(Channel, GettersPendingAtCloseStayFailedAfterReopen) {
+    // Reopening must not resurrect futures that were already failed with
+    // channel_closed — the recovery layer re-issues fresh get() calls.
+    channel<int> ch;
+    auto stale = ch.get();
+    ch.close();
+    ch.reopen();
+    EXPECT_THROW(stale.get(), channel_closed);
+    ch.set(9);
+    EXPECT_EQ(ch.get().get(), 9);
+}
+
 TEST(Channel, ProducerConsumerAcrossThreads) {
     channel<int> ch;
     constexpr int n = 1000;

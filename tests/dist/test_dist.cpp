@@ -241,6 +241,44 @@ TEST(Cluster, CorruptDelvMessageFailsWithDataCorruption) {
     }
 }
 
+TEST(Cluster, CrcFailureNamesBoundaryDirectionAndBothCrcs) {
+    // Reporting parity with checkpoint_error: a corrupt halo message must be
+    // attributable — boundary index, stream direction, and the expected vs
+    // actual checksum, all in the message.
+    cluster c(opts(4), 2);
+    auto buf = lulesh::dist::pack_corner_plane(c.slab(0),
+                                               c.slab(0).top_plane_elem_base());
+    flip_payload_bit(buf, 3);
+    try {
+        lulesh::dist::unpack_corner_ghosts(c.slab(1),
+                                           c.slab(1).ghost_lower_slot(), buf,
+                                           {0, "corner_up"});
+        FAIL() << "corrupt corner message was accepted";
+    } catch (const lulesh::simulation_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("boundary 0"), std::string::npos) << what;
+        EXPECT_NE(what.find("corner_up"), std::string::npos) << what;
+        EXPECT_NE(what.find("expected 0x"), std::string::npos) << what;
+        EXPECT_NE(what.find("actual 0x"), std::string::npos) << what;
+    }
+}
+
+TEST(Cluster, CrcFailureWithoutFabricContextSaysDirectUnpack) {
+    cluster c(opts(4), 2);
+    auto buf = lulesh::dist::pack_delv_plane(c.slab(0),
+                                             c.slab(0).top_plane_elem_base());
+    flip_payload_bit(buf, 0);
+    try {
+        lulesh::dist::unpack_delv_ghosts(c.slab(1),
+                                         c.slab(1).ghost_lower_slot(), buf);
+        FAIL() << "corrupt delv message was accepted";
+    } catch (const lulesh::simulation_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("direct unpack"), std::string::npos) << what;
+        EXPECT_NE(what.find("expected 0x"), std::string::npos) << what;
+    }
+}
+
 TEST(Cluster, CorruptCrcSlotItselfIsAlsoDetected) {
     cluster c(opts(4), 2);
     auto buf = lulesh::dist::pack_delv_plane(c.slab(0),

@@ -258,6 +258,104 @@ TEST(CliTrace, UsageTextDocumentsAllSpellings) {
     EXPECT_NE(text.find("LULESH_UTILIZATION_REPORT"), std::string::npos);
 }
 
+// ------------- --halo-timeout / --max-recoveries (fail-soft dist) -------------
+
+TEST(CliHaloTimeout, ParsesBothSpellingsAndDefaultsToZero) {
+    EXPECT_EQ(parse_env({}, no_env).halo_timeout_ms, 0);
+    EXPECT_EQ(parse_env({"--halo-timeout", "250"}, no_env).halo_timeout_ms,
+              250);
+    EXPECT_EQ(parse_env({"--halo-timeout=1500"}, no_env).halo_timeout_ms,
+              1500);
+}
+
+TEST(CliHaloTimeout, RejectsMalformedValues) {
+    EXPECT_THROW(parse_env({"--halo-timeout"}, no_env),
+                 std::invalid_argument);  // missing value
+    EXPECT_THROW(parse_env({"--halo-timeout", "-1"}, no_env),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_env({"--halo-timeout", "soon"}, no_env),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_env({"--halo-timeout=-250"}, no_env),
+                 std::invalid_argument);
+}
+
+TEST(CliHaloTimeout, EnvTwinParsesAndFlagWins) {
+    const auto env = [](const char* name) -> const char* {
+        return std::string(name) == "LULESH_HALO_TIMEOUT" ? "400" : nullptr;
+    };
+    EXPECT_EQ(parse_env({}, env).halo_timeout_ms, 400);
+    EXPECT_EQ(parse_env({"--halo-timeout", "100"}, env).halo_timeout_ms, 100);
+    // The flag wins even at its default value 0 (explicit disable).
+    EXPECT_EQ(parse_env({"--halo-timeout", "0"}, env).halo_timeout_ms, 0);
+    // Empty env values are not requests.
+    EXPECT_EQ(parse_env({}, [](const char*) -> const char* {
+                  return "";
+              }).halo_timeout_ms,
+              0);
+}
+
+TEST(CliHaloTimeout, MalformedEnvTwinIsRejected) {
+    EXPECT_THROW(parse_env({},
+                           [](const char* name) -> const char* {
+                               return std::string(name) ==
+                                              "LULESH_HALO_TIMEOUT"
+                                          ? "-5"
+                                          : nullptr;
+                           }),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_env({},
+                           [](const char* name) -> const char* {
+                               return std::string(name) ==
+                                              "LULESH_HALO_TIMEOUT"
+                                          ? "later"
+                                          : nullptr;
+                           }),
+                 std::invalid_argument);
+}
+
+TEST(CliHaloTimeout, RejectedWithDriversThatNeverExchangeHalos) {
+    // serial and parallel_for never perform the distributed halo exchange
+    // the deadline guards — accepting the flag would silently do nothing.
+    EXPECT_THROW(parse_env({"--halo-timeout", "250", "-d", "serial"}, no_env),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        parse_env({"-d", "parallel_for", "--halo-timeout=250"}, no_env),
+        std::invalid_argument);
+    EXPECT_THROW(parse_env({"-d", "serial"},
+                           [](const char* name) -> const char* {
+                               return std::string(name) ==
+                                              "LULESH_HALO_TIMEOUT"
+                                          ? "250"
+                                          : nullptr;
+                           }),
+                 std::invalid_argument);
+    // Zero (disabled) stays compatible with every driver.
+    EXPECT_EQ(parse_env({"--halo-timeout", "0", "-d", "serial"}, no_env)
+                  .halo_timeout_ms,
+              0);
+    EXPECT_EQ(
+        parse_env({"--halo-timeout", "250", "-d", "foreach"}, no_env)
+            .halo_timeout_ms,
+        250);
+}
+
+TEST(CliMaxRecoveries, ParsesAndRejectsNegative) {
+    EXPECT_EQ(parse_env({}, no_env).max_recoveries, 3);
+    EXPECT_EQ(parse_env({"--max-recoveries", "0"}, no_env).max_recoveries, 0);
+    EXPECT_EQ(parse_env({"--max-recoveries", "7"}, no_env).max_recoveries, 7);
+    EXPECT_THROW(parse_env({"--max-recoveries", "-1"}, no_env),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_env({"--max-recoveries"}, no_env),
+                 std::invalid_argument);
+}
+
+TEST(CliHaloTimeout, UsageTextDocumentsAllSpellings) {
+    const auto text = lulesh::usage_text("prog");
+    EXPECT_NE(text.find("--halo-timeout"), std::string::npos);
+    EXPECT_NE(text.find("LULESH_HALO_TIMEOUT"), std::string::npos);
+    EXPECT_NE(text.find("--max-recoveries"), std::string::npos);
+}
+
 TEST(Cli, UsageTextMentionsAllFlags) {
     const auto text = lulesh::usage_text("prog");
     for (const char* flag : {"-s", "-r", "-i", "-b", "-c", "-d", "-t", "-p", "-q"}) {

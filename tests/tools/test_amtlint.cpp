@@ -148,6 +148,43 @@ TEST(Amt002, SilentOnChannelGetThatYieldsAFuture) {
     EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
 }
 
+TEST(Amt002, FlagsBlockingRetryLoopInResendTask) {
+    // The tempting-but-wrong shape of a halo retry: a task body that
+    // blocks on the replacement message.  While it waits it pins a worker,
+    // which is exactly how a retry storm deadlocks a small thread pool.
+    const std::string src =
+        "void retry(channels* cp) {\n"                               // 1
+        "    amt::post([cp] {\n"                                     // 2
+        "        resend_from_cache(cp);\n"                           // 3
+        "        auto replacement = cp->corner_up.get();\n"          // 4
+        "        unpack(replacement.get());\n"                       // 5
+        "    });\n"                                                  // 6
+        "}\n";
+    // Both shapes are flagged: the channel get() parked in a variable
+    // instead of chained with .then (line 4), and the blocking unwrap of
+    // the parked future (line 5).
+    const auto ds = lint(src);
+    ASSERT_EQ(ds.size(), 2u) << rules_of(ds);
+    EXPECT_EQ(ds[0].rule, "AMT002");
+    EXPECT_EQ(ds[0].line, 4);
+    EXPECT_EQ(ds[1].rule, "AMT002");
+    EXPECT_EQ(ds[1].line, 5);
+}
+
+TEST(Amt002, SilentOnPostedResendWithRechainedContinuation) {
+    // The correct shape (dist halo retry): the resend is posted
+    // fire-and-forget and the receiver re-chains a fresh .then on the
+    // channel future — no worker ever blocks waiting for the retry.
+    const std::string src =
+        "void retry(std::shared_ptr<recv_ctx> ctx, int attempt) {\n"
+        "    amt::post([ctx] { ctx->request_resend(); });\n"
+        "    ctx->ch.get().then([ctx](amt::future<plane>&& m) {\n"
+        "        ctx->unpack(m.get());\n"
+        "    });\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
 TEST(Amt002, SilentOnGetOutsideAnyTaskBody) {
     const std::string src =
         "int f() {\n"
@@ -321,6 +358,20 @@ TEST(Amt004, SilentOnConstAtomicAndThreadLocal) {
         "}\n"
         "static void local_linkage_fn(int x) { (void)x; }\n"
         "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+TEST(Amt004, SilentOnStaticMemberFunctionWithNoexcept) {
+    // `noexcept` after the parameter list is part of the declarator, not an
+    // identifier — a static member function must not read as mutable static
+    // state named "noexcept" (the failure_detector/retry_policy shape).
+    const std::string src =
+        "struct failure_detector {\n"
+        "    [[nodiscard]] static std::int64_t now_ns() noexcept {\n"
+        "        return 0;\n"
+        "    }\n"
+        "    static bool quiet() noexcept(true) { return true; }\n"
+        "};\n";
     EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
 }
 

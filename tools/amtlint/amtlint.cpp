@@ -686,6 +686,12 @@ void check_amt004(const std::vector<token>& toks,
                 j = close + 1;
                 continue;
             }
+            if (t == "noexcept") {
+                // Part of a function declarator (`static f() noexcept`);
+                // keep the parameter-list evidence intact.
+                ++j;
+                continue;
+            }
             if (immutable_markers().count(t) > 0) safe = true;
             if (toks[j].k == token::kind::ident) last_ident = t;
             ends_with_paren = false;
