@@ -152,6 +152,21 @@ def summarize_dist_recovery(rows):
               f"({float(overhead):.1f}%) over the fault-free baseline")
 
 
+def summarize_replay_gate(rows):
+    # workers, iters, build_ns_task, replay_ns_task, ratio, build_allocs_iter,
+    # replay_allocs_iter — bench/micro_runtime --replay-gate (ctest -L perf).
+    table("Compiled-graph replay vs per-iteration build "
+          "(gate: ratio >= 1.15, replay allocs = 0)",
+          ["workers", "iters", "build ns/t", "replay ns/t", "ratio",
+           "build a/it", "replay a/it"], rows)
+    for workers, _, _, _, ratio, build_ai, replay_ai in rows:
+        verdict = ("PASS" if float(ratio) >= 1.15 and float(replay_ai) == 0
+                   else "FAIL")
+        print(f"    {workers} workers: replay {float(ratio):.2f}x faster, "
+              f"eliminates {float(build_ai):.0f} allocs/iteration "
+              f"({verdict})")
+
+
 def summarize_generic(name, rows):
     if not rows:
         return
@@ -176,6 +191,7 @@ def main(paths):
         "table1": summarize_table1,
         "checkpoint_overhead": summarize_checkpoint_overhead,
         "dist_recovery": summarize_dist_recovery,
+        "replay_gate": summarize_replay_gate,
     }
     for name in sorted(rows):
         handler = handlers.get(name)

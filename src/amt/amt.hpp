@@ -16,6 +16,8 @@
 //   stop_token  — cooperative cancellation (stop_source / stop_token)
 //   fault       — deterministic fault injection for resilience testing
 //   trace       — task-level tracing (Chrome trace export, utilization)
+//   static_graph — compile-once, replay-N task graph (zero steady-state
+//                  allocation; the T6 trick without per-iteration rebuild)
 
 #pragma once
 
@@ -30,6 +32,7 @@
 #include "amt/future.hpp"
 #include "amt/scheduler.hpp"
 #include "amt/shared_future.hpp"
+#include "amt/static_graph.hpp"
 #include "amt/stop_token.hpp"
 #include "amt/sync_primitives.hpp"
 #include "amt/task.hpp"

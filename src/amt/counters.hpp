@@ -99,11 +99,18 @@ struct alignas(cache_line_size) worker_counters {
     relaxed_counter steal_attempts;  ///< victim probes, successful or not
     relaxed_counter productive_ns;   ///< time spent inside task bodies
 
+    // Split of `steals` by victim locality domain (hierarchical stealing:
+    // same-domain victims are probed first, cross-domain as fallback).
+    relaxed_counter steals_same_domain;
+    relaxed_counter steals_cross_domain;
+
     void reset() noexcept {
         tasks_executed.reset();
         steals.reset();
         steal_attempts.reset();
         productive_ns.reset();
+        steals_same_domain.reset();
+        steals_cross_domain.reset();
     }
 };
 
@@ -113,6 +120,8 @@ struct counters_snapshot {
     std::uint64_t steals = 0;
     std::uint64_t steal_attempts = 0;
     std::uint64_t productive_ns = 0;
+    std::uint64_t steals_same_domain = 0;
+    std::uint64_t steals_cross_domain = 0;
     std::uint64_t wall_ns = 0;   ///< wall time since runtime start / last reset
     std::size_t num_workers = 0;
 
@@ -134,6 +143,8 @@ inline counters_snapshot delta(const counters_snapshot& begin,
     d.steals = end.steals - begin.steals;
     d.steal_attempts = end.steal_attempts - begin.steal_attempts;
     d.productive_ns = end.productive_ns - begin.productive_ns;
+    d.steals_same_domain = end.steals_same_domain - begin.steals_same_domain;
+    d.steals_cross_domain = end.steals_cross_domain - begin.steals_cross_domain;
     d.wall_ns = end.wall_ns - begin.wall_ns;
     d.num_workers = end.num_workers;
     return d;

@@ -65,7 +65,11 @@ public:
 
     ~ws_deque() {
         // Drain anything left so tasks are not leaked on shutdown.
-        while (task_base* t = pop()) delete t;
+        // Externally-owned tasks (compiled-graph nodes) are merely dropped:
+        // their graph owns the storage.
+        while (task_base* t = pop()) {
+            if (t->scheduler_owned()) delete t;
+        }
     }
 
     /// Owner only.  Takes ownership of `t`.

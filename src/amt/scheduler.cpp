@@ -36,6 +36,11 @@ runtime::runtime(runtime_options opts) : opts_(opts) {
         n = std::thread::hardware_concurrency();
         if (n == 0) n = 1;
     }
+    // Resolve the steal-domain width: auto groups workers four to a domain
+    // once there are enough of them to make locality tiers meaningful.
+    domain_size_ = opts_.steal_domain_size;
+    if (domain_size_ == 0) domain_size_ = n > 4 ? 4 : n;
+    if (domain_size_ > n) domain_size_ = n;
     workers_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         workers_.push_back(std::make_unique<worker>(i));
@@ -59,7 +64,7 @@ runtime::~runtime() {
         bool any = false;
         {
             std::lock_guard lk(global_mu_);
-            any = !global_queue_.empty();
+            any = global_head_ != nullptr;
         }
         if (!any) {
             for (auto& w : workers_) {
@@ -97,12 +102,22 @@ bool runtime::on_worker_thread() const noexcept {
 
 void runtime::post(task_ptr t) {
     assert(t && "posting a null task");
-    task_base* raw = t.release();
+    post_raw(t.release());
+}
+
+void runtime::post_raw(task_base* raw) {
+    assert(raw != nullptr && "posting a null task");
     if (tls_worker.rt == this) {
         workers_[tls_worker.index]->queue.push(raw);
     } else {
         std::lock_guard lk(global_mu_);
-        global_queue_.push_back(raw);
+        raw->qnext = nullptr;
+        if (global_tail_ != nullptr) {
+            global_tail_->qnext = raw;
+        } else {
+            global_head_ = raw;
+        }
+        global_tail_ = raw;
     }
     notify_workers();
 }
@@ -117,32 +132,48 @@ void runtime::notify_workers() {
 
 task_base* runtime::try_pop_global() {
     std::lock_guard lk(global_mu_);
-    if (global_queue_.empty()) return nullptr;
-    task_base* t = global_queue_.front();
-    global_queue_.pop_front();
+    task_base* t = global_head_;
+    if (t != nullptr) {
+        global_head_ = t->qnext;
+        if (global_head_ == nullptr) global_tail_ = nullptr;
+        t->qnext = nullptr;
+    }
     return t;
 }
 
-task_base* runtime::try_steal(std::size_t self_index,
-                              std::uint64_t& rng_state) {
+task_base* runtime::try_steal(std::size_t self_index, std::uint64_t& rng_state,
+                              bool* same_domain_out) {
     const std::size_t n = workers_.size();
     if (n <= 1) return nullptr;
-    // One full sweep starting at a random victim.
-    const std::size_t start =
-        static_cast<std::size_t>(next_rng(rng_state) % n);
-    for (std::size_t k = 0; k < n; ++k) {
-        const std::size_t v = (start + k) % n;
-        if (v == self_index) continue;
-        if (task_base* t = workers_[v]->queue.steal()) return t;
-    }
-    return nullptr;
+    // Hierarchical sweep: every same-domain victim first (cheap, shares
+    // cache/NUMA locality with the thief), then the rest.  Each tier starts
+    // at an independently randomized victim to spread contention.
+    const std::uint64_t rot_same = next_rng(rng_state);
+    const std::uint64_t rot_cross = next_rng(rng_state);
+    task_base* found = nullptr;
+    bool same = false;
+    for_each_steal_victim(self_index, n, domain_size_, rot_same, rot_cross,
+                          [&](std::size_t v, bool same_domain) {
+                              if (task_base* t = workers_[v]->queue.steal()) {
+                                  found = t;
+                                  same = same_domain;
+                                  return true;
+                              }
+                              return false;
+                          });
+    if (found != nullptr && same_domain_out != nullptr) *same_domain_out = same;
+    return found;
 }
 
 task_base* runtime::find_work(worker& self) {
     if (task_base* t = self.queue.pop()) return t;
     self.counters.steal_attempts.add(1);
-    if (task_base* t = try_steal(self.index, self.rng_state)) {
+    bool same_domain = false;
+    if (task_base* t = try_steal(self.index, self.rng_state, &same_domain)) {
         self.counters.steals.add(1);
+        (same_domain ? self.counters.steals_same_domain
+                     : self.counters.steals_cross_domain)
+            .add(1);
         if (trace::enabled()) {
             trace::instant(trace::event_kind::steal, "steal",
                            static_cast<std::int32_t>(self.index));
@@ -154,13 +185,17 @@ task_base* runtime::find_work(worker& self) {
 
 void runtime::execute(task_base* raw, worker_counters& c,
                       clock::time_point* stamp) {
-    task_ptr t(raw);
+    // Read ownership BEFORE running the task: executing the final node of a
+    // compiled graph can complete the graph, after which its owner may
+    // re-arm or destroy the node's storage — touching `raw` again would be
+    // a use-after-free.  Owned (make_task) tasks are deleted after running.
+    const bool owned = raw->scheduler_owned();
     const bool tracing = trace::enabled();
     if (opts_.enable_timing || tracing) {
         const auto t0 = stamp != nullptr && *stamp != clock::time_point{}
                             ? *stamp
                             : clock::now();
-        t->execute();
+        raw->execute();
         const auto t1 = clock::now();
         if (stamp != nullptr) *stamp = t1;
         if (opts_.enable_timing) {
@@ -177,8 +212,9 @@ void runtime::execute(task_base* raw, worker_counters& c,
                              t1, label.arg);
         }
     } else {
-        t->execute();
+        raw->execute();
     }
+    if (owned) delete raw;
     c.tasks_executed.add(1);
 }
 
@@ -333,6 +369,8 @@ counters_snapshot runtime::snapshot_counters() const {
         s.steals += w->counters.steals.load();
         s.steal_attempts += w->counters.steal_attempts.load();
         s.productive_ns += w->counters.productive_ns.load();
+        s.steals_same_domain += w->counters.steals_same_domain.load();
+        s.steals_cross_domain += w->counters.steals_cross_domain.load();
     }
     {
         std::lock_guard lk(const_cast<std::mutex&>(external_mu_));

@@ -18,7 +18,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -43,7 +42,56 @@ struct runtime_options {
     /// Rounds of (local pop + full steal sweep + global poll) an idle worker
     /// performs before parking on the wakeup condition variable.
     std::size_t spin_rounds_before_sleep = 64;
+
+    /// Locality-domain width for hierarchical work stealing: workers are
+    /// grouped into consecutive domains of this many workers, and an idle
+    /// worker sweeps same-domain victims before falling back to a sweep of
+    /// the remaining workers (the NUMA-aware victim policy of HPX-style
+    /// runtimes, scaled down to one process).  0 = auto: domains of 4 when
+    /// more than 4 workers exist, one flat domain otherwise.
+    std::size_t steal_domain_size = 0;
 };
+
+/// Enumerates steal victims for a thief at `self` among `n` workers grouped
+/// into consecutive locality domains of `domain_size`: every same-domain
+/// victim first (one rotated sweep starting at `rot_same`), then every
+/// worker outside the thief's domain (rotated by `rot_cross`).  `self >= n`
+/// means an external thread: no home domain, everything is a cross-domain
+/// victim.  `visit(victim, same_domain)` returns true to stop the sweep (a
+/// steal succeeded).  Exposed as a pure function so the victim order is
+/// unit-testable; allocation-free by construction.
+template <class Visit>
+void for_each_steal_victim(std::size_t self, std::size_t n,
+                           std::size_t domain_size, std::uint64_t rot_same,
+                           std::uint64_t rot_cross, Visit&& visit) {
+    if (n <= 1) return;
+    const std::size_t ds = domain_size == 0 ? n : domain_size;
+    const std::size_t dom_begin = self < n ? (self / ds) * ds : n;
+    const std::size_t dom_end =
+        dom_begin + ds < n ? dom_begin + ds : n;
+    const std::size_t dn = dom_end > dom_begin ? dom_end - dom_begin : 0;
+    if (dn > 1) {
+        const std::size_t start =
+            dom_begin + static_cast<std::size_t>(rot_same % dn);
+        for (std::size_t k = 0; k < dn; ++k) {
+            std::size_t v = start + k;
+            if (v >= dom_end) v -= dn;
+            if (v == self) continue;
+            if (visit(v, true)) return;
+        }
+    }
+    const std::size_t cn = n - dn;
+    if (cn == 0) return;
+    // The cross-domain victims are [0, dom_begin) ++ [dom_end, n); index
+    // that virtual sequence with a rotated counter.
+    const std::size_t start = static_cast<std::size_t>(rot_cross % cn);
+    for (std::size_t k = 0; k < cn; ++k) {
+        std::size_t j = start + k;
+        if (j >= cn) j -= cn;
+        const std::size_t v = j < dom_begin ? j : j + dn;
+        if (visit(v, false)) return;
+    }
+}
 
 class runtime {
 public:
@@ -64,6 +112,15 @@ public:
     /// injection queue.
     void post(task_ptr t);
 
+    /// Submits a task the scheduler does NOT own: it is executed but never
+    /// deleted.  This is the replay fast path for compiled-graph nodes —
+    /// recycled task objects whose storage belongs to their graph.  The
+    /// caller must keep `t` alive until it has executed.  Allocation-free:
+    /// from a worker thread the task lands in that worker's deque; from any
+    /// other thread it is linked into the global injection queue through
+    /// its intrusive `qnext` field.
+    void post_raw(task_base* t);
+
     template <class F>
     void post_fn(F&& f) {
         post(make_task(std::forward<F>(f)));
@@ -71,6 +128,11 @@ public:
 
     [[nodiscard]] std::size_t num_workers() const noexcept {
         return workers_.size();
+    }
+
+    /// Resolved locality-domain width used for hierarchical stealing.
+    [[nodiscard]] std::size_t steal_domain_size() const noexcept {
+        return domain_size_;
     }
 
     /// True when the calling thread is one of this runtime's workers.
@@ -95,7 +157,11 @@ private:
     void worker_loop(worker& self);
     task_base* find_work(worker& self);
     task_base* try_pop_global();
-    task_base* try_steal(std::size_t self_index, std::uint64_t& rng_state);
+    /// Hierarchical steal sweep (same-domain victims first).  On success
+    /// `same_domain_out` (when non-null) reports which tier the victim was
+    /// found in, for the steals_same_domain / steals_cross_domain counters.
+    task_base* try_steal(std::size_t self_index, std::uint64_t& rng_state,
+                         bool* same_domain_out = nullptr);
     /// Runs one task.  `stamp` (optional, tracing only) carries the
     /// already-read task start time in and the task end time out, so the
     /// worker loop's gap spans and the task span share exact endpoints
@@ -115,10 +181,15 @@ private:
 
     runtime_options opts_;
     std::vector<std::unique_ptr<worker>> workers_;
+    std::size_t domain_size_ = 1;  ///< resolved steal_domain_size
 
-    // Global injection queue for tasks posted from non-worker threads.
+    // Global injection queue for tasks posted from non-worker threads:
+    // an intrusive FIFO linked through task_base::qnext, so posting
+    // allocates nothing (a plain container would allocate bookkeeping
+    // nodes and break the zero-allocation replay guarantee).
     std::mutex global_mu_;
-    std::deque<task_base*> global_queue_;
+    task_base* global_head_ = nullptr;
+    task_base* global_tail_ = nullptr;
 
     // Wakeup machinery.  `epoch_` increments on every post; a worker that is
     // about to park re-checks the epoch it sampled before its final queue

@@ -1,0 +1,172 @@
+// amt/static_graph.hpp
+//
+// A compiled, replayable task graph: the allocation side of the paper's T6
+// trick taken to its end point.  Where amt::async / stage_after build a
+// fresh web of heap-allocated tasks, shared states and continuation nodes
+// every iteration, a static_graph is compiled ONCE — nodes live in
+// arena-style storage (a std::deque of recycled node objects), dependency
+// edges are flattened into a CSR successor table, and readiness is tracked
+// by per-node generation counters — and then *replayed*: arm() resets every
+// counter, start() posts the roots, and the same node objects flow through
+// the scheduler again.  A steady-state replay iteration performs zero heap
+// allocations (tests/amt/test_alloc_count.cpp proves this end to end).
+//
+// Lifecycle:    compile (add_node/add_edge) → seal → [arm → start → wait]*
+//
+//   * add_node/add_edge — build the topology.  Bodies are plain nullary
+//     callables; labels/args feed the tracer (trace::annotate_task).
+//   * seal() — freezes the topology: computes initial dependency counts,
+//     the CSR successor table and the root set.  No further structural
+//     changes are allowed.
+//   * arm(rt) — re-arms every node for one replay: remaining := initial
+//     deps + external deps, pending := node count, stop/error cleared,
+//     generation += 1.  Must only be called when the graph is quiescent
+//     (before the first start() or after wait() returned).
+//   * set_external_deps(id, n) — adds n dependencies satisfied by calls to
+//     satisfy_external(id) rather than by graph nodes (e.g. checkpoint
+//     pack tasks that overlap the iteration).  Consumed by the next arm()
+//     and then reset to zero: external gating is per-replay opt-in.
+//   * start() — posts every root whose armed dependency count is zero.
+//     Roots gated by external deps are posted by satisfy_external().
+//   * wait() — blocks until ALL nodes completed (cooperatively running
+//     tasks when called from a worker thread), then rethrows the first
+//     body exception, if any.
+//
+// Error/stop semantics: a body exception (or request_stop()) flips the
+// graph's stop flag.  Remaining nodes still *complete* — they are posted,
+// counted and finish the graph — but their bodies are skipped, exactly
+// like the stop-token early-return in the fresh-build driver path.  The
+// graph therefore always drains fully and is immediately re-armable; the
+// next arm() starts from fresh stop state (re-armed tasks observe no stale
+// cancellation).
+//
+// Ownership: nodes are task_base subclasses constructed NOT scheduler-owned
+// — the scheduler executes them but never deletes them (see task.hpp).
+// The graph must outlive any in-flight replay; wait() is the sync point.
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "amt/scheduler.hpp"
+#include "amt/task.hpp"
+#include "amt/unique_function.hpp"
+
+namespace amt {
+
+class static_graph {
+public:
+    using node_id = std::uint32_t;
+
+    static_graph() = default;
+    static_graph(const static_graph&) = delete;
+    static_graph& operator=(const static_graph&) = delete;
+    ~static_graph();
+
+    /// Compile phase.  `label`/`arg` become the trace span annotation.
+    node_id add_node(unique_function<void()> body, const char* label = "node",
+                     std::int32_t arg = -1);
+    void add_edge(node_id from, node_id to);
+    void seal();
+
+    [[nodiscard]] bool sealed() const noexcept { return sealed_; }
+    [[nodiscard]] std::size_t node_count() const noexcept {
+        return nodes_.size();
+    }
+    [[nodiscard]] std::size_t edge_count() const noexcept {
+        return sealed_ ? succ_.size() : edges_.size();
+    }
+
+    /// Replay protocol — see the file comment for ordering rules.
+    void set_external_deps(node_id id, std::uint32_t count);
+    void satisfy_external(node_id id);
+    void arm(runtime& rt);
+    void start();
+    void wait();
+
+    /// arm + start + wait in one call (no external deps in flight).
+    void run(runtime& rt) {
+        arm(rt);
+        start();
+        wait();
+    }
+
+    /// Cooperative cancellation: remaining bodies in the current replay are
+    /// skipped (their nodes still complete, so wait() returns).  Cleared by
+    /// the next arm().
+    void request_stop() noexcept {
+        stop_.store(true, std::memory_order_release);
+    }
+    [[nodiscard]] bool stop_requested() const noexcept {
+        return stop_.load(std::memory_order_acquire);
+    }
+
+    /// Number of completed arm() calls (the replay generation).
+    [[nodiscard]] std::uint64_t generation() const noexcept {
+        return generation_;
+    }
+
+    /// Introspection for audits/tests; call only while quiescent.
+    /// `executions(id)` counts successful body runs across all replays — on
+    /// a healthy graph it equals generation() for every node, which is the
+    /// re-arm invariant the compiled-form auditor checks.
+    [[nodiscard]] std::uint64_t executions(node_id id) const;
+    [[nodiscard]] std::uint32_t dependency_count(node_id id) const;
+    [[nodiscard]] std::vector<node_id> successors(node_id id) const;
+    [[nodiscard]] const char* node_label(node_id id) const;
+    [[nodiscard]] std::int32_t node_arg(node_id id) const;
+    [[nodiscard]] bool has_edge(node_id from, node_id to) const;
+
+private:
+    struct node final : task_base {
+        node() : task_base(/*scheduler_owned=*/false) {}
+        static_graph* graph = nullptr;
+        unique_function<void()> body;
+        const char* name = "node";
+        std::int32_t arg = -1;
+        std::uint32_t init_deps = 0;   ///< edges into this node (seal())
+        std::uint32_t ext_deps = 0;    ///< pending set_external_deps value
+        std::uint32_t armed_ext = 0;   ///< external deps of the current replay
+        std::uint32_t succ_begin = 0;  ///< CSR range into static_graph::succ_
+        std::uint32_t succ_count = 0;
+        std::atomic<std::uint32_t> remaining{0};
+        std::uint64_t execs = 0;  ///< successful body runs (see executions())
+
+        void execute() noexcept override;
+    };
+
+    void on_complete(node& n) noexcept;
+    void record_error(std::exception_ptr e) noexcept;
+    void finish_graph() noexcept;
+
+    // Node storage: deque for stable addresses while growing (nodes are
+    // posted to the scheduler by pointer).
+    std::deque<node> nodes_;
+    std::vector<std::pair<node_id, node_id>> edges_;  // pre-seal only
+    std::vector<node_id> succ_;                       // CSR post-seal
+    std::vector<node_id> roots_;                      // init_deps == 0
+    bool sealed_ = false;
+    bool armed_ = false;
+    std::uint64_t generation_ = 0;
+    runtime* rt_ = nullptr;
+
+    std::atomic<bool> stop_{false};
+    std::atomic<std::size_t> pending_{0};
+
+    std::mutex gate_mu_;
+    std::condition_variable gate_cv_;
+    bool done_ = true;
+
+    std::mutex err_mu_;
+    std::exception_ptr error_;
+};
+
+}  // namespace amt

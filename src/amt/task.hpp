@@ -4,13 +4,30 @@
 // type-erased nullary callable.  The scheduler's queues store raw
 // `task_base*` (the Chase-Lev deque needs trivially copyable slots); the
 // owning side wraps them in `task_ptr` whenever ownership is unambiguous.
+//
+// Two refinements keep the steady-state replay path allocation-free:
+//
+//   * `scheduler_owned()` — tasks constructed through make_task are owned
+//     by the scheduler, which deletes them after execute().  Nodes of a
+//     compiled static_graph are *not*: they are arena-stored, recycled
+//     across replays, and the scheduler must never delete them.  The flag
+//     is immutable after construction, so the scheduler reads it *before*
+//     running the task (running a graph's final node may re-arm or destroy
+//     the node's storage).
+//
+//   * `qnext` — an intrusive link used by the runtime's global injection
+//     queue, so posting from a non-worker thread needs no container node
+//     allocation.  A task is in at most one queue at a time (the Chase-Lev
+//     deques store raw pointers in ring slots and never touch qnext).
 
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <memory>
 #include <utility>
 
+#include "amt/task_pool.hpp"
 #include "amt/unique_function.hpp"
 
 namespace amt {
@@ -29,6 +46,36 @@ public:
     virtual ~task_base() = default;
 
     virtual void execute() noexcept = 0;
+
+    /// True when the scheduler owns this task and must delete it after
+    /// execute() (the make_task path).  False for externally-owned tasks
+    /// (compiled-graph nodes) that outlive their execution.
+    [[nodiscard]] bool scheduler_owned() const noexcept { return owned_; }
+
+    /// Intrusive link for the runtime's global injection queue.  Owned by
+    /// the scheduler while the task is queued; meaningless otherwise.
+    task_base* qnext = nullptr;
+
+    /// Scheduler-owned tasks are carved from the recycling block pool
+    /// (amt/task_pool.hpp), so the steady state of a workload that posts
+    /// and finishes tasks at a constant rate performs no global-heap
+    /// allocation.  Oversized tasks fall through to ::operator new inside
+    /// the pool.  Derived classes inherit these.
+    static void* operator new(std::size_t size) {
+        return detail::task_alloc(size);
+    }
+    static void operator delete(void* p) noexcept { detail::task_free(p); }
+    static void operator delete(void* p, std::size_t) noexcept {
+        detail::task_free(p);
+    }
+
+protected:
+    /// For subclasses whose instances the scheduler must not delete
+    /// (static_graph nodes pass false).
+    explicit task_base(bool scheduler_owned) : owned_(scheduler_owned) {}
+
+private:
+    bool owned_ = true;
 };
 
 using task_ptr = std::unique_ptr<task_base>;

@@ -1,0 +1,141 @@
+// amt/task_pool.cpp — see task_pool.hpp for the design.
+
+#include "amt/task_pool.hpp"
+
+#if !AMT_TASK_POOL_PASSTHROUGH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace amt::detail {
+
+namespace {
+
+// Block layout: [header][payload].  The header's owner pointer is live only
+// while the block is allocated; the free-list link reuses the same bytes
+// while the block is free (the owner is re-read before the overwrite).
+// 16-byte header keeps the payload aligned for max_align_t.
+constexpr std::size_t header_size = 16;
+constexpr std::size_t block_bytes = header_size + task_block_payload;
+constexpr std::size_t blocks_per_chunk = 128;
+
+struct shard;
+
+struct block_header {
+    shard* owner;  // nullptr = oversize allocation straight from the heap
+};
+
+struct free_node {
+    free_node* next;
+};
+
+struct shard {
+    free_node* local = nullptr;
+    std::atomic<free_node*> remote{nullptr};
+    std::vector<std::unique_ptr<std::byte[]>> chunks;
+};
+
+struct registry_t {
+    std::mutex mu;
+    std::vector<std::unique_ptr<shard>> all;
+    std::vector<shard*> idle;  // shards whose owning thread has exited
+};
+
+registry_t& registry() {
+    static registry_t r;
+    return r;
+}
+
+// Thread-exit hands the shard back for adoption; its chunks stay warm for
+// the next thread (worker threads of the next runtime in a test binary).
+struct tls_holder {
+    shard* s = nullptr;
+    ~tls_holder() {
+        if (s != nullptr) {
+            registry_t& r = registry();
+            std::lock_guard<std::mutex> lk(r.mu);
+            r.idle.push_back(s);
+            s = nullptr;
+        }
+    }
+};
+
+thread_local tls_holder tls_shard;
+
+shard& my_shard() {
+    if (tls_shard.s == nullptr) {
+        registry_t& r = registry();
+        std::lock_guard<std::mutex> lk(r.mu);
+        if (!r.idle.empty()) {
+            tls_shard.s = r.idle.back();
+            r.idle.pop_back();
+        } else {
+            r.all.push_back(std::make_unique<shard>());
+            tls_shard.s = r.all.back().get();
+        }
+    }
+    return *tls_shard.s;
+}
+
+void carve_chunk(shard& s) {
+    auto chunk = std::make_unique<std::byte[]>(block_bytes * blocks_per_chunk);
+    std::byte* base = chunk.get();
+    for (std::size_t i = 0; i < blocks_per_chunk; ++i) {
+        auto* f = reinterpret_cast<free_node*>(base + i * block_bytes);
+        f->next = s.local;
+        s.local = f;
+    }
+    s.chunks.push_back(std::move(chunk));
+}
+
+}  // namespace
+
+void* task_alloc(std::size_t size) {
+    if (size > task_block_payload) {
+        void* raw = ::operator new(size + header_size);
+        static_cast<block_header*>(raw)->owner = nullptr;
+        return static_cast<std::byte*>(raw) + header_size;
+    }
+    shard& s = my_shard();
+    if (s.local == nullptr) {
+        // Drain everything other threads freed back to us in one exchange;
+        // acquire pairs with the release in task_free so the recycled bytes
+        // are safe to overwrite.
+        s.local = s.remote.exchange(nullptr, std::memory_order_acquire);
+    }
+    if (s.local == nullptr) carve_chunk(s);
+    free_node* f = s.local;
+    s.local = f->next;
+    auto* block = reinterpret_cast<std::byte*>(f);
+    reinterpret_cast<block_header*>(block)->owner = &s;
+    return block + header_size;
+}
+
+void task_free(void* p) noexcept {
+    if (p == nullptr) return;
+    std::byte* block = static_cast<std::byte*>(p) - header_size;
+    shard* owner = reinterpret_cast<block_header*>(block)->owner;
+    if (owner == nullptr) {
+        ::operator delete(block);
+        return;
+    }
+    auto* f = reinterpret_cast<free_node*>(block);
+    if (tls_shard.s == owner) {
+        f->next = owner->local;
+        owner->local = f;
+        return;
+    }
+    free_node* head = owner->remote.load(std::memory_order_relaxed);
+    do {
+        f->next = head;
+    } while (!owner->remote.compare_exchange_weak(
+        head, f, std::memory_order_release, std::memory_order_relaxed));
+}
+
+}  // namespace amt::detail
+
+#endif  // !AMT_TASK_POOL_PASSTHROUGH

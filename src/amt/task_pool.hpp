@@ -1,0 +1,68 @@
+// amt/task_pool.hpp
+//
+// Recycling block allocator backing `operator new` / `operator delete` of
+// task_base (amt/task.hpp).  Motivated by the allocator wall the many-task
+// literature keeps hitting: at LULESH partition sizes one leapfrog
+// iteration spawns hundreds of short tasks, and the global heap's lock and
+// page churn show up directly on the critical path.
+//
+// Design:
+//
+//   * Fixed-size blocks (header + payload) carved from chunks obtained via
+//     ::operator new.  Allocations larger than the payload fall through to
+//     the global heap (tagged with a null owner so free routes correctly).
+//   * One *shard* per allocating thread.  Same-thread free pushes onto the
+//     shard's private list (no atomics); cross-thread free (the common
+//     poster-runs-elsewhere case) pushes onto the owner shard's lock-free
+//     remote list (Treiber stack), which the owner drains wholesale when
+//     its private list runs dry.
+//   * Chunks are never returned to the heap; a shard whose thread exits is
+//     parked in a registry and adopted by the next new thread, so repeated
+//     runtime construction (tests, benchmarks) reuses warm memory instead
+//     of growing without bound.
+//
+// Steady state — tasks allocated and freed at a matched rate — touches the
+// global heap zero times; tests/amt/test_alloc_count.cpp asserts this
+// end-to-end through the compiled-graph replay path.
+//
+// Under ASan/TSan the pool compiles down to plain ::operator new/delete so
+// the sanitizers keep full redzone/ordering visibility into task lifetimes.
+
+#pragma once
+
+#include <cstddef>
+
+#include "amt/config.hpp"
+
+#if AMT_TSAN || defined(__SANITIZE_ADDRESS__)
+#define AMT_TASK_POOL_PASSTHROUGH 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define AMT_TASK_POOL_PASSTHROUGH 1
+#endif
+#endif
+
+#ifndef AMT_TASK_POOL_PASSTHROUGH
+#define AMT_TASK_POOL_PASSTHROUGH 0
+#endif
+
+namespace amt::detail {
+
+#if AMT_TASK_POOL_PASSTHROUGH
+
+inline void* task_alloc(std::size_t size) { return ::operator new(size); }
+inline void task_free(void* p) noexcept { ::operator delete(p); }
+
+#else
+
+/// Largest task footprint served from the pool; the hot callable_task
+/// instantiations (a vptr plus a lambda capturing a handful of pointers,
+/// chunk bounds and a shared state) fit comfortably.
+inline constexpr std::size_t task_block_payload = 256;
+
+void* task_alloc(std::size_t size);
+void task_free(void* p) noexcept;
+
+#endif
+
+}  // namespace amt::detail

@@ -94,6 +94,49 @@ std::size_t spawn_pack_tasks(amt::runtime& rt,
     return n;
 }
 
+/// The replay-mode counterpart of spawn_pack_tasks: the pack jobs are plain
+/// posted tasks (no futures — the compiled graph's B1/B3 are gated on them
+/// through external dependencies instead).  Each task's LAST action on
+/// every path is comp->pack_done(), which satisfies one external
+/// dependency; the graph cannot finish the gated barrier — and the driver
+/// cannot destroy or recompile `comp` — before every pack task got there.
+void spawn_pack_tasks_replay(amt::runtime& rt,
+                             const std::shared_ptr<lulesh::state_capture>& cap,
+                             const graph::error_flags& flags,
+                             graph::compiled_iteration* comp) {
+    for (std::size_t i = 0; i < cap->num_regions(); ++i) {
+        const space sp = field_space(cap->region(i).f);
+        rt.post_fn([cap, i, sp, comp, progress = flags.progress] {
+            amt::trace::annotate_task(ckpt_site,
+                                      static_cast<std::int32_t>(i));
+            const auto& wk = amt::current_worker();
+            const std::size_t slot =
+                wk.rt != nullptr
+                    ? std::min<std::size_t>(
+                          wk.index + 1,
+                          graph::progress_state::max_tracked_workers)
+                    : 0;
+            progress->site.store(ckpt_site, std::memory_order_relaxed);
+            progress->worker_site[slot].store(ckpt_site,
+                                              std::memory_order_relaxed);
+            progress->started.fetch_add(1, std::memory_order_relaxed);
+            try {
+                amt::fault::probe(ckpt_site);
+                amt::trace::scoped_span span(
+                    amt::trace::event_kind::checkpoint_span, ckpt_site,
+                    static_cast<std::int32_t>(i));
+                cap->pack_region(i);
+            } catch (...) {
+                cap->mark_failed();
+            }
+            progress->worker_site[slot].store(nullptr,
+                                              std::memory_order_relaxed);
+            progress->finished.fetch_add(1, std::memory_order_relaxed);
+            comp->pack_done(sp);
+        });
+    }
+}
+
 }  // namespace
 
 void taskgraph_driver::enable_instrumentation(bool track_hazards,
@@ -130,6 +173,14 @@ void taskgraph_driver::prepare_instrumentation(domain& d) {
 }
 
 void taskgraph_driver::advance(domain& d) {
+    if (mode_ == graph_mode::replay) {
+        advance_replay(d);
+    } else {
+        advance_build(d);
+    }
+}
+
+void taskgraph_driver::advance_build(domain& d) {
     namespace k = kernels;
     const real_t dt = d.deltatime;
     const index_t p_nodal = parts_.nodal;
@@ -260,6 +311,93 @@ void taskgraph_driver::advance(domain& d) {
                               static_cast<std::int32_t>(tasks_last_iteration_));
     }
 
+    finish_iteration(d, t0, stamps, constraint_partials_.data(),
+                     constraint_partials_.size(), tracing);
+}
+
+void taskgraph_driver::advance_replay(domain& d) {
+    const real_t dt = d.deltatime;
+    prepare_instrumentation(d);
+
+    graph::compiled_iteration::config cfg;
+    cfg.parts = parts_;
+    if (flags_.sentinel) {
+        cfg.track_hazards = flags_.sentinel->track_hazards;
+        cfg.scan_nan = flags_.sentinel->scan_nan;
+    }
+    if (!compiled_ || !compiled_->matches(d, cfg, flags_)) {
+        compiled_ = std::make_unique<graph::compiled_iteration>(rt_, d, cfg,
+                                                                flags_);
+    }
+
+    // Fresh iteration scope without the fresh path's per-iteration
+    // stop_source replacement: sibling short-circuiting lives in the
+    // compiled graph's stop flag (cleared by every arm()), so the driver's
+    // stop source only needs replacing when a previous iteration's failure
+    // actually leaked a stop request into it.
+    flags_.reset();
+    if (flags_.stop.stop_requested()) flags_.stop = amt::stop_source();
+
+    const auto t0 = clock_t_::now();
+    amt::trace::mark("cycle", d.cycle);
+
+    // Overlapped checkpoint packing (see advance_build): in replay form the
+    // pack jobs are posted tasks gating B1/B3 through the graph's external
+    // dependencies.  Count them per space BEFORE arm() so the barriers are
+    // armed with the right gate counts.
+    std::size_t node_packs = 0;
+    std::size_t elem_packs = 0;
+    std::shared_ptr<state_capture> cap = std::move(pending_capture_);
+    if (cap != nullptr) {
+        if (cap->source() == &d) {
+            for (std::size_t i = 0; i < cap->num_regions(); ++i) {
+                if (field_space(cap->region(i).f) == space::node) {
+                    ++node_packs;
+                } else {
+                    ++elem_packs;
+                }
+            }
+        } else {
+            cap->pack_remaining();  // different domain: pack on the spot
+            cap.reset();
+        }
+    }
+
+    compiled_->set_pack_deps(node_packs, elem_packs);
+    compiled_->arm(dt);
+    if (cap != nullptr) {
+        spawn_pack_tasks_replay(rt_, cap, flags_, compiled_.get());
+    }
+    tasks_last_iteration_ =
+        compiled_->task_count() + node_packs + elem_packs;
+    compiled_->start();
+
+    const bool tracing = amt::trace::enabled();
+    const auto wait0 = tracing ? clock_t_::now() : clock_t_::time_point{};
+    try {
+        compiled_->wait();
+    } catch (...) {
+        flags_.stop.request_stop();
+        throw;
+    }
+    if (tracing) {
+        amt::trace::emit_span(amt::trace::event_kind::barrier_span,
+                              "iteration_barrier", wait0, clock_t_::now(),
+                              static_cast<std::int32_t>(tasks_last_iteration_));
+    }
+
+    finish_iteration(d, t0, compiled_->stamps(), compiled_->partials(),
+                     compiled_->slot_count(), tracing);
+}
+
+void taskgraph_driver::finish_iteration(
+    domain& d, amt::clock::time_point t0,
+    const std::array<amt::clock::time_point,
+                     phase_profile::num_phases>& stamps,
+    const kernels::dt_constraints* partials, std::size_t num_slots,
+    bool tracing) {
+    namespace k = kernels;
+
     // Per-phase durations from the barrier-completion stamps.  The tracer
     // gets the same windows as retroactive phase spans (on a dedicated
     // pseudo-thread, so they cannot break nesting on this thread's
@@ -280,33 +418,33 @@ void taskgraph_driver::advance(domain& d) {
     ++profile_.iterations;
 
     k::dt_constraints combined;
-    for (const auto& partial : constraint_partials_) {
-        combined = k::min_constraints(combined, partial);
+    for (std::size_t s = 0; s < num_slots; ++s) {
+        combined = k::min_constraints(combined, partials[s]);
     }
     d.dtcourant = combined.dtcourant;
     d.dthydro = combined.dthydro;
 
-    if (!flags.volume_ok->load(std::memory_order_relaxed)) {
+    if (!flags_.volume_ok->load(std::memory_order_relaxed)) {
         throw simulation_error(status::volume_error,
                                "non-positive volume detected");
     }
-    if (!flags.qstop_ok->load(std::memory_order_relaxed)) {
+    if (!flags_.qstop_ok->load(std::memory_order_relaxed)) {
         throw simulation_error(status::qstop_error,
                                "artificial viscosity exceeded qstop");
     }
-    if (!flags.nan_ok->load(std::memory_order_relaxed)) {
+    if (!flags_.nan_ok->load(std::memory_order_relaxed)) {
         std::string msg = "non-finite field value detected";
-        if (flags.sentinel) {
-            const char* site = flags.sentinel->nan_wave_site.load(
+        if (flags_.sentinel) {
+            const char* site = flags_.sentinel->nan_wave_site.load(
                 std::memory_order_relaxed);
-            const char* fname = flags.sentinel->nan_field_name.load(
+            const char* fname = flags_.sentinel->nan_field_name.load(
                 std::memory_order_relaxed);
             if (fname != nullptr) msg += std::string(" in ") + fname;
             if (site != nullptr) msg += std::string(" at wave ") + site;
         }
         throw simulation_error(status::data_corruption, msg);
     }
-    if (flags.sentinel && flags.sentinel->track_hazards &&
+    if (flags_.sentinel && flags_.sentinel->track_hazards &&
         amt::hazard::violation_count() > 0) {
         const auto violations = amt::hazard::take_violations();
         throw simulation_error(status::hazard,
@@ -365,6 +503,26 @@ bool taskgraph_driver::submit_overlapped_capture(
     // still run, fail their claim CAS and no-op.
     pending_capture_ = std::move(cap);
     return true;
+}
+
+std::string audit_compiled_replay(const options& o, partition_sizes parts,
+                                  std::size_t threads) {
+    const std::size_t n =
+        threads != 0 ? std::min<std::size_t>(threads, 8) : 4;
+    domain d(o);
+    amt::runtime rt(n);
+    taskgraph_driver drv(rt, parts);
+    // Two cycles so the graph has been armed at least twice: the audit then
+    // exercises the re-armed form, not just the freshly compiled one.
+    const run_result rr = run_simulation(d, drv, /*max_cycles=*/2);
+    if (rr.run_status != status::ok) {
+        return std::string("compiled-replay probe run failed: ") +
+               status_name(rr.run_status);
+    }
+    if (drv.compiled() == nullptr) {
+        return "driver did not compile a replay graph";
+    }
+    return drv.compiled()->verify(graph::build_iteration_model(d, parts));
 }
 
 }  // namespace lulesh

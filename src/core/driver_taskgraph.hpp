@@ -35,15 +35,31 @@
 
 #include <array>
 #include <atomic>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "amt/amt.hpp"
+#include "core/compiled_iteration.hpp"
 #include "core/graph_waves.hpp"
 #include "lulesh/checkpoint_chain.hpp"
 #include "lulesh/driver.hpp"
 #include "lulesh/kernels.hpp"
 
 namespace lulesh {
+
+/// How the taskgraph driver realizes the iteration's task graph:
+///
+///   replay — the default: the graph is compiled once into an
+///            amt::static_graph (core/compiled_iteration) and re-armed
+///            every advance().  Steady-state iterations perform zero heap
+///            allocations.
+///   build  — the original T6 form: a fresh web of futures, when_all
+///            barriers and stage-spawner continuations every iteration.
+///            Kept as the ablation baseline (bench/micro_runtime's replay
+///            gate measures the gap) and as the reference the replay
+///            equivalence tests compare against bitwise.
+enum class graph_mode { replay, build };
 
 /// Accumulated wall time per iteration phase of the task graph, measured at
 /// the barrier-completion instants (so a phase's time includes its tasks
@@ -96,6 +112,20 @@ public:
     [[nodiscard]] amt::runtime& runtime() noexcept { return rt_; }
     [[nodiscard]] partition_sizes partitions() const noexcept { return parts_; }
 
+    /// Selects compiled-replay (default) or fresh-build execution for
+    /// subsequent advances.  Switching modes is safe at any iteration
+    /// boundary; both modes run the same wave_body kernels in the same
+    /// order and produce bitwise-identical fields.
+    void set_graph_mode(graph_mode m) noexcept { mode_ = m; }
+    [[nodiscard]] graph_mode mode() const noexcept { return mode_; }
+
+    /// The compiled iteration of the replay mode (null until the first
+    /// replay advance compiled it).  Exposed for the compiled-form audit
+    /// and the regression tests.
+    [[nodiscard]] const graph::compiled_iteration* compiled() const noexcept {
+        return compiled_.get();
+    }
+
     /// Tasks created during the most recent advance() (for tests/benches).
     [[nodiscard]] std::size_t tasks_last_iteration() const noexcept {
         return tasks_last_iteration_;
@@ -140,9 +170,23 @@ public:
 
 private:
     void prepare_instrumentation(domain& d);
+    void advance_build(domain& d);
+    void advance_replay(domain& d);
+
+    /// Epilogue shared by both modes: phase profile + tracer windows from
+    /// the barrier stamps, constraint combine, and the deferred error
+    /// checks (volume/qstop/NaN/hazard).
+    void finish_iteration(
+        domain& d, amt::clock::time_point t0,
+        const std::array<amt::clock::time_point,
+                         phase_profile::num_phases>& stamps,
+        const kernels::dt_constraints* partials, std::size_t num_slots,
+        bool tracing);
 
     amt::runtime& rt_;
     partition_sizes parts_;
+    graph_mode mode_ = graph_mode::replay;
+    std::unique_ptr<graph::compiled_iteration> compiled_;
     graph::error_flags flags_;
     std::vector<kernels::dt_constraints> constraint_partials_;
     std::size_t tasks_last_iteration_ = 0;
@@ -161,5 +205,15 @@ private:
     mutable index_t write_set_elems_ = -1;
     mutable index_t write_set_nodes_ = -1;
 };
+
+/// End-to-end audit of the compiled replay form: runs a short simulation
+/// (two cycles, so the graph has been re-armed at least once) on a fresh
+/// domain built from `o`, then checks the compiled graph against the
+/// declarative model — per-task correspondence, every declared edge,
+/// barrier wiring, and the re-arm invariant that every node executed once
+/// per replay.  Returns "" on success, else a description of the failure.
+/// `threads == 0` picks a small default.
+std::string audit_compiled_replay(const options& o, partition_sizes parts,
+                                  std::size_t threads);
 
 }  // namespace lulesh

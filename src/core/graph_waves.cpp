@@ -8,12 +8,76 @@
 
 namespace lulesh::graph {
 
+namespace wave_body {
+
+namespace k = kernels;
+
+void force_stress(domain& d, index_t lo, index_t hi,
+                  std::atomic<bool>& vol_ok) {
+    if (!k::force_stress_chunk(d, lo, hi)) {
+        vol_ok.store(false, std::memory_order_relaxed);
+    }
+}
+
+void force_hourglass(domain& d, index_t lo, index_t hi,
+                     std::atomic<bool>& vol_ok) {
+    if (!k::force_hourglass_chunk(d, lo, hi)) {
+        vol_ok.store(false, std::memory_order_relaxed);
+    }
+}
+
+void node_gather(domain& d, index_t lo, index_t hi) {
+    k::gather_forces(d, lo, hi);
+    k::calc_acceleration(d, lo, hi);
+    k::apply_acceleration_bc_masked(d, lo, hi);
+}
+
+void node_velpos(domain& d, index_t lo, index_t hi, real_t dt) {
+    k::velocity_position_chunk(d, lo, hi, dt);
+}
+
+void elem_fused(domain& d, index_t lo, index_t hi, real_t dt,
+                std::atomic<bool>& vol_ok, std::atomic<bool>& q_ok) {
+    k::calc_kinematics(d, lo, hi, dt);
+    if (!k::calc_lagrange_deviatoric(d, lo, hi)) {
+        vol_ok.store(false, std::memory_order_relaxed);
+    }
+    k::calc_monotonic_q_gradients(d, lo, hi);
+    // q of the previous EOS pass; checked before this iteration's EOS
+    // overwrites it (next wave).
+    if (!k::check_qstop(d, lo, hi)) {
+        q_ok.store(false, std::memory_order_relaxed);
+    }
+    if (!k::apply_material_vnewc(d, lo, hi)) {
+        vol_ok.store(false, std::memory_order_relaxed);
+    }
+}
+
+void region_monoq(domain& d, const index_t* list, index_t lo, index_t hi) {
+    k::calc_monotonic_q_region(d, list, lo, hi);
+}
+
+void region_eos(domain& d, const index_t* list, index_t lo, index_t hi,
+                int rep, kernels::eos_scratch& scratch) {
+    scratch.resize(static_cast<std::size_t>(hi - lo));
+    k::eval_eos_chunk(d, list, lo, hi, rep, scratch);
+}
+
+void volume_update(domain& d, index_t lo, index_t hi) {
+    k::update_volumes(d, lo, hi);
+}
+
+void constraints(domain& d, const index_t* list, index_t lo, index_t hi,
+                 kernels::dt_constraints& out) {
+    out = k::calc_time_constraints(d, list, lo, hi);
+}
+
+}  // namespace wave_body
+
 namespace {
 namespace k = kernels;
 
-index_t num_chunks(index_t n, index_t p) {
-    return p > 0 ? (n + p - 1) / p : n;
-}
+index_t num_chunks(index_t n, index_t p) { return wave_chunks(n, p); }
 
 /// The sentinel to use for tasks spawned on `d`, or null when
 /// instrumentation is off.  The domain check keeps a sentinel bound to one
@@ -122,16 +186,12 @@ wave spawn_force_wave_range(amt::runtime& rt, domain& d, index_t elem_lo,
             rt,
             guarded(flags, wave_site::force, part32(part), stress_ctx,
                     [dp, lo, hi, vol_ok] {
-                if (!k::force_stress_chunk(*dp, lo, hi)) {
-                    vol_ok->store(false, std::memory_order_relaxed);
-                }
+                wave_body::force_stress(*dp, lo, hi, *vol_ok);
             })));
         w.futures.push_back(amt::async(
             rt, guarded(flags, wave_site::force, part32(part), hg_ctx,
                         [dp, lo, hi, vol_ok] {
-                if (!k::force_hourglass_chunk(*dp, lo, hi)) {
-                    vol_ok->store(false, std::memory_order_relaxed);
-                }
+                wave_body::force_hourglass(*dp, lo, hi, *vol_ok);
             })));
     }
     w.tasks = w.futures.size();
@@ -161,16 +221,13 @@ wave spawn_node_wave(amt::runtime& rt, domain& d, index_t p_nodal, real_t dt,
             amt::async(rt, guarded(flags, wave_site::node, part32(part),
                                    gather_ctx,
                                    [dp, lo, hi] {
-                                       k::gather_forces(*dp, lo, hi);
-                                       k::calc_acceleration(*dp, lo, hi);
-                                       k::apply_acceleration_bc_masked(*dp, lo,
-                                                                       hi);
+                                       wave_body::node_gather(*dp, lo, hi);
                                    }))
                 .then(guarded_cont(flags, wave_site::node, part32(part),
                                    velpos_ctx,
                                    [dp, lo, hi, dt] {
-                                       k::velocity_position_chunk(*dp, lo, hi,
-                                                                  dt);
+                                       wave_body::node_velpos(*dp, lo, hi,
+                                                              dt);
                                    })));
     }
     w.tasks = 2 * w.futures.size();
@@ -196,19 +253,7 @@ wave spawn_elem_wave_range(amt::runtime& rt, domain& d, index_t elem_lo,
             rt,
             guarded(flags, wave_site::elem, part32(lo / p_elems), ctx,
                     [dp, lo, hi, dt, vol_ok, q_ok] {
-                k::calc_kinematics(*dp, lo, hi, dt);
-                if (!k::calc_lagrange_deviatoric(*dp, lo, hi)) {
-                    vol_ok->store(false, std::memory_order_relaxed);
-                }
-                k::calc_monotonic_q_gradients(*dp, lo, hi);
-                // q of the previous EOS pass; checked before this iteration's
-                // EOS overwrites it (next wave).
-                if (!k::check_qstop(*dp, lo, hi)) {
-                    q_ok->store(false, std::memory_order_relaxed);
-                }
-                if (!k::apply_material_vnewc(*dp, lo, hi)) {
-                    vol_ok->store(false, std::memory_order_relaxed);
-                }
+                wave_body::elem_fused(*dp, lo, hi, dt, *vol_ok, *q_ok);
             })));
     }
     w.tasks = w.futures.size();
@@ -244,16 +289,16 @@ wave spawn_region_wave(amt::runtime& rt, domain& d, index_t p_elems,
                 amt::async(rt, guarded(flags, wave_site::region_eos,
                                        part32(part), monoq_ctx,
                                        [dp, lp, lo, hi] {
-                                           k::calc_monotonic_q_region(
-                                               *dp, lp, lo, hi);
+                                           wave_body::region_monoq(*dp, lp,
+                                                                   lo, hi);
                                        }))
                     .then(guarded_cont(
                         flags, wave_site::region_eos, part32(part), eos_ctx,
                         [dp, lp, lo, hi, rep] {
                             // Task-local EOS scratch, sized to the chunk (T5).
                             k::eos_scratch scratch;
-                            scratch.resize(static_cast<std::size_t>(hi - lo));
-                            k::eval_eos_chunk(*dp, lp, lo, hi, rep, scratch);
+                            wave_body::region_eos(*dp, lp, lo, hi, rep,
+                                                  scratch);
                         })));
             w.tasks += 2;
         }
@@ -266,7 +311,7 @@ wave spawn_region_wave(amt::runtime& rt, domain& d, index_t p_elems,
         w.futures.push_back(amt::async(
             rt, guarded(flags, wave_site::region_eos, part32(lo / p_elems),
                         vol_ctx, [dp, lo, hi] {
-                k::update_volumes(*dp, lo, hi);
+                wave_body::volume_update(*dp, lo, hi);
             })));
         ++w.tasks;
     }
@@ -307,8 +352,7 @@ wave spawn_constraint_wave(amt::runtime& rt, domain& d, index_t p_elems,
                 rt, guarded(flags, wave_site::constraints,
                             static_cast<std::int32_t>(slot - 1), ctx,
                             [dp, lp, lo, hi, out] {
-                                *out = k::calc_time_constraints(*dp, lp, lo,
-                                                                hi);
+                                wave_body::constraints(*dp, lp, lo, hi, *out);
                             })));
         }
     }

@@ -40,6 +40,34 @@ inline constexpr const char* region_eos = "region_eos";
 inline constexpr const char* constraints = "constraints";
 }  // namespace wave_site
 
+/// Chunk-count arithmetic shared by the wave builders, the declarative
+/// model and the compiled-iteration builder.
+[[nodiscard]] constexpr index_t wave_chunks(index_t n, index_t p) noexcept {
+    return p > 0 ? (n + p - 1) / p : n;
+}
+
+/// The fused kernel bodies of the five waves — exactly the code the wave
+/// builders put inside their task lambdas, shared with the compiled replay
+/// graph (core/compiled_iteration) so the fresh-build and replay execution
+/// paths run identical floating-point operations in identical order and
+/// stay bitwise equal by construction (tests/core/test_replay.cpp).
+namespace wave_body {
+void force_stress(domain& d, index_t lo, index_t hi,
+                  std::atomic<bool>& vol_ok);
+void force_hourglass(domain& d, index_t lo, index_t hi,
+                     std::atomic<bool>& vol_ok);
+void node_gather(domain& d, index_t lo, index_t hi);
+void node_velpos(domain& d, index_t lo, index_t hi, real_t dt);
+void elem_fused(domain& d, index_t lo, index_t hi, real_t dt,
+                std::atomic<bool>& vol_ok, std::atomic<bool>& q_ok);
+void region_monoq(domain& d, const index_t* list, index_t lo, index_t hi);
+void region_eos(domain& d, const index_t* list, index_t lo, index_t hi,
+                int rep, kernels::eos_scratch& scratch);
+void volume_update(domain& d, index_t lo, index_t hi);
+void constraints(domain& d, const index_t* list, index_t lo, index_t hi,
+                 kernels::dt_constraints& out);
+}  // namespace wave_body
+
 /// Task start/finish counters plus in-flight task labels, updated by every
 /// guarded task body.  External observers (the watchdog) hold a shared_ptr
 /// and sample it from their own thread: a barrier that stops making

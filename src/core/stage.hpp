@@ -6,6 +6,13 @@
 // finished.  The building block of both task-graph drivers' non-blocking
 // iteration pipelines; exceptions from tasks or from `spawn` propagate into
 // the returned future.
+//
+// This is the *build*-mode machinery: each stage_after allocates a promise,
+// a continuation node and a when_all block per iteration.  The taskgraph
+// driver's default replay mode (core/compiled_iteration) replaces the whole
+// chain with barrier nodes of a compiled amt::static_graph, re-armed in
+// place each cycle with zero steady-state allocation; stage_after remains
+// the ablation baseline and the dist driver's composition primitive.
 
 #pragma once
 
