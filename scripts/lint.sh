@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # One-command amtlint: build the lint binary if needed and scan the tree
-# with the checked-in baseline — the same invocation the `amtlint.tree`
-# ctest runs (`ctest -L lint`).  Exit 0 clean, 1 on new diagnostics.
-# See docs/static-analysis.md for the rules.
+# with the checked-in baseline — the same invocations the `amtlint.tree`
+# and `amtlint.atomics` ctests run (`ctest -L lint`).  Exit 0 clean, 1 on
+# new diagnostics.  See docs/static-analysis.md for the rules; for the
+# model-checker litmus gate, run scripts/modelcheck.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,8 +12,20 @@ if [ ! -x build/tools/amtlint/amtlint ]; then
   cmake --build build --target amtlint -j "$(nproc)" > /dev/null
 fi
 
-exec ./build/tools/amtlint/amtlint \
+./build/tools/amtlint/amtlint \
   --root . \
   --baseline tools/amtlint/baseline.txt \
   --exclude src/amt/ \
   src examples
+
+# AMT006 sweep of the runtime layer itself (the `amtlint.atomics` ctest):
+# src/amt is exempt from the task-usage rules but not from the raw-atomic
+# rule — only the shim and the model checker may touch std::atomic.
+exec ./build/tools/amtlint/amtlint \
+  --root . \
+  --baseline tools/amtlint/baseline.txt \
+  --atomics-only \
+  --exclude src/amt/atomic.hpp \
+  --exclude src/amt/model.hpp \
+  --exclude src/amt/model.cpp \
+  src/amt

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# One-command amtcheck: build the AMT_MODEL_CHECK instrumented tree (the
+# `model` preset, build-model/) and run every model litmus (`ctest -L
+# model`), then verify no raw std::atomic has crept in outside the shim
+# (amtlint AMT006 over the whole tree, both scan passes).  This is the
+# gate a memory-ordering change must pass before relaxing or reordering
+# anything in src/amt — see docs/static-analysis.md ("memory-model
+# conventions") for how to read a failure and replay its seed.
+# Exit 0 clean; non-zero on a litmus counterexample or a new AMT006 hit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset model > /dev/null
+cmake --build --preset model -j "$(nproc)"
+ctest --preset model --output-on-failure
+
+# AMT006: every atomic goes through amt/atomic.hpp.  Pass 1 is the normal
+# tree gate (src + examples, runtime layer excluded); pass 2 sweeps the
+# runtime layer itself, exempting only the shim and the model checker.
+if [ ! -x build-model/tools/amtlint/amtlint ]; then
+  cmake --build --preset model --target amtlint -j "$(nproc)" > /dev/null
+fi
+./build-model/tools/amtlint/amtlint \
+  --root . \
+  --baseline tools/amtlint/baseline.txt \
+  --exclude src/amt/ \
+  src examples
+./build-model/tools/amtlint/amtlint \
+  --root . \
+  --baseline tools/amtlint/baseline.txt \
+  --atomics-only \
+  --exclude src/amt/atomic.hpp \
+  --exclude src/amt/model.hpp \
+  --exclude src/amt/model.cpp \
+  src/amt

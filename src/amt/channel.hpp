@@ -22,9 +22,11 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+
 #include <stdexcept>
 #include <utility>
 
+#include "amt/atomic.hpp"
 #include "amt/future.hpp"
 
 namespace amt {
@@ -124,7 +126,7 @@ public:
 
 private:
     struct state {
-        mutable std::mutex mu;
+        mutable amt::mutex mu;
         std::deque<T> values;
         std::deque<detail::state_ptr<T>> getters;
         bool closed = false;

@@ -11,7 +11,7 @@
 #include <cstddef>
 
 /// AMT_TSAN is 1 when the translation unit is being compiled under
-/// ThreadSanitizer.  TSan does not model `std::atomic_thread_fence`, so
+/// ThreadSanitizer.  TSan does not model `amt::atomic_thread_fence`, so
 /// fence-based synchronization (the optimized Chase-Lev deque formulation)
 /// is invisible to it and reports false-positive races.  Code that relies on
 /// fences substitutes the strictly-stronger fence-free orderings when this

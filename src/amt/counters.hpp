@@ -7,11 +7,11 @@
 
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <vector>
 
+#include "amt/atomic.hpp"
 #include "amt/config.hpp"
 
 namespace amt {
@@ -28,16 +28,16 @@ using clock = std::chrono::steady_clock;
 class relaxed_counter {
 public:
     void add(std::uint64_t v) noexcept {
-        value_.store(value_.load(std::memory_order_relaxed) + v,
-                     std::memory_order_relaxed);
+        value_.store(value_.load(amt::memory_order_relaxed) + v,
+                     amt::memory_order_relaxed);
     }
     [[nodiscard]] std::uint64_t load() const noexcept {
-        return value_.load(std::memory_order_relaxed);
+        return value_.load(amt::memory_order_relaxed);
     }
-    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+    void reset() noexcept { value_.store(0, amt::memory_order_relaxed); }
 
 private:
-    std::atomic<std::uint64_t> value_{0};
+    amt::atomic<std::uint64_t> value_{0};
 };
 
 /// Multi-writer event counter: any thread may add().  Pays the lock-prefixed
@@ -46,15 +46,15 @@ private:
 class shared_counter {
 public:
     void add(std::uint64_t v) noexcept {
-        value_.fetch_add(v, std::memory_order_relaxed);
+        value_.fetch_add(v, amt::memory_order_relaxed);
     }
     [[nodiscard]] std::uint64_t load() const noexcept {
-        return value_.load(std::memory_order_relaxed);
+        return value_.load(amt::memory_order_relaxed);
     }
-    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+    void reset() noexcept { value_.store(0, amt::memory_order_relaxed); }
 
 private:
-    std::atomic<std::uint64_t> value_{0};
+    amt::atomic<std::uint64_t> value_{0};
 };
 
 /// Process-wide resilience event counters (fail-soft distributed runs —

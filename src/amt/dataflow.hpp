@@ -7,12 +7,12 @@
 
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <tuple>
 #include <type_traits>
 #include <utility>
 
+#include "amt/atomic.hpp"
 #include "amt/future.hpp"
 #include "amt/scheduler.hpp"
 
@@ -30,7 +30,7 @@ auto dataflow(F&& f, future<Ts>&&... fs)
     struct ctx_t {
         explicit ctx_t(std::decay_t<F>&& fn_, future<Ts>&&... fs_)
             : fn(std::move(fn_)), inputs(std::move(fs_)...) {}
-        std::atomic<std::size_t> remaining{sizeof...(Ts)};
+        amt::atomic<std::size_t> remaining{sizeof...(Ts)};
         std::decay_t<F> fn;
         std::tuple<future<Ts>...> inputs;
         detail::state_ptr<R> st = std::make_shared<detail::shared_state<R>>();
@@ -41,7 +41,7 @@ auto dataflow(F&& f, future<Ts>&&... fs)
 
     auto arm = [&ctx](auto& input) {
         input.raw_state()->add_callback([ctx] {
-            if (ctx->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+            if (ctx->remaining.fetch_sub(1, amt::memory_order_acq_rel) != 1) {
                 return;
             }
             auto run = [ctx] {

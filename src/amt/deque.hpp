@@ -17,12 +17,12 @@
 
 #pragma once
 
-#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "amt/atomic.hpp"
 #include "amt/config.hpp"
 #include "amt/task.hpp"
 
@@ -32,23 +32,23 @@ class ws_deque {
     struct ring {
         explicit ring(std::int64_t cap)
             : capacity(cap), mask(cap - 1),
-              slots(std::make_unique<std::atomic<task_base*>[]>(
+              slots(std::make_unique<amt::atomic<task_base*>[]>(
                   static_cast<std::size_t>(cap))) {
             assert((cap & (cap - 1)) == 0 && "capacity must be a power of two");
         }
 
         task_base* load(std::int64_t i) const noexcept {
             return slots[static_cast<std::size_t>(i & mask)].load(
-                std::memory_order_relaxed);
+                amt::memory_order_relaxed);
         }
         void store(std::int64_t i, task_base* t) noexcept {
             slots[static_cast<std::size_t>(i & mask)].store(
-                t, std::memory_order_relaxed);
+                t, amt::memory_order_relaxed);
         }
 
         std::int64_t capacity;
         std::int64_t mask;
-        std::unique_ptr<std::atomic<task_base*>[]> slots;
+        std::unique_ptr<amt::atomic<task_base*>[]> slots;
     };
 
 public:
@@ -57,7 +57,7 @@ public:
         : top_(0), bottom_(0) {
         rings_.push_back(
             std::make_unique<ring>(static_cast<std::int64_t>(initial_capacity)));
-        active_.store(rings_.back().get(), std::memory_order_relaxed);
+        active_.store(rings_.back().get(), amt::memory_order_relaxed);
     }
 
     ws_deque(const ws_deque&) = delete;
@@ -74,9 +74,9 @@ public:
 
     /// Owner only.  Takes ownership of `t`.
     void push(task_base* t) {
-        std::int64_t b = bottom_.load(std::memory_order_relaxed);
-        std::int64_t tp = top_.load(std::memory_order_acquire);
-        ring* r = active_.load(std::memory_order_relaxed);
+        std::int64_t b = bottom_.load(amt::memory_order_relaxed);
+        std::int64_t tp = top_.load(amt::memory_order_acquire);
+        ring* r = active_.load(amt::memory_order_relaxed);
         if (b - tp > r->capacity - 1) {
             r = grow(r, b, tp);
         }
@@ -86,25 +86,25 @@ public:
         // slot contents.  TSan cannot see fence-carried edges, so under it
         // the release moves onto the store itself.
 #if AMT_TSAN
-        bottom_.store(b + 1, std::memory_order_release);
+        bottom_.store(b + 1, amt::memory_order_release);
 #else
-        std::atomic_thread_fence(std::memory_order_release);
-        bottom_.store(b + 1, std::memory_order_relaxed);
+        amt::atomic_thread_fence(amt::memory_order_release);
+        bottom_.store(b + 1, amt::memory_order_relaxed);
 #endif
     }
 
     /// Owner only.  Returns nullptr when empty; otherwise transfers
     /// ownership to the caller.
     task_base* pop() {
-        std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
-        ring* r = active_.load(std::memory_order_relaxed);
+        std::int64_t b = bottom_.load(amt::memory_order_relaxed) - 1;
+        ring* r = active_.load(amt::memory_order_relaxed);
 #if AMT_TSAN
-        bottom_.store(b, std::memory_order_seq_cst);
-        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        bottom_.store(b, amt::memory_order_seq_cst);
+        std::int64_t t = top_.load(amt::memory_order_seq_cst);
 #else
-        bottom_.store(b, std::memory_order_relaxed);
-        std::atomic_thread_fence(std::memory_order_seq_cst);
-        std::int64_t t = top_.load(std::memory_order_relaxed);
+        bottom_.store(b, amt::memory_order_relaxed);
+        amt::atomic_thread_fence(take_fence_order());
+        std::int64_t t = top_.load(amt::memory_order_relaxed);
 #endif
 
         task_base* result = nullptr;
@@ -113,14 +113,14 @@ public:
             if (t == b) {
                 // Last element: race against thieves via CAS on top.
                 if (!top_.compare_exchange_strong(t, t + 1,
-                                                  std::memory_order_seq_cst,
-                                                  std::memory_order_relaxed)) {
+                                                  amt::memory_order_seq_cst,
+                                                  amt::memory_order_relaxed)) {
                     result = nullptr;  // a thief won
                 }
-                bottom_.store(b + 1, std::memory_order_relaxed);
+                bottom_.store(b + 1, amt::memory_order_relaxed);
             }
         } else {
-            bottom_.store(b + 1, std::memory_order_relaxed);
+            bottom_.store(b + 1, amt::memory_order_relaxed);
         }
         return result;
     }
@@ -129,21 +129,21 @@ public:
     /// race; otherwise transfers ownership to the caller.
     task_base* steal() {
 #if AMT_TSAN
-        std::int64_t t = top_.load(std::memory_order_seq_cst);
-        std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+        std::int64_t t = top_.load(amt::memory_order_seq_cst);
+        std::int64_t b = bottom_.load(amt::memory_order_seq_cst);
 #else
-        std::int64_t t = top_.load(std::memory_order_acquire);
-        std::atomic_thread_fence(std::memory_order_seq_cst);
-        std::int64_t b = bottom_.load(std::memory_order_acquire);
+        std::int64_t t = top_.load(amt::memory_order_acquire);
+        amt::atomic_thread_fence(amt::memory_order_seq_cst);
+        std::int64_t b = bottom_.load(amt::memory_order_acquire);
 #endif
 
         task_base* result = nullptr;
         if (t < b) {
-            ring* r = active_.load(std::memory_order_consume);
+            ring* r = active_.load(amt::memory_order_consume);
             result = r->load(t);
             if (!top_.compare_exchange_strong(t, t + 1,
-                                              std::memory_order_seq_cst,
-                                              std::memory_order_relaxed)) {
+                                              amt::memory_order_seq_cst,
+                                              amt::memory_order_relaxed)) {
                 return nullptr;  // lost the race
             }
         }
@@ -152,26 +152,40 @@ public:
 
     /// Approximate size; exact only when quiescent.
     std::size_t size_approx() const noexcept {
-        std::int64_t b = bottom_.load(std::memory_order_relaxed);
-        std::int64_t t = top_.load(std::memory_order_relaxed);
+        std::int64_t b = bottom_.load(amt::memory_order_relaxed);
+        std::int64_t t = top_.load(amt::memory_order_relaxed);
         return b > t ? static_cast<std::size_t>(b - t) : 0;
     }
 
     bool empty_approx() const noexcept { return size_approx() == 0; }
 
+#if AMT_MODEL_CHECK
+    /// Model-litmus seam: demotes pop()'s seq_cst fence to acq_rel so
+    /// tests/model/test_model_deque.cpp can prove the checker catches the
+    /// classic owner/thief double-take.  Does not exist in normal builds.
+    static inline bool model_weaken_take_fence = false;
+#endif
+
 private:
+    static amt::memory_order take_fence_order() noexcept {
+#if AMT_MODEL_CHECK
+        if (model_weaken_take_fence) return amt::memory_order_acq_rel;
+#endif
+        return amt::memory_order_seq_cst;
+    }
+
     ring* grow(ring* old, std::int64_t b, std::int64_t t) {
         auto bigger = std::make_unique<ring>(old->capacity * 2);
         for (std::int64_t i = t; i < b; ++i) bigger->store(i, old->load(i));
         ring* raw = bigger.get();
         rings_.push_back(std::move(bigger));  // old ring retired, kept alive
-        active_.store(raw, std::memory_order_release);
+        active_.store(raw, amt::memory_order_release);
         return raw;
     }
 
-    alignas(cache_line_size) std::atomic<std::int64_t> top_;
-    alignas(cache_line_size) std::atomic<std::int64_t> bottom_;
-    alignas(cache_line_size) std::atomic<ring*> active_;
+    alignas(cache_line_size) amt::atomic<std::int64_t> top_;
+    alignas(cache_line_size) amt::atomic<std::int64_t> bottom_;
+    alignas(cache_line_size) amt::atomic<ring*> active_;
 
     // Owner-only; append happens in grow() (owner context).
     std::vector<std::unique_ptr<ring>> rings_;

@@ -17,7 +17,7 @@ namespace amt::fault {
 
 namespace detail {
 
-std::atomic<bool> g_armed{false};
+amt::atomic<bool> g_armed{false};
 
 namespace {
 
@@ -26,11 +26,11 @@ struct fault_state {
     plan active;
 
     // Lock-free bookkeeping read/written by concurrent probes.
-    std::atomic<std::int64_t> budget{0};
-    std::atomic<std::uint64_t> next_index{0};
-    std::atomic<std::uint64_t> probes{0};
-    std::atomic<std::uint64_t> injections{0};
-    std::atomic<std::int64_t> epoch{-1};
+    amt::atomic<std::int64_t> budget{0};
+    amt::atomic<std::uint64_t> next_index{0};
+    amt::atomic<std::uint64_t> probes{0};
+    amt::atomic<std::uint64_t> injections{0};
+    amt::atomic<std::int64_t> epoch{-1};
 
     // arm/disarm serialization.
     std::mutex arm_mu;
@@ -69,7 +69,7 @@ void stall_here(std::chrono::milliseconds timeout) {
     ++s.stalled;
     s.stall_cv.wait_for(lk, timeout, [&s, my_generation] {
         return s.stall_generation != my_generation ||
-               !g_armed.load(std::memory_order_acquire);
+               !g_armed.load(amt::memory_order_acquire);
     });
     --s.stalled;
 }
@@ -82,15 +82,15 @@ namespace {
 /// whether this evaluation injects; `idx_out` receives the probe index the
 /// draw used (for the exception message).
 bool match_and_claim(fault_state& s, const char* site, std::uint64_t& idx_out) {
-    s.probes.fetch_add(1, std::memory_order_relaxed);
+    s.probes.fetch_add(1, amt::memory_order_relaxed);
 
     const plan& p = s.active;
-    if (p.epoch >= 0 && s.epoch.load(std::memory_order_relaxed) != p.epoch) {
+    if (p.epoch >= 0 && s.epoch.load(amt::memory_order_relaxed) != p.epoch) {
         return false;
     }
     if (!p.site.empty() && p.site != site) return false;
 
-    const std::uint64_t idx = s.next_index.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t idx = s.next_index.fetch_add(1, amt::memory_order_relaxed);
     idx_out = idx;
     if (p.probability < 1.0 && uniform01(p.seed, idx) >= p.probability) {
         return false;
@@ -98,9 +98,9 @@ bool match_and_claim(fault_state& s, const char* site, std::uint64_t& idx_out) {
 
     // Claim one unit of the injection budget; losing the race means another
     // probe got the last one.
-    if (s.budget.fetch_sub(1, std::memory_order_acq_rel) <= 0) return false;
+    if (s.budget.fetch_sub(1, amt::memory_order_acq_rel) <= 0) return false;
 
-    s.injections.fetch_add(1, std::memory_order_relaxed);
+    s.injections.fetch_add(1, amt::memory_order_relaxed);
     return true;
 }
 
@@ -124,7 +124,7 @@ void probe_slow(const char* site) {
     }
     throw injected_fault(
         "amt::fault: injected fault at site '" + std::string(site) +
-        "' (epoch " + std::to_string(s.epoch.load(std::memory_order_relaxed)) +
+        "' (epoch " + std::to_string(s.epoch.load(amt::memory_order_relaxed)) +
         ", probe index " + std::to_string(idx) + ")");
 }
 
@@ -153,20 +153,20 @@ bool decide_slow(const char* site) {
 void arm(const plan& p) {
     auto& s = detail::state();
     std::lock_guard lk(s.arm_mu);
-    detail::g_armed.store(false, std::memory_order_release);
+    detail::g_armed.store(false, amt::memory_order_release);
     s.active = p;
     s.budget.store(p.max_injections >= 0
                        ? p.max_injections
                        : std::numeric_limits<std::int64_t>::max(),
-                   std::memory_order_relaxed);
-    s.next_index.store(0, std::memory_order_relaxed);
-    detail::g_armed.store(true, std::memory_order_release);
+                   amt::memory_order_relaxed);
+    s.next_index.store(0, amt::memory_order_relaxed);
+    detail::g_armed.store(true, amt::memory_order_release);
 }
 
 void disarm() {
     auto& s = detail::state();
     std::lock_guard lk(s.arm_mu);
-    detail::g_armed.store(false, std::memory_order_release);
+    detail::g_armed.store(false, amt::memory_order_release);
     // Wake parked stalls: their predicate observes g_armed == false.
     {
         std::lock_guard stall_lk(s.stall_mu);
@@ -177,22 +177,22 @@ void disarm() {
 
 stats snapshot() {
     auto& s = detail::state();
-    return {s.probes.load(std::memory_order_relaxed),
-            s.injections.load(std::memory_order_relaxed)};
+    return {s.probes.load(amt::memory_order_relaxed),
+            s.injections.load(amt::memory_order_relaxed)};
 }
 
 void reset_stats() {
     auto& s = detail::state();
-    s.probes.store(0, std::memory_order_relaxed);
-    s.injections.store(0, std::memory_order_relaxed);
+    s.probes.store(0, amt::memory_order_relaxed);
+    s.injections.store(0, amt::memory_order_relaxed);
 }
 
 void set_epoch(std::int64_t epoch) noexcept {
-    detail::state().epoch.store(epoch, std::memory_order_relaxed);
+    detail::state().epoch.store(epoch, amt::memory_order_relaxed);
 }
 
 std::int64_t epoch() noexcept {
-    return detail::state().epoch.load(std::memory_order_relaxed);
+    return detail::state().epoch.load(amt::memory_order_relaxed);
 }
 
 void release_stalls() {

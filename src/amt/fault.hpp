@@ -29,11 +29,12 @@
 
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+
+#include "amt/atomic.hpp"
 
 namespace amt::fault {
 
@@ -107,7 +108,7 @@ void release_stalls();
 [[nodiscard]] int stalled_now();
 
 namespace detail {
-extern std::atomic<bool> g_armed;
+extern amt::atomic<bool> g_armed;
 void probe_slow(const char* site);
 bool decide_slow(const char* site);
 }  // namespace detail
@@ -126,7 +127,7 @@ inline constexpr bool compiled_in = false;
 /// Instrumentation point for task bodies.  One relaxed-ish load + branch
 /// when disarmed.
 inline void probe(const char* site) {
-    if (detail::g_armed.load(std::memory_order_acquire)) {
+    if (detail::g_armed.load(amt::memory_order_acquire)) {
         detail::probe_slow(site);
     }
 }
@@ -139,7 +140,7 @@ inline void probe(const char* site) {
 /// budget) and the caller applies its own effect; delay/stall plans
 /// perform their usual side effect and return false, like probe().
 [[nodiscard]] inline bool decide(const char* site) {
-    if (detail::g_armed.load(std::memory_order_acquire)) {
+    if (detail::g_armed.load(amt::memory_order_acquire)) {
         return detail::decide_slow(site);
     }
     return false;
@@ -148,7 +149,7 @@ inline void probe(const char* site) {
 inline constexpr bool compiled_in = true;
 
 [[nodiscard]] inline bool armed() noexcept {
-    return detail::g_armed.load(std::memory_order_acquire);
+    return detail::g_armed.load(amt::memory_order_acquire);
 }
 
 #endif

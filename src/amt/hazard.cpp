@@ -40,7 +40,7 @@ bool env_armed() {
 
 }  // namespace
 
-std::atomic<bool> g_armed{env_armed()};
+amt::atomic<bool> g_armed{env_armed()};
 
 }  // namespace detail
 
@@ -50,7 +50,7 @@ using token_t = std::uint32_t;
 constexpr token_t write_bit = 1u;
 
 struct arena {
-    std::vector<std::unique_ptr<std::atomic<token_t>[]>> stamps;
+    std::vector<std::unique_ptr<amt::atomic<token_t>[]>> stamps;
     std::vector<std::size_t> extents;
 };
 
@@ -65,7 +65,7 @@ struct registry {
     // Live scopes by serial, so a conflicting stamp can be attributed.
     std::unordered_map<token_t, scope_info> live;
     std::vector<violation> violations;
-    std::atomic<token_t> next_serial{1};
+    amt::atomic<token_t> next_serial{1};
 };
 
 registry& reg() {
@@ -181,9 +181,9 @@ void bind_arena(const void* key, const std::vector<std::size_t>& extents) {
     a.extents = extents;
     a.stamps.reserve(extents.size());
     for (std::size_t n : extents) {
-        auto p = std::make_unique<std::atomic<token_t>[]>(n);
+        auto p = std::make_unique<amt::atomic<token_t>[]>(n);
         for (std::size_t i = 0; i < n; ++i) {
-            p[i].store(0, std::memory_order_relaxed);
+            p[i].store(0, amt::memory_order_relaxed);
         }
         a.stamps.push_back(std::move(p));
     }
@@ -218,7 +218,7 @@ task_scope::task_scope(const void* arena_key, const char* site,
     }
 
     impl_ = new impl{a, decl, site, partition,
-                     r.next_serial.fetch_add(1, std::memory_order_relaxed)};
+                     r.next_serial.fetch_add(1, amt::memory_order_relaxed)};
     {
         std::lock_guard lk(r.mu);
         r.live[impl_->serial] = {site, partition};
@@ -229,14 +229,14 @@ task_scope::task_scope(const void* arena_key, const char* site,
     for (const auto& iv : decl->intervals) {
         const auto f = static_cast<std::size_t>(iv.field);
         if (f >= a->stamps.size()) continue;
-        std::atomic<token_t>* stamps = a->stamps[f].get();
+        amt::atomic<token_t>* stamps = a->stamps[f].get();
         const auto ext = static_cast<std::int64_t>(a->extents[f]);
         const std::int64_t lo = std::max<std::int64_t>(iv.lo, 0);
         const std::int64_t hi = std::min(iv.hi, ext);
         for (std::int64_t i = lo; i < hi; ++i) {
             if (iv.write) {
                 const token_t prev =
-                    stamps[i].exchange(wtok, std::memory_order_acq_rel);
+                    stamps[i].exchange(wtok, amt::memory_order_acq_rel);
                 if (prev != 0 && (prev >> 1) != impl_->serial) {
                     const scope_info other = lookup_live(prev >> 1);
                     record({(prev & write_bit) != 0
@@ -246,7 +246,7 @@ task_scope::task_scope(const void* arena_key, const char* site,
                             other.partition});
                 }
             } else {
-                const token_t cur = stamps[i].load(std::memory_order_acquire);
+                const token_t cur = stamps[i].load(amt::memory_order_acquire);
                 if ((cur & write_bit) != 0 && (cur >> 1) != impl_->serial) {
                     const scope_info other = lookup_live(cur >> 1);
                     record({violation::kind::conflict_rw, iv.field, i, i + 1,
@@ -254,8 +254,8 @@ task_scope::task_scope(const void* arena_key, const char* site,
                 } else if (cur == 0) {
                     token_t expected = 0;
                     stamps[i].compare_exchange_strong(
-                        expected, rtok, std::memory_order_acq_rel,
-                        std::memory_order_relaxed);
+                        expected, rtok, amt::memory_order_acq_rel,
+                        amt::memory_order_relaxed);
                     // Losing to another reader is benign sharing.
                 }
             }
@@ -276,7 +276,7 @@ task_scope::~task_scope() {
     for (const auto& iv : impl_->decl->intervals) {
         const auto f = static_cast<std::size_t>(iv.field);
         if (f >= a->stamps.size()) continue;
-        std::atomic<token_t>* stamps = a->stamps[f].get();
+        amt::atomic<token_t>* stamps = a->stamps[f].get();
         const auto ext = static_cast<std::int64_t>(a->extents[f]);
         const std::int64_t lo = std::max<std::int64_t>(iv.lo, 0);
         const std::int64_t hi = std::min(iv.hi, ext);
@@ -284,8 +284,8 @@ task_scope::~task_scope() {
         for (std::int64_t i = lo; i < hi; ++i) {
             token_t expected = mine;
             stamps[i].compare_exchange_strong(expected, 0,
-                                              std::memory_order_acq_rel,
-                                              std::memory_order_relaxed);
+                                              amt::memory_order_acq_rel,
+                                              amt::memory_order_relaxed);
         }
     }
 
@@ -331,8 +331,8 @@ void clear_violations() {
     r.violations.clear();
 }
 
-void arm() { detail::g_armed.store(true, std::memory_order_release); }
+void arm() { detail::g_armed.store(true, amt::memory_order_release); }
 
-void disarm() { detail::g_armed.store(false, std::memory_order_release); }
+void disarm() { detail::g_armed.store(false, amt::memory_order_release); }
 
 }  // namespace amt::hazard

@@ -42,10 +42,11 @@
 
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "amt/atomic.hpp"
 
 namespace amt::hazard {
 
@@ -106,7 +107,7 @@ void bind_arena(const void* key, const std::vector<std::size_t>& extents);
 void release_arena(const void* key);
 
 namespace detail {
-extern std::atomic<bool> g_armed;
+extern amt::atomic<bool> g_armed;
 void touch_slow(int field, bool write, std::int64_t lo, std::int64_t hi);
 }  // namespace detail
 
@@ -156,7 +157,7 @@ inline void touch(int, bool, std::int64_t, std::int64_t) noexcept {}
 inline constexpr bool compiled_in = true;
 
 [[nodiscard]] inline bool armed() noexcept {
-    return detail::g_armed.load(std::memory_order_acquire);
+    return detail::g_armed.load(amt::memory_order_acquire);
 }
 
 /// Instrumentation point for kernels: validates the access [lo, hi) of
@@ -164,7 +165,7 @@ inline constexpr bool compiled_in = true;
 /// branch when disarmed; no-op when no scope is ambient (e.g. the serial
 /// driver runs the same kernels without scopes).
 inline void touch(int field, bool write, std::int64_t lo, std::int64_t hi) {
-    if (detail::g_armed.load(std::memory_order_acquire)) {
+    if (detail::g_armed.load(amt::memory_order_acquire)) {
         detail::touch_slow(field, write, lo, hi);
     }
 }

@@ -1,0 +1,150 @@
+// amt/model.hpp — deterministic schedule explorer for the runtime's
+// lock-free core (loom/relacy-style stateless model checking).
+//
+// A litmus test hands model::check() a body function.  The body runs as
+// model thread 0; it may spawn model::thread workers, which execute REAL
+// code built on the amt::atomic / amt::mutex shim (amt/atomic.hpp).  The
+// controller serializes the threads cooperatively — exactly one runs at a
+// time, and every shim operation is a schedule point — then explores the
+// space of interleavings:
+//
+//   * mode exhaustive — bounded-exhaustive DFS over (thread, read-choice)
+//     decisions with sleep-set pruning and optional preemption bounding.
+//     Suited to small litmus cases (2–4 threads, tens of ops).
+//   * mode random — PCT-style random-priority exploration (Burckhardt et
+//     al.): per-iteration random thread priorities plus a few priority
+//     change points, driven by a replayable 64-bit seed.  Suited to
+//     larger state spaces where exhaustion is out of reach.
+//
+// Weak memory: the controller keeps a store-buffer model — per-variable
+// store histories with vector-clock happens-before — so a relaxed or
+// acquire/release load may return any *coherently stale* value the C++
+// memory model permits, even though the host is x86.  Reads-from choices
+// are part of the explored decision space, which is how ARM-only bugs
+// surface on an x86 test box.
+//
+// Every failure (assertion, deadlock, step-cap livelock) produces a
+// result carrying the exact interleaving trace and a replay token
+// ("dfs:<decision path>" or "pct:<seed>"); feeding the token back through
+// options::replay re-executes that single schedule deterministically.
+//
+// Documented conservative simplifications (may miss exotic behaviors,
+// never invent impossible ones — see docs/static-analysis.md):
+//   * modification order equals commit order (stores serialize in the
+//     execution interleaving);
+//   * seq_cst loads and all RMWs read the newest store only;
+//   * weak CAS never fails spuriously;
+//   * consume is promoted to acquire;
+//   * notify_one wakes waiters FIFO; no spurious wakeups (a lost notify
+//     therefore reports as a deadlock).
+
+#pragma once
+
+#if !AMT_MODEL_CHECK
+#error "amt/model.hpp is only usable in AMT_MODEL_CHECK builds (preset: model)"
+#endif
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace amt::model {
+
+/// Hard ceiling on live model threads per execution (vector clocks are
+/// fixed-size arrays).  Litmus cases use 2–4.
+inline constexpr int kMaxThreads = 8;
+
+struct options {
+    enum class mode_t { exhaustive, random };
+    mode_t mode = mode_t::exhaustive;
+
+    /// random mode: base seed; iteration i runs with splitmix64(seed ^ i),
+    /// and a failing result reports that derived per-iteration seed.
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+    /// random mode: number of schedules to sample.
+    int iterations = 2000;
+    /// random mode: PCT depth d (d-1 priority change points per run).
+    int pct_depth = 3;
+
+    /// exhaustive mode: stop (result.complete = false) after this many
+    /// executions even if the space is not exhausted.
+    long max_executions = 100000;
+    /// exhaustive mode: CHESS-style preemption bound; -1 = unbounded.
+    int max_preemptions = -1;
+
+    /// Per-execution schedule-point budget; exceeding it fails the
+    /// execution as a livelock.
+    int max_steps = 20000;
+
+    /// Non-null: skip exploration and deterministically re-run the single
+    /// schedule this token (from result::replay) describes.
+    const char* replay = nullptr;
+
+    /// Print each failing trace to stderr (failures always land in
+    /// result::trace regardless).
+    bool quiet = false;
+};
+
+struct result {
+    bool failed = false;
+    /// exhaustive mode: true when the whole (bounded) space was explored.
+    bool complete = false;
+    long executions = 0;
+    /// What went wrong: "assertion failed: ...", "deadlock: ...", ...
+    std::string reason;
+    /// Human-readable interleaving of the failing execution.
+    std::string trace;
+    /// Replay token for the failing execution ("dfs:…" / "pct:…").
+    std::string replay;
+    /// random mode: derived seed of the failing iteration.
+    std::uint64_t seed = 0;
+};
+
+/// Explore `body` under `opts`.  One check runs at a time per process.
+result check(const options& opts, std::function<void()> body);
+inline result check(std::function<void()> body) {
+    return check(options{}, std::move(body));
+}
+
+/// Fails the current execution (recording trace + replay token) when
+/// `cond` is false.  Outside an execution, falls back to a hard assert.
+void model_assert(bool cond, const char* msg);
+
+/// True while the calling thread is a registered thread of an active
+/// model::check() execution.
+[[nodiscard]] bool active() noexcept;
+
+/// Extra schedule point with no memory effect (models "the scheduler may
+/// preempt here even with no atomic op").
+void yield();
+
+/// Attach a display name to an atomic/mutex/cv address for traces.
+void set_name(const void* addr, const char* nm);
+
+/// std::thread stand-in whose spawn/join are schedule points.  Must be
+/// join()ed before destruction (aborted executions clean up themselves).
+class thread {
+public:
+    thread() = default;
+    explicit thread(std::function<void()> fn);
+    thread(const thread&) = delete;
+    thread& operator=(const thread&) = delete;
+    thread(thread&& other) noexcept;
+    thread& operator=(thread&& other) noexcept;
+    ~thread();
+
+    void join();
+
+private:
+    std::thread os_;
+    int tid_ = -1;
+    bool model_joined_ = false;
+};
+
+/// Thrown through user code to unwind threads of an aborted execution;
+/// the controller catches it at the thread trampoline.  Litmus code must
+/// not swallow it (rethrow from any catch(...)).
+struct execution_aborted {};
+
+}  // namespace amt::model

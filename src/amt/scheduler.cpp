@@ -11,7 +11,7 @@
 
 namespace amt {
 
-std::atomic<runtime*> runtime::active_{nullptr};
+amt::atomic<runtime*> runtime::active_{nullptr};
 
 namespace {
 
@@ -52,7 +52,7 @@ runtime::runtime(runtime_options opts) : opts_(opts) {
         worker* w = workers_[i].get();
         w->thread = std::thread([this, w] { worker_loop(*w); });
     }
-    active_.store(this, std::memory_order_release);
+    active_.store(this, amt::memory_order_release);
 }
 
 runtime::~runtime() {
@@ -78,7 +78,7 @@ runtime::~runtime() {
         std::this_thread::yield();
     }
 
-    shutdown_.store(true, std::memory_order_release);
+    shutdown_.store(true, amt::memory_order_release);
     {
         std::lock_guard lk(sleep_mu_);
         ++epoch_;
@@ -89,11 +89,11 @@ runtime::~runtime() {
     }
 
     runtime* self = this;
-    active_.compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+    active_.compare_exchange_strong(self, nullptr, amt::memory_order_acq_rel);
 }
 
 runtime* runtime::active() noexcept {
-    return active_.load(std::memory_order_acquire);
+    return active_.load(amt::memory_order_acquire);
 }
 
 bool runtime::on_worker_thread() const noexcept {
@@ -294,7 +294,7 @@ void runtime::worker_loop(worker& self) {
             }
             ++gap_sweeps;
         }
-        if (shutdown_.load(std::memory_order_acquire)) break;
+        if (shutdown_.load(amt::memory_order_acquire)) break;
 
         if (++idle_rounds < opts_.spin_rounds_before_sleep) {
             std::this_thread::yield();
@@ -314,10 +314,10 @@ void runtime::worker_loop(worker& self) {
             idle_rounds = 0;
             continue;
         }
-        if (shutdown_.load(std::memory_order_acquire)) break;
+        if (shutdown_.load(amt::memory_order_acquire)) break;
         {
             std::unique_lock lk(sleep_mu_);
-            if (epoch_ == seen && !shutdown_.load(std::memory_order_acquire)) {
+            if (epoch_ == seen && !shutdown_.load(amt::memory_order_acquire)) {
                 if (in_gap) gap_parked = true;
                 // Bounded wait as a belt-and-braces recovery for the rare
                 // case of a steal that failed spuriously under contention.

@@ -15,7 +15,6 @@
 
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -23,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "amt/atomic.hpp"
 #include "amt/config.hpp"
 #include "amt/counters.hpp"
 #include "amt/deque.hpp"
@@ -197,7 +197,7 @@ private:
     std::mutex sleep_mu_;
     std::condition_variable sleep_cv_;
     std::uint64_t epoch_ = 0;
-    std::atomic<bool> shutdown_{false};
+    amt::atomic<bool> shutdown_{false};
 
     // Counters not owned by a specific worker: tasks executed cooperatively
     // by external threads inside future waits.
@@ -206,7 +206,7 @@ private:
 
     clock::time_point start_time_;
 
-    static std::atomic<runtime*> active_;
+    static amt::atomic<runtime*> active_;
 };
 
 /// RAII helper: true while the calling thread is inside runtime::execute,

@@ -70,7 +70,7 @@ void static_graph::set_external_deps(node_id id, std::uint32_t count) {
 
 void static_graph::satisfy_external(node_id id) {
     node& n = nodes_[id];
-    if (n.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (n.remaining.fetch_sub(1, amt::memory_order_acq_rel) == 1) {
         rt_->post_raw(&n);
     }
 }
@@ -79,7 +79,7 @@ void static_graph::arm(runtime& rt) {
     assert(sealed_ && "arm() before seal()");
     assert(!armed_ && "arm() while the previous replay is in flight");
     rt_ = &rt;
-    stop_.store(false, std::memory_order_relaxed);
+    stop_.store(false, amt::memory_order_relaxed);
     {
         std::lock_guard lk(err_mu_);
         error_ = nullptr;
@@ -89,11 +89,11 @@ void static_graph::arm(runtime& rt) {
         n.armed_ext = n.ext_deps;
         n.ext_deps = 0;
         n.remaining.store(n.init_deps + n.armed_ext,
-                          std::memory_order_relaxed);
+                          amt::memory_order_relaxed);
     }
     // The release pairs with the acq_rel decrements in on_complete, making
     // all re-arm writes visible to whichever worker finishes the graph.
-    pending_.store(nodes_.size(), std::memory_order_release);
+    pending_.store(nodes_.size(), amt::memory_order_release);
     {
         std::lock_guard lk(gate_mu_);
         done_ = false;
@@ -145,7 +145,7 @@ void static_graph::wait() {
 void static_graph::node::execute() noexcept {
     static_graph* g = graph;
     trace::annotate_task(name, arg);
-    if (!g->stop_.load(std::memory_order_acquire)) {
+    if (!g->stop_.load(amt::memory_order_acquire)) {
         try {
             body();
             ++execs;
@@ -161,13 +161,13 @@ void static_graph::on_complete(node& n) noexcept {
     const std::uint32_t count = n.succ_count;
     for (std::uint32_t i = 0; i < count; ++i) {
         node& s = nodes_[succ_[begin + i]];
-        if (s.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (s.remaining.fetch_sub(1, amt::memory_order_acq_rel) == 1) {
             // Worker context: lands in this worker's own deque, no lock,
             // no allocation.
             rt_->post_raw(&s);
         }
     }
-    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (pending_.fetch_sub(1, amt::memory_order_acq_rel) == 1) {
         finish_graph();
     }
 }
@@ -179,7 +179,7 @@ void static_graph::finish_graph() noexcept {
 }
 
 void static_graph::record_error(std::exception_ptr e) noexcept {
-    stop_.store(true, std::memory_order_release);
+    stop_.store(true, amt::memory_order_release);
     std::lock_guard lk(err_mu_);
     if (!error_) error_ = e;  // first failure wins, like when_all
 }

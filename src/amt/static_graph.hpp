@@ -46,7 +46,6 @@
 
 #pragma once
 
-#include <atomic>
 #include <cassert>
 #include <condition_variable>
 #include <cstdint>
@@ -56,6 +55,7 @@
 #include <utility>
 #include <vector>
 
+#include "amt/atomic.hpp"
 #include "amt/scheduler.hpp"
 #include "amt/task.hpp"
 #include "amt/unique_function.hpp"
@@ -103,10 +103,10 @@ public:
     /// skipped (their nodes still complete, so wait() returns).  Cleared by
     /// the next arm().
     void request_stop() noexcept {
-        stop_.store(true, std::memory_order_release);
+        stop_.store(true, amt::memory_order_release);
     }
     [[nodiscard]] bool stop_requested() const noexcept {
-        return stop_.load(std::memory_order_acquire);
+        return stop_.load(amt::memory_order_acquire);
     }
 
     /// Number of completed arm() calls (the replay generation).
@@ -137,7 +137,7 @@ private:
         std::uint32_t armed_ext = 0;   ///< external deps of the current replay
         std::uint32_t succ_begin = 0;  ///< CSR range into static_graph::succ_
         std::uint32_t succ_count = 0;
-        std::atomic<std::uint32_t> remaining{0};
+        amt::atomic<std::uint32_t> remaining{0};
         std::uint64_t execs = 0;  ///< successful body runs (see executions())
 
         void execute() noexcept override;
@@ -158,8 +158,8 @@ private:
     std::uint64_t generation_ = 0;
     runtime* rt_ = nullptr;
 
-    std::atomic<bool> stop_{false};
-    std::atomic<std::size_t> pending_{0};
+    amt::atomic<bool> stop_{false};
+    amt::atomic<std::size_t> pending_{0};
 
     std::mutex gate_mu_;
     std::condition_variable gate_cv_;

@@ -15,14 +15,15 @@
 
 #pragma once
 
-#include <atomic>
 #include <memory>
+
+#include "amt/atomic.hpp"
 
 namespace amt {
 
 namespace detail {
 struct stop_state {
-    std::atomic<bool> requested{false};
+    amt::atomic<bool> requested{false};
 };
 }  // namespace detail
 
@@ -38,7 +39,7 @@ public:
     }
     [[nodiscard]] bool stop_requested() const noexcept {
         return state_ != nullptr &&
-               state_->requested.load(std::memory_order_acquire);
+               state_->requested.load(amt::memory_order_acquire);
     }
 
 private:
@@ -66,11 +67,11 @@ public:
 
     /// Returns true if this call made the not-stopped → stopped transition.
     bool request_stop() noexcept {
-        return !state_->requested.exchange(true, std::memory_order_acq_rel);
+        return !state_->requested.exchange(true, amt::memory_order_acq_rel);
     }
 
     [[nodiscard]] bool stop_requested() const noexcept {
-        return state_->requested.load(std::memory_order_acquire);
+        return state_->requested.load(amt::memory_order_acquire);
     }
 
 private:

@@ -8,11 +8,11 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <mutex>
 #include <thread>
 
+#include "amt/atomic.hpp"
 #include "amt/scheduler.hpp"
 
 namespace amt {
@@ -23,7 +23,7 @@ namespace detail {
 /// given condvar otherwise.  `mu` must be the mutex guarding the predicate
 /// state and must be *unlocked* when calling.
 template <class Pred>
-void cooperative_wait(std::mutex& mu, std::condition_variable& cv,
+void cooperative_wait(amt::mutex& mu, amt::condition_variable& cv,
                       Pred&& pred) {
     runtime* rt = runtime::active();
     const bool on_worker = rt != nullptr && rt->on_worker_thread();
@@ -76,8 +76,8 @@ public:
     }
 
 private:
-    mutable std::mutex mu_;
-    mutable std::condition_variable cv_;
+    mutable amt::mutex mu_;
+    mutable amt::condition_variable cv_;
     std::ptrdiff_t count_;
 };
 
@@ -112,8 +112,8 @@ public:
     }
 
 private:
-    mutable std::mutex mu_;
-    mutable std::condition_variable cv_;
+    mutable amt::mutex mu_;
+    mutable amt::condition_variable cv_;
     std::ptrdiff_t expected_;
     std::ptrdiff_t remaining_;
     std::size_t phase_ = 0;
@@ -168,8 +168,8 @@ public:
     }
 
 private:
-    mutable std::mutex mu_;
-    mutable std::condition_variable cv_;
+    mutable amt::mutex mu_;
+    mutable amt::condition_variable cv_;
     std::ptrdiff_t count_;
 };
 

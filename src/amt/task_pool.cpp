@@ -1,10 +1,10 @@
 // amt/task_pool.cpp — see task_pool.hpp for the design.
 
+#include "amt/atomic.hpp"
 #include "amt/task_pool.hpp"
 
 #if !AMT_TASK_POOL_PASSTHROUGH
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -35,7 +35,7 @@ struct free_node {
 
 struct shard {
     free_node* local = nullptr;
-    std::atomic<free_node*> remote{nullptr};
+    amt::atomic<free_node*> remote{nullptr};
     std::vector<std::unique_ptr<std::byte[]>> chunks;
 };
 
@@ -105,7 +105,7 @@ void* task_alloc(std::size_t size) {
         // Drain everything other threads freed back to us in one exchange;
         // acquire pairs with the release in task_free so the recycled bytes
         // are safe to overwrite.
-        s.local = s.remote.exchange(nullptr, std::memory_order_acquire);
+        s.local = s.remote.exchange(nullptr, amt::memory_order_acquire);
     }
     if (s.local == nullptr) carve_chunk(s);
     free_node* f = s.local;
@@ -129,11 +129,11 @@ void task_free(void* p) noexcept {
         owner->local = f;
         return;
     }
-    free_node* head = owner->remote.load(std::memory_order_relaxed);
+    free_node* head = owner->remote.load(amt::memory_order_relaxed);
     do {
         f->next = head;
     } while (!owner->remote.compare_exchange_weak(
-        head, f, std::memory_order_release, std::memory_order_relaxed));
+        head, f, amt::memory_order_release, amt::memory_order_relaxed));
 }
 
 }  // namespace amt::detail

@@ -29,15 +29,15 @@ struct alignas(cache_line_size) ring {
     explicit ring(std::size_t capacity) : slots(capacity) {}
 
     std::vector<event> slots;
-    std::atomic<std::size_t> count{0};
+    amt::atomic<std::size_t> count{0};
     relaxed_counter dropped;
     std::string name;  // written under the registry mutex only
 
     void push(const event& e) noexcept {
-        const std::size_t n = count.load(std::memory_order_relaxed);
+        const std::size_t n = count.load(amt::memory_order_relaxed);
         if (n < slots.size()) {
             slots[n] = e;
-            count.store(n + 1, std::memory_order_release);
+            count.store(n + 1, amt::memory_order_release);
         } else {
             dropped.add(1);
         }
@@ -54,7 +54,7 @@ struct registry_state {
     // epoch_set; to_ns() pairs that with an acquire load, so emitters can
     // read the epoch without taking the lock.
     clock::time_point epoch{};
-    std::atomic<bool> epoch_set{false};
+    amt::atomic<bool> epoch_set{false};
 };
 
 registry_state& registry() {
@@ -62,7 +62,7 @@ registry_state& registry() {
     return s;
 }
 
-std::atomic<std::uint64_t> g_generation{1};
+amt::atomic<std::uint64_t> g_generation{1};
 
 struct tls_state {
     ring* r = nullptr;
@@ -83,7 +83,7 @@ bool env_armed() {
 ring* ring_for_current_thread() {
     tls_state& tls = g_tls;
     if (tls.r != nullptr &&
-        tls.generation == g_generation.load(std::memory_order_acquire)) {
+        tls.generation == g_generation.load(amt::memory_order_acquire)) {
         return tls.r;
     }
     registry_state& reg = registry();
@@ -100,7 +100,7 @@ ring* ring_for_current_thread() {
 
 }  // namespace
 
-std::atomic<bool> g_armed{env_armed()};
+amt::atomic<bool> g_armed{env_armed()};
 
 void annotate_slow(const char* name, std::int32_t arg) noexcept {
     task_label& l = g_tls.label;
@@ -132,7 +132,7 @@ void emit(event_kind kind, const char* name, std::int64_t ts_ns,
 
 std::int64_t to_ns(clock::time_point tp) noexcept {
     detail::registry_state& reg = detail::registry();
-    if (!reg.epoch_set.load(std::memory_order_acquire)) return 0;
+    if (!reg.epoch_set.load(amt::memory_order_acquire)) return 0;
     return std::chrono::duration_cast<std::chrono::nanoseconds>(tp -
                                                                 reg.epoch)
         .count();
@@ -148,18 +148,18 @@ void arm() {
     detail::registry_state& reg = detail::registry();
     {
         std::lock_guard lk(reg.mu);
-        if (!reg.epoch_set.load(std::memory_order_relaxed)) {
+        if (!reg.epoch_set.load(amt::memory_order_relaxed)) {
             reg.epoch = clock::now();
-            reg.epoch_set.store(true, std::memory_order_release);
+            reg.epoch_set.store(true, amt::memory_order_release);
         }
     }
-    detail::g_armed.store(true, std::memory_order_release);
+    detail::g_armed.store(true, amt::memory_order_release);
 }
 
-void disarm() { detail::g_armed.store(false, std::memory_order_release); }
+void disarm() { detail::g_armed.store(false, amt::memory_order_release); }
 
 bool armed() noexcept {
-    return detail::g_armed.load(std::memory_order_acquire);
+    return detail::g_armed.load(amt::memory_order_acquire);
 }
 
 void reset() {
@@ -168,8 +168,8 @@ void reset() {
     reg.rings.clear();
     reg.phase_ring = nullptr;
     ++reg.generation;
-    reg.epoch_set.store(false, std::memory_order_release);
-    detail::g_generation.store(reg.generation, std::memory_order_release);
+    reg.epoch_set.store(false, amt::memory_order_release);
+    detail::g_generation.store(reg.generation, amt::memory_order_release);
 }
 
 void set_ring_capacity(std::size_t events) {
@@ -183,7 +183,7 @@ void set_thread_name(const std::string& name) {
     tls.pending_name = name;
     if (tls.r != nullptr &&
         tls.generation ==
-            detail::g_generation.load(std::memory_order_acquire)) {
+            detail::g_generation.load(amt::memory_order_acquire)) {
         detail::registry_state& reg = detail::registry();
         std::lock_guard lk(reg.mu);
         tls.r->name = name;
@@ -226,7 +226,7 @@ trace_snapshot drain() {
     for (const auto& r : reg.rings) {
         thread_events te;
         te.name = r->name;
-        const std::size_t n = r->count.load(std::memory_order_acquire);
+        const std::size_t n = r->count.load(amt::memory_order_acquire);
         te.events.assign(r->slots.begin(),
                          r->slots.begin() + static_cast<std::ptrdiff_t>(n));
         te.dropped = r->dropped.load();
@@ -254,7 +254,7 @@ trace_snapshot drain() {
 #else  // AMT_TRACE_DISABLE
 
 namespace detail {
-std::atomic<bool> g_armed{false};
+amt::atomic<bool> g_armed{false};
 void annotate_slow(const char*, std::int32_t) noexcept {}
 task_label take_label_slow() noexcept { return {}; }
 void emit(event_kind, const char*, std::int64_t, std::int64_t,

@@ -32,12 +32,12 @@
 
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "amt/atomic.hpp"
 #include "amt/config.hpp"
 #include "amt/counters.hpp"
 
@@ -71,7 +71,7 @@ struct event {
 };
 
 namespace detail {
-extern std::atomic<bool> g_armed;
+extern amt::atomic<bool> g_armed;
 struct task_label {
     const char* name = nullptr;
     std::int32_t arg = -1;
@@ -108,7 +108,7 @@ inline constexpr bool compiled_in = true;
 
 /// True while tracing is armed.  The one check on every disarmed probe.
 [[nodiscard]] inline bool enabled() noexcept {
-    return detail::g_armed.load(std::memory_order_relaxed);
+    return detail::g_armed.load(amt::memory_order_relaxed);
 }
 
 /// Labels the *currently executing* task: the scheduler emits exactly one

@@ -11,11 +11,11 @@
 
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "amt/atomic.hpp"
 #include "amt/future.hpp"
 
 namespace amt {
@@ -31,19 +31,19 @@ future<std::vector<future<T>>> when_all(std::vector<future<T>>&& fs) {
     if (fs.empty()) return make_ready_future(result_t{});
 
     struct ctx_t {
-        std::atomic<std::size_t> remaining;
+        amt::atomic<std::size_t> remaining;
         result_t futures;
         detail::state_ptr<result_t> st;
     };
     auto ctx = std::make_shared<ctx_t>();
-    ctx->remaining.store(fs.size(), std::memory_order_relaxed);
+    ctx->remaining.store(fs.size(), amt::memory_order_relaxed);
     ctx->futures = std::move(fs);
     ctx->st = std::make_shared<detail::shared_state<result_t>>();
 
     auto result = future<result_t>(ctx->st);
     for (auto& f : ctx->futures) {
         f.raw_state()->add_callback([ctx] {
-            if (ctx->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            if (ctx->remaining.fetch_sub(1, amt::memory_order_acq_rel) == 1) {
                 ctx->st->set_value(std::move(ctx->futures));
             }
         });

@@ -7,12 +7,12 @@
 
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "amt/atomic.hpp"
 #include "amt/future.hpp"
 
 namespace amt {
@@ -33,7 +33,7 @@ future<when_any_result<T>> when_any(std::vector<future<T>>&& fs) {
     }
 
     struct ctx_t {
-        std::atomic<bool> fired{false};
+        amt::atomic<bool> fired{false};
         result_t result;
         detail::state_ptr<result_t> st =
             std::make_shared<detail::shared_state<result_t>>();
@@ -52,7 +52,7 @@ future<when_any_result<T>> when_any(std::vector<future<T>>&& fs) {
     for (const auto& f : ctx->result.futures) states.push_back(f.raw_state());
     for (std::size_t i = 0; i < n; ++i) {
         states[i]->add_callback([ctx, i] {
-            if (!ctx->fired.exchange(true, std::memory_order_acq_rel)) {
+            if (!ctx->fired.exchange(true, amt::memory_order_acq_rel)) {
                 ctx->result.index = i;
                 ctx->st->set_value(std::move(ctx->result));
             }

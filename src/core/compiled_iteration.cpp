@@ -89,9 +89,9 @@ amt::static_graph::node_id compiled_iteration::add_task(
                 ? std::min<std::size_t>(wk.index + 1,
                                         progress_state::max_tracked_workers)
                 : 0;
-        progress->site.store(site, std::memory_order_relaxed);
-        progress->worker_site[slot].store(site, std::memory_order_relaxed);
-        progress->started.fetch_add(1, std::memory_order_relaxed);
+        progress->site.store(site, amt::memory_order_relaxed);
+        progress->worker_site[slot].store(site, amt::memory_order_relaxed);
+        progress->started.fetch_add(1, amt::memory_order_relaxed);
         try {
             amt::fault::probe(site);
             {
@@ -106,21 +106,21 @@ amt::static_graph::node_id compiled_iteration::add_task(
                 const field bad =
                     scan_written_for_nonfinite(ctx->accs, *sent->dom);
                 if (bad != field::count) {
-                    nan_ok->store(false, std::memory_order_relaxed);
+                    nan_ok->store(false, amt::memory_order_relaxed);
                     sent->nan_wave_site.store(site,
-                                              std::memory_order_relaxed);
+                                              amt::memory_order_relaxed);
                     sent->nan_field_name.store(field_name(bad),
-                                               std::memory_order_relaxed);
+                                               amt::memory_order_relaxed);
                 }
             }
         } catch (...) {
             progress->worker_site[slot].store(nullptr,
-                                              std::memory_order_relaxed);
-            progress->finished.fetch_add(1, std::memory_order_relaxed);
+                                              amt::memory_order_relaxed);
+            progress->finished.fetch_add(1, amt::memory_order_relaxed);
             throw;
         }
-        progress->worker_site[slot].store(nullptr, std::memory_order_relaxed);
-        progress->finished.fetch_add(1, std::memory_order_relaxed);
+        progress->worker_site[slot].store(nullptr, amt::memory_order_relaxed);
+        progress->finished.fetch_add(1, amt::memory_order_relaxed);
     };
     const auto id = graph_.add_node(std::move(wrapped), site,
                                     static_cast<std::int32_t>(part));

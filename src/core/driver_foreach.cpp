@@ -1,7 +1,7 @@
 // core/driver_foreach.cpp — naive for_each-style driver (ablation baseline).
 
-#include <atomic>
 
+#include "amt/atomic.hpp"
 #include "core/driver_foreach.hpp"
 
 namespace lulesh {
@@ -48,9 +48,9 @@ void foreach_driver::advance(domain& d) {
     z8n_.resize(nes * 8);
     determ_.resize(nes);
 
-    std::atomic<bool> ok{true};
+    amt::atomic<bool> ok{true};
     auto require = [&ok](status code, const char* what) {
-        if (!ok.load(std::memory_order_relaxed)) {
+        if (!ok.load(amt::memory_order_relaxed)) {
             throw simulation_error(code, what);
         }
     };
@@ -64,7 +64,7 @@ void foreach_driver::advance(domain& d) {
     pf(ne, [&](index_t lo, index_t hi) {
         if (!k::integrate_stress(d, lo, hi, sigxx_.data(), sigyy_.data(),
                                  sigzz_.data())) {
-            ok.store(false, std::memory_order_relaxed);
+            ok.store(false, amt::memory_order_relaxed);
         }
     });
     require(status::volume_error, "non-positive Jacobian in stress integration");
@@ -73,7 +73,7 @@ void foreach_driver::advance(domain& d) {
         if (!k::calc_hourglass_control(d, lo, hi, dvdx_.data(), dvdy_.data(),
                                        dvdz_.data(), x8n_.data(), y8n_.data(),
                                        z8n_.data(), determ_.data())) {
-            ok.store(false, std::memory_order_relaxed);
+            ok.store(false, amt::memory_order_relaxed);
         }
     });
     require(status::volume_error, "non-positive volume in hourglass control");
@@ -102,7 +102,7 @@ void foreach_driver::advance(domain& d) {
     pf(ne, [&](index_t lo, index_t hi) { k::calc_kinematics(d, lo, hi, dt); });
     pf(ne, [&](index_t lo, index_t hi) {
         if (!k::calc_lagrange_deviatoric(d, lo, hi)) {
-            ok.store(false, std::memory_order_relaxed);
+            ok.store(false, amt::memory_order_relaxed);
         }
     });
     require(status::volume_error, "non-positive new volume in kinematics");
@@ -118,14 +118,14 @@ void foreach_driver::advance(domain& d) {
     }
     pf(ne, [&](index_t lo, index_t hi) {
         if (!k::check_qstop(d, lo, hi)) {
-            ok.store(false, std::memory_order_relaxed);
+            ok.store(false, amt::memory_order_relaxed);
         }
     });
     require(status::qstop_error, "artificial viscosity exceeded qstop");
 
     pf(ne, [&](index_t lo, index_t hi) {
         if (!k::apply_material_vnewc(d, lo, hi)) {
-            ok.store(false, std::memory_order_relaxed);
+            ok.store(false, amt::memory_order_relaxed);
         }
     });
     require(status::volume_error, "relative volume out of EOS range");

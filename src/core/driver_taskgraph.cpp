@@ -69,10 +69,10 @@ std::size_t spawn_pack_tasks(amt::runtime& rt,
                           wk.index + 1,
                           graph::progress_state::max_tracked_workers)
                     : 0;
-            progress->site.store(ckpt_site, std::memory_order_relaxed);
+            progress->site.store(ckpt_site, amt::memory_order_relaxed);
             progress->worker_site[slot].store(ckpt_site,
-                                              std::memory_order_relaxed);
-            progress->started.fetch_add(1, std::memory_order_relaxed);
+                                              amt::memory_order_relaxed);
+            progress->started.fetch_add(1, amt::memory_order_relaxed);
             try {
                 amt::fault::probe(ckpt_site);
                 amt::trace::scoped_span span(
@@ -83,8 +83,8 @@ std::size_t spawn_pack_tasks(amt::runtime& rt,
                 cap->mark_failed();
             }
             progress->worker_site[slot].store(nullptr,
-                                              std::memory_order_relaxed);
-            progress->finished.fetch_add(1, std::memory_order_relaxed);
+                                              amt::memory_order_relaxed);
+            progress->finished.fetch_add(1, amt::memory_order_relaxed);
         };
         auto& out = field_space(cap->region(i).f) == space::node ? node_out
                                                                  : elem_out;
@@ -116,10 +116,10 @@ void spawn_pack_tasks_replay(amt::runtime& rt,
                           wk.index + 1,
                           graph::progress_state::max_tracked_workers)
                     : 0;
-            progress->site.store(ckpt_site, std::memory_order_relaxed);
+            progress->site.store(ckpt_site, amt::memory_order_relaxed);
             progress->worker_site[slot].store(ckpt_site,
-                                              std::memory_order_relaxed);
-            progress->started.fetch_add(1, std::memory_order_relaxed);
+                                              amt::memory_order_relaxed);
+            progress->started.fetch_add(1, amt::memory_order_relaxed);
             try {
                 amt::fault::probe(ckpt_site);
                 amt::trace::scoped_span span(
@@ -130,8 +130,8 @@ void spawn_pack_tasks_replay(amt::runtime& rt,
                 cap->mark_failed();
             }
             progress->worker_site[slot].store(nullptr,
-                                              std::memory_order_relaxed);
-            progress->finished.fetch_add(1, std::memory_order_relaxed);
+                                              amt::memory_order_relaxed);
+            progress->finished.fetch_add(1, amt::memory_order_relaxed);
             comp->pack_done(sp);
         });
     }
@@ -194,7 +194,7 @@ void taskgraph_driver::advance_build(domain& d) {
     // aliasing, not snapshotting.
     flags_.begin_iteration();
     graph::error_flags flags = flags_;
-    auto counter = std::make_shared<std::atomic<std::size_t>>(0);
+    auto counter = std::make_shared<amt::atomic<std::size_t>>(0);
     domain* dp = &d;
     amt::runtime* rt = &rt_;
 
@@ -206,7 +206,7 @@ void taskgraph_driver::advance_build(domain& d) {
     // the whole iteration flows asynchronously and the driver blocks exactly
     // once, at the end.
     auto w1 = graph::spawn_force_wave(rt_, d, p_nodal, flags);
-    counter->fetch_add(w1.tasks, std::memory_order_relaxed);
+    counter->fetch_add(w1.tasks, amt::memory_order_relaxed);
 
     // Overlapped checkpoint packing: a capture handed over by the resilient
     // loop (the previous iteration's state) is packed by ordinary graph
@@ -221,7 +221,7 @@ void taskgraph_driver::advance_build(domain& d) {
         if (cap->source() == &d) {
             const std::size_t n =
                 spawn_pack_tasks(rt_, cap, flags, w1.futures, elem_packs);
-            counter->fetch_add(n, std::memory_order_relaxed);
+            counter->fetch_add(n, amt::memory_order_relaxed);
         } else {
             cap->pack_remaining();  // different domain: pack on the spot
         }
@@ -237,7 +237,7 @@ void taskgraph_driver::advance_build(domain& d) {
                                                                p_nodal, dt,
                                                                flags);
                                counter->fetch_add(w.tasks,
-                                                  std::memory_order_relaxed);
+                                                  amt::memory_order_relaxed);
                                return std::move(w.futures);
                            },
                            graph::wave_site::node),
@@ -250,7 +250,7 @@ void taskgraph_driver::advance_build(domain& d) {
                                                                p_elems, dt,
                                                                flags);
                                counter->fetch_add(w.tasks,
-                                                  std::memory_order_relaxed);
+                                                  amt::memory_order_relaxed);
                                return std::move(w.futures);
                            },
                            graph::wave_site::elem),
@@ -270,7 +270,7 @@ void taskgraph_driver::advance_build(domain& d) {
                                                                  p_elems,
                                                                  flags);
                                counter->fetch_add(w.tasks,
-                                                  std::memory_order_relaxed);
+                                                  amt::memory_order_relaxed);
                                return std::move(w.futures);
                            },
                            graph::wave_site::region_eos),
@@ -285,7 +285,7 @@ void taskgraph_driver::advance_build(domain& d) {
                                auto w = graph::spawn_constraint_wave(
                                    *rt, *dp, p_elems, partials, flags);
                                counter->fetch_add(w.tasks,
-                                                  std::memory_order_relaxed);
+                                                  amt::memory_order_relaxed);
                                return std::move(w.futures);
                            },
                            graph::wave_site::constraints),
@@ -301,10 +301,10 @@ void taskgraph_driver::advance_build(domain& d) {
         b5.get();
     } catch (...) {
         flags_.stop.request_stop();
-        tasks_last_iteration_ = counter->load(std::memory_order_relaxed);
+        tasks_last_iteration_ = counter->load(amt::memory_order_relaxed);
         throw;
     }
-    tasks_last_iteration_ = counter->load(std::memory_order_relaxed);
+    tasks_last_iteration_ = counter->load(amt::memory_order_relaxed);
     if (tracing) {
         amt::trace::emit_span(amt::trace::event_kind::barrier_span,
                               "iteration_barrier", wait0, clock_t_::now(),
@@ -424,21 +424,21 @@ void taskgraph_driver::finish_iteration(
     d.dtcourant = combined.dtcourant;
     d.dthydro = combined.dthydro;
 
-    if (!flags_.volume_ok->load(std::memory_order_relaxed)) {
+    if (!flags_.volume_ok->load(amt::memory_order_relaxed)) {
         throw simulation_error(status::volume_error,
                                "non-positive volume detected");
     }
-    if (!flags_.qstop_ok->load(std::memory_order_relaxed)) {
+    if (!flags_.qstop_ok->load(amt::memory_order_relaxed)) {
         throw simulation_error(status::qstop_error,
                                "artificial viscosity exceeded qstop");
     }
-    if (!flags_.nan_ok->load(std::memory_order_relaxed)) {
+    if (!flags_.nan_ok->load(amt::memory_order_relaxed)) {
         std::string msg = "non-finite field value detected";
         if (flags_.sentinel) {
             const char* site = flags_.sentinel->nan_wave_site.load(
-                std::memory_order_relaxed);
+                amt::memory_order_relaxed);
             const char* fname = flags_.sentinel->nan_field_name.load(
-                std::memory_order_relaxed);
+                amt::memory_order_relaxed);
             if (fname != nullptr) msg += std::string(" in ") + fname;
             if (site != nullptr) msg += std::string(" at wave ") + site;
         }

@@ -13,16 +13,16 @@ namespace wave_body {
 namespace k = kernels;
 
 void force_stress(domain& d, index_t lo, index_t hi,
-                  std::atomic<bool>& vol_ok) {
+                  amt::atomic<bool>& vol_ok) {
     if (!k::force_stress_chunk(d, lo, hi)) {
-        vol_ok.store(false, std::memory_order_relaxed);
+        vol_ok.store(false, amt::memory_order_relaxed);
     }
 }
 
 void force_hourglass(domain& d, index_t lo, index_t hi,
-                     std::atomic<bool>& vol_ok) {
+                     amt::atomic<bool>& vol_ok) {
     if (!k::force_hourglass_chunk(d, lo, hi)) {
-        vol_ok.store(false, std::memory_order_relaxed);
+        vol_ok.store(false, amt::memory_order_relaxed);
     }
 }
 
@@ -37,19 +37,19 @@ void node_velpos(domain& d, index_t lo, index_t hi, real_t dt) {
 }
 
 void elem_fused(domain& d, index_t lo, index_t hi, real_t dt,
-                std::atomic<bool>& vol_ok, std::atomic<bool>& q_ok) {
+                amt::atomic<bool>& vol_ok, amt::atomic<bool>& q_ok) {
     k::calc_kinematics(d, lo, hi, dt);
     if (!k::calc_lagrange_deviatoric(d, lo, hi)) {
-        vol_ok.store(false, std::memory_order_relaxed);
+        vol_ok.store(false, amt::memory_order_relaxed);
     }
     k::calc_monotonic_q_gradients(d, lo, hi);
     // q of the previous EOS pass; checked before this iteration's EOS
     // overwrites it (next wave).
     if (!k::check_qstop(d, lo, hi)) {
-        q_ok.store(false, std::memory_order_relaxed);
+        q_ok.store(false, amt::memory_order_relaxed);
     }
     if (!k::apply_material_vnewc(d, lo, hi)) {
-        vol_ok.store(false, std::memory_order_relaxed);
+        vol_ok.store(false, amt::memory_order_relaxed);
     }
 }
 
@@ -111,9 +111,9 @@ auto guarded(const error_flags& flags, const char* site, std::int32_t part,
                 ? std::min<std::size_t>(wk.index + 1,
                                         progress_state::max_tracked_workers)
                 : 0;
-        progress->site.store(site, std::memory_order_relaxed);
-        progress->worker_site[slot].store(site, std::memory_order_relaxed);
-        progress->started.fetch_add(1, std::memory_order_relaxed);
+        progress->site.store(site, amt::memory_order_relaxed);
+        progress->worker_site[slot].store(site, amt::memory_order_relaxed);
+        progress->started.fetch_add(1, amt::memory_order_relaxed);
         try {
             amt::fault::probe(site);
             {
@@ -128,22 +128,22 @@ auto guarded(const error_flags& flags, const char* site, std::int32_t part,
                 const field bad =
                     scan_written_for_nonfinite(ctx->accs, *sent->dom);
                 if (bad != field::count) {
-                    nan_ok->store(false, std::memory_order_relaxed);
+                    nan_ok->store(false, amt::memory_order_relaxed);
                     sent->nan_wave_site.store(site,
-                                              std::memory_order_relaxed);
+                                              amt::memory_order_relaxed);
                     sent->nan_field_name.store(field_name(bad),
-                                               std::memory_order_relaxed);
+                                               amt::memory_order_relaxed);
                 }
             }
         } catch (...) {
             stop.request_stop();
             progress->worker_site[slot].store(nullptr,
-                                              std::memory_order_relaxed);
-            progress->finished.fetch_add(1, std::memory_order_relaxed);
+                                              amt::memory_order_relaxed);
+            progress->finished.fetch_add(1, amt::memory_order_relaxed);
             throw;
         }
-        progress->worker_site[slot].store(nullptr, std::memory_order_relaxed);
-        progress->finished.fetch_add(1, std::memory_order_relaxed);
+        progress->worker_site[slot].store(nullptr, amt::memory_order_relaxed);
+        progress->finished.fetch_add(1, amt::memory_order_relaxed);
     };
 }
 

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -17,6 +16,7 @@
 #include <vector>
 
 #include "amt/amt.hpp"
+#include "amt/atomic.hpp"
 #include "amt/hazard.hpp"
 #include "core/access.hpp"
 #include "lulesh/domain.hpp"
@@ -53,13 +53,13 @@ inline constexpr const char* constraints = "constraints";
 /// stay bitwise equal by construction (tests/core/test_replay.cpp).
 namespace wave_body {
 void force_stress(domain& d, index_t lo, index_t hi,
-                  std::atomic<bool>& vol_ok);
+                  amt::atomic<bool>& vol_ok);
 void force_hourglass(domain& d, index_t lo, index_t hi,
-                     std::atomic<bool>& vol_ok);
+                     amt::atomic<bool>& vol_ok);
 void node_gather(domain& d, index_t lo, index_t hi);
 void node_velpos(domain& d, index_t lo, index_t hi, real_t dt);
 void elem_fused(domain& d, index_t lo, index_t hi, real_t dt,
-                std::atomic<bool>& vol_ok, std::atomic<bool>& q_ok);
+                amt::atomic<bool>& vol_ok, amt::atomic<bool>& q_ok);
 void region_monoq(domain& d, const index_t* list, index_t lo, index_t hi);
 void region_eos(domain& d, const index_t* list, index_t lo, index_t hi,
                 int rep, kernels::eos_scratch& scratch);
@@ -84,17 +84,17 @@ void constraints(domain& d, const index_t* list, index_t lo, index_t hi,
 struct progress_state {
     static constexpr std::size_t max_tracked_workers = 64;
 
-    std::atomic<std::uint64_t> started{0};
-    std::atomic<std::uint64_t> finished{0};
-    std::atomic<const char*> site{nullptr};
-    std::array<std::atomic<const char*>, max_tracked_workers + 1>
+    amt::atomic<std::uint64_t> started{0};
+    amt::atomic<std::uint64_t> finished{0};
+    amt::atomic<const char*> site{nullptr};
+    std::array<amt::atomic<const char*>, max_tracked_workers + 1>
         worker_site{};
 
     /// Labels of all tasks currently in flight (one entry per busy worker).
     [[nodiscard]] std::vector<const char*> in_flight_sites() const {
         std::vector<const char*> sites;
         for (const auto& slot : worker_site) {
-            const char* s = slot.load(std::memory_order_relaxed);
+            const char* s = slot.load(amt::memory_order_relaxed);
             if (s != nullptr) sites.push_back(s);
         }
         return sites;
@@ -120,8 +120,8 @@ struct iteration_sentinel {
 
     /// Where the NaN scan found trouble (static strings; set once per
     /// episode, first writer wins is not needed — any site will do).
-    std::atomic<const char*> nan_wave_site{nullptr};
-    std::atomic<const char*> nan_field_name{nullptr};
+    amt::atomic<const char*> nan_wave_site{nullptr};
+    amt::atomic<const char*> nan_field_name{nullptr};
 
     const task_ctx* add(std::vector<access> accs, std::int64_t partition) {
         std::lock_guard lk(mu_);
@@ -150,18 +150,18 @@ private:
 /// Copies share state (everything is behind shared_ptrs / shared stop
 /// state), so capturing by value in task lambdas is the intended use.
 struct error_flags {
-    std::shared_ptr<std::atomic<bool>> volume_ok =
-        std::make_shared<std::atomic<bool>>(true);
-    std::shared_ptr<std::atomic<bool>> qstop_ok =
-        std::make_shared<std::atomic<bool>>(true);
+    std::shared_ptr<amt::atomic<bool>> volume_ok =
+        std::make_shared<amt::atomic<bool>>(true);
+    std::shared_ptr<amt::atomic<bool>> qstop_ok =
+        std::make_shared<amt::atomic<bool>>(true);
 
     /// Cleared by a task whose NaN scan (sentinel->scan_nan) found a
     /// non-finite value in a field it had just written; checked at the
     /// barrier so a blow-up is reported with its wave site instead of
     /// surfacing as a wrong answer many iterations later.  Always true
     /// when the sentinel is off.
-    std::shared_ptr<std::atomic<bool>> nan_ok =
-        std::make_shared<std::atomic<bool>>(true);
+    std::shared_ptr<amt::atomic<bool>> nan_ok =
+        std::make_shared<amt::atomic<bool>>(true);
 
     /// Opt-in dynamic instrumentation (hazard tracking, NaN scanning);
     /// null by default.
@@ -178,9 +178,9 @@ struct error_flags {
         std::make_shared<progress_state>();
 
     void reset() {
-        volume_ok->store(true, std::memory_order_relaxed);
-        qstop_ok->store(true, std::memory_order_relaxed);
-        nan_ok->store(true, std::memory_order_relaxed);
+        volume_ok->store(true, amt::memory_order_relaxed);
+        qstop_ok->store(true, amt::memory_order_relaxed);
+        nan_ok->store(true, amt::memory_order_relaxed);
     }
 
     /// Fresh cancellation scope for a new iteration: error flags reset and

@@ -40,7 +40,7 @@ void watchdog::run() {
         amt::trace::set_thread_name("watchdog");
     }
 
-    std::uint64_t last_finished = progress_->finished.load(std::memory_order_relaxed);
+    std::uint64_t last_finished = progress_->finished.load(amt::memory_order_relaxed);
     clock::time_point last_advance = clock::now();
     bool reported_this_episode = false;
 
@@ -50,9 +50,9 @@ void watchdog::run() {
         if (stopping_) break;
 
         const std::uint64_t started =
-            progress_->started.load(std::memory_order_relaxed);
+            progress_->started.load(amt::memory_order_relaxed);
         const std::uint64_t finished =
-            progress_->finished.load(std::memory_order_relaxed);
+            progress_->finished.load(amt::memory_order_relaxed);
         const clock::time_point now = clock::now();
 
         if (finished != last_finished) {
@@ -68,7 +68,7 @@ void watchdog::run() {
                 now - last_advance);
         if (stalled_for < deadline_) continue;
 
-        const char* site = progress_->site.load(std::memory_order_relaxed);
+        const char* site = progress_->site.load(amt::memory_order_relaxed);
         std::vector<std::string> sites;
         for (const char* s : progress_->in_flight_sites()) {
             sites.emplace_back(s);
@@ -81,7 +81,7 @@ void watchdog::run() {
         last_ = report{site != nullptr ? site : "?", started, finished,
                        stalled_for, std::move(sites)};
         reported_this_episode = true;
-        fired_.store(true, std::memory_order_release);
+        fired_.store(true, amt::memory_order_release);
         if (on_stall_) {
             // Run the callback outside the lock: it may call last_report()
             // or stop() — stop() from the callback would deadlock on join,

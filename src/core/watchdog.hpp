@@ -19,7 +19,6 @@
 
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -30,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "amt/atomic.hpp"
 #include "core/graph_waves.hpp"
 
 namespace lulesh {
@@ -65,7 +65,7 @@ public:
 
     /// Whether any stall episode has been reported since construction.
     [[nodiscard]] bool fired() const noexcept {
-        return fired_.load(std::memory_order_acquire);
+        return fired_.load(amt::memory_order_acquire);
     }
 
     /// The most recent report (valid once fired() is true).
@@ -83,7 +83,7 @@ private:
     std::chrono::milliseconds poll_;
     callback on_stall_;
 
-    std::atomic<bool> fired_{false};
+    amt::atomic<bool> fired_{false};
     mutable std::mutex mu_;       // guards last_ and stop signalling
     std::condition_variable cv_;  // wakes the poll loop for prompt shutdown
     bool stopping_ = false;

@@ -582,12 +582,12 @@ void dist_driver::advance_futurized(cluster& c, bool eager) {
         poll = std::clamp(poll, std::chrono::milliseconds(1),
                           std::chrono::milliseconds(250));
         auto last_finished =
-            flags.progress->finished.load(std::memory_order_relaxed);
+            flags.progress->finished.load(amt::memory_order_relaxed);
         std::chrono::milliseconds stalled_for{0};
         while (!all.wait_for(poll)) {
             if (retry_.enabled()) service_resends(c);
             const auto now_finished =
-                flags.progress->finished.load(std::memory_order_relaxed);
+                flags.progress->finished.load(amt::memory_order_relaxed);
             if (now_finished == last_finished) {
                 stalled_for += poll;
                 if (!timed_out && stalled_for >= deadline) {
@@ -682,13 +682,13 @@ void dist_driver::advance_futurized(cluster& c, bool eager) {
 
     reduce_constraints(c);
 
-    if (!flags.volume_ok->load(std::memory_order_relaxed)) {
+    if (!flags.volume_ok->load(amt::memory_order_relaxed)) {
         last_failure_ = {-1, status::volume_error, false,
                          "non-positive volume detected"};
         throw simulation_error(status::volume_error,
                                "non-positive volume detected");
     }
-    if (!flags.qstop_ok->load(std::memory_order_relaxed)) {
+    if (!flags.qstop_ok->load(amt::memory_order_relaxed)) {
         last_failure_ = {-1, status::qstop_error, false,
                          "artificial viscosity exceeded qstop"};
         throw simulation_error(status::qstop_error,
@@ -769,11 +769,11 @@ void dist_driver::advance_bulk_synchronous(cluster& c) {
 
     reduce_constraints(c);
 
-    if (!flags.volume_ok->load(std::memory_order_relaxed)) {
+    if (!flags.volume_ok->load(amt::memory_order_relaxed)) {
         throw simulation_error(status::volume_error,
                                "non-positive volume detected");
     }
-    if (!flags.qstop_ok->load(std::memory_order_relaxed)) {
+    if (!flags.qstop_ok->load(amt::memory_order_relaxed)) {
         throw simulation_error(status::qstop_error,
                                "artificial viscosity exceeded qstop");
     }

@@ -16,13 +16,13 @@
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <utility>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "amt/atomic.hpp"
 #include "amt/counters.hpp"
 #include "lulesh/types.hpp"
 
@@ -41,8 +41,8 @@ public:
     /// the per-slab liveness task; any thread.
     void heartbeat(index_t s) noexcept {
         slot& sl = slots_[static_cast<std::size_t>(s)];
-        sl.last_ns.store(now_ns(), std::memory_order_relaxed);
-        sl.beats.fetch_add(1, std::memory_order_relaxed);
+        sl.last_ns.store(now_ns(), amt::memory_order_relaxed);
+        sl.beats.fetch_add(1, amt::memory_order_relaxed);
         amt::resilience().heartbeats.add(1);
     }
 
@@ -52,13 +52,13 @@ public:
         const std::int64_t now = now_ns();
         for (index_t s = 0; s < num_slabs_; ++s) {
             slots_[static_cast<std::size_t>(s)].last_ns.store(
-                now, std::memory_order_relaxed);
+                now, amt::memory_order_relaxed);
         }
     }
 
     [[nodiscard]] std::uint64_t beats(index_t s) const noexcept {
         return slots_[static_cast<std::size_t>(s)].beats.load(
-            std::memory_order_relaxed);
+            amt::memory_order_relaxed);
     }
 
     /// Slabs ordered most-stale first (oldest heartbeat).  Meaningful once
@@ -69,7 +69,7 @@ public:
         ranked.reserve(static_cast<std::size_t>(num_slabs_));
         for (index_t s = 0; s < num_slabs_; ++s) {
             ranked.emplace_back(slots_[static_cast<std::size_t>(s)]
-                                    .last_ns.load(std::memory_order_relaxed),
+                                    .last_ns.load(amt::memory_order_relaxed),
                                 s);
         }
         std::sort(ranked.begin(), ranked.end());
@@ -84,8 +84,8 @@ public:
 
 private:
     struct slot {
-        std::atomic<std::int64_t> last_ns{0};
-        std::atomic<std::uint64_t> beats{0};
+        amt::atomic<std::int64_t> last_ns{0};
+        amt::atomic<std::uint64_t> beats{0};
     };
 
     [[nodiscard]] static std::int64_t now_ns() noexcept {

@@ -124,10 +124,10 @@ std::string hex32(std::uint32_t v) {
 // armed (in a forked child only) the write stops partway and the process
 // exits, simulating a crash at an arbitrary byte offset.
 
-std::atomic<long long> g_crash_after{-1};
+amt::atomic<long long> g_crash_after{-1};
 
 void chain_write(std::ofstream& out, const char* p, std::size_t n) {
-    const long long budget = g_crash_after.load(std::memory_order_relaxed);
+    const long long budget = g_crash_after.load(amt::memory_order_relaxed);
     if (budget >= 0) {
         if (static_cast<long long>(n) >= budget) {
             out.write(p, static_cast<std::streamsize>(budget));
@@ -137,7 +137,7 @@ void chain_write(std::ofstream& out, const char* p, std::size_t n) {
 #endif
         }
         g_crash_after.store(budget - static_cast<long long>(n),
-                            std::memory_order_relaxed);
+                            amt::memory_order_relaxed);
     }
     out.write(p, static_cast<std::streamsize>(n));
     if (!out) throw checkpoint_error("lulesh: chain write failed");
@@ -158,7 +158,7 @@ void fsync_path(const std::string& path) {
 }  // namespace
 
 void set_chain_crash_after_bytes(long long n) noexcept {
-    g_crash_after.store(n, std::memory_order_relaxed);
+    g_crash_after.store(n, amt::memory_order_relaxed);
 }
 
 field checkpoint_field_at(std::size_t slot) noexcept {
@@ -271,13 +271,22 @@ state_capture::state_capture(const domain& d, std::vector<dirty_region> regions,
         off += static_cast<std::size_t>(r.hi - r.lo) * sizeof(real_t);
     }
 
-    claims_ = std::make_unique<std::atomic<int>[]>(regions_.size());
-    for (std::size_t i = 0; i < regions_.size(); ++i) claims_[i].store(0);
+    claims_ = std::make_unique<amt::atomic<int>[]>(regions_.size());
+    // relaxed: single-threaded setup — pack tasks are spawned after this
+    // constructor returns, and the spawn itself publishes the array.
+    for (std::size_t i = 0; i < regions_.size(); ++i)
+        claims_[i].store(0, amt::memory_order_relaxed);
 }
 
 bool state_capture::pack_region(std::size_t i) noexcept {
     int expected = 0;
-    if (!claims_[i].compare_exchange_strong(expected, 1)) return false;
+    // relaxed: the claim token only arbitrates WHICH packer runs; the field
+    // data it packs was written before the pack tasks were spawned, so
+    // visibility comes from the spawn edge, not from this CAS.
+    if (!claims_[i].compare_exchange_strong(expected, 1,
+                                            amt::memory_order_relaxed)) {
+        return false;
+    }
     const dirty_region& r = regions_[i];
     const std::vector<real_t>* src = field_vector(*d_, r.f);
     const std::size_t bytes =
@@ -292,8 +301,13 @@ bool state_capture::pack_region(std::size_t i) noexcept {
     std::memcpy(buf_.data() + payload_offset_[i] - sizeof(region_entry) +
                     offsetof(region_entry, payload_crc),
                 &crc, sizeof(crc));
-    claims_[i].store(2);
-    if (packed_.fetch_add(1) + 1 == regions_.size()) {
+    // release: marks this region's payload+CRC bytes in buf_ complete for
+    // anyone who observes state 2 (restore-side validation reads them).
+    claims_[i].store(2, amt::memory_order_release);
+    // acq_rel: the final packer's increment must carry every earlier
+    // packer's buf_ writes to the wait_packed() acquire load below.
+    if (packed_.fetch_add(1, amt::memory_order_acq_rel) + 1 ==
+        regions_.size()) {
         std::lock_guard<std::mutex> lk(mu_);
         cv_.notify_all();
     }
@@ -305,7 +319,8 @@ void state_capture::pack_remaining() noexcept {
 }
 
 void state_capture::mark_failed() noexcept {
-    failed_.store(true);
+    // relaxed: pure flag, no payload handoff (see failed() accessor).
+    failed_.store(true, amt::memory_order_relaxed);
     std::lock_guard<std::mutex> lk(mu_);
     cv_.notify_all();
 }
@@ -313,7 +328,11 @@ void state_capture::mark_failed() noexcept {
 void state_capture::wait_packed() {
     std::unique_lock<std::mutex> lk(mu_);
     cv_.wait(lk, [&] {
-        return failed_.load() || packed_.load() == regions_.size();
+        // acquire on packed_ pairs with the packers' acq_rel increments so
+        // take_record() may read buf_ afterwards; failed_ stays relaxed
+        // (flag only).
+        return failed_.load(amt::memory_order_relaxed) ||
+               packed_.load(amt::memory_order_acquire) == regions_.size();
     });
 }
 

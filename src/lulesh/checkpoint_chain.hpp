@@ -32,7 +32,6 @@
 
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
@@ -42,6 +41,7 @@
 #include <string_view>
 #include <vector>
 
+#include "amt/atomic.hpp"
 #include "lulesh/checkpoint.hpp"
 #include "lulesh/domain.hpp"
 #include "lulesh/fields.hpp"
@@ -134,7 +134,11 @@ public:
     /// Marks the capture unusable (a pack task faulted); wait_packed()
     /// returns and take_record() must not be called.
     void mark_failed() noexcept;
-    [[nodiscard]] bool failed() const noexcept { return failed_.load(); }
+    // relaxed: failed_ is a pure flag — no data is published under it, the
+    // record buffer is only read after wait_packed()'s acquire on packed_.
+    [[nodiscard]] bool failed() const noexcept {
+        return failed_.load(amt::memory_order_relaxed);
+    }
 
     /// Blocks until every claimed region finished packing (call
     /// pack_remaining() first to claim leftovers, or this can wait on
@@ -152,9 +156,9 @@ private:
     std::string buf_;
     bool base_;
     int cycle_ = 0;
-    std::unique_ptr<std::atomic<int>[]> claims_;  // 0 free, 1 packing, 2 done
-    std::atomic<std::size_t> packed_{0};
-    std::atomic<bool> failed_{false};
+    std::unique_ptr<amt::atomic<int>[]> claims_;  // 0 free, 1 packing, 2 done
+    amt::atomic<std::size_t> packed_{0};
+    amt::atomic<bool> failed_{false};
     std::mutex mu_;
     std::condition_variable cv_;
 };

@@ -40,14 +40,14 @@ void region_context::add_productive(std::uint64_t ns) {
 
 void region_context::barrier() {
     team& t = team_;
-    t.barriers_.fetch_add(1, std::memory_order_relaxed);
+    t.barriers_.fetch_add(1, amt::memory_order_relaxed);
     sense_ = !sense_;
-    if (t.barrier_count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (t.barrier_count_.fetch_sub(1, amt::memory_order_acq_rel) == 1) {
         // Last arriver: reset and release the others.
-        t.barrier_count_.store(t.n_, std::memory_order_relaxed);
-        t.barrier_sense_.store(sense_, std::memory_order_release);
+        t.barrier_count_.store(t.n_, amt::memory_order_relaxed);
+        t.barrier_sense_.store(sense_, amt::memory_order_release);
     } else {
-        while (t.barrier_sense_.load(std::memory_order_acquire) != sense_) {
+        while (t.barrier_sense_.load(amt::memory_order_acquire) != sense_) {
             std::this_thread::yield();
         }
     }
@@ -92,7 +92,7 @@ team::team(std::size_t num_threads)
 }
 
 team::~team() {
-    shutdown_.store(true, std::memory_order_release);
+    shutdown_.store(true, amt::memory_order_release);
     fork_cv_.notify_all();
     for (auto& th : threads_) {
         if (th.joinable()) th.join();
@@ -109,7 +109,7 @@ void team::parallel_region(const std::function<void(region_context&)>& fn) {
     const auto t0 = std::chrono::steady_clock::now();
 
     current_fn_ = &fn;
-    done_count_.store(n_ - 1, std::memory_order_relaxed);
+    done_count_.store(n_ - 1, amt::memory_order_relaxed);
     {
         std::lock_guard lk(fork_mu_);
         ++generation_;
@@ -118,7 +118,7 @@ void team::parallel_region(const std::function<void(region_context&)>& fn) {
 
     run_member(0, master_sense_);
 
-    while (done_count_.load(std::memory_order_acquire) != 0) {
+    while (done_count_.load(amt::memory_order_acquire) != 0) {
         std::this_thread::yield();
     }
     current_fn_ = nullptr;
@@ -128,8 +128,8 @@ void team::parallel_region(const std::function<void(region_context&)>& fn) {
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - t0)
                 .count()),
-        std::memory_order_relaxed);
-    regions_entered_.fetch_add(1, std::memory_order_relaxed);
+        amt::memory_order_relaxed);
+    regions_entered_.fetch_add(1, amt::memory_order_relaxed);
 }
 
 void team::thread_loop(std::size_t tid) {
@@ -144,7 +144,7 @@ void team::thread_loop(std::size_t tid) {
                 std::lock_guard lk(fork_mu_);
                 gen = generation_;
             }
-            if (gen != last_gen || shutdown_.load(std::memory_order_acquire)) {
+            if (gen != last_gen || shutdown_.load(amt::memory_order_acquire)) {
                 break;
             }
             if (++spins < spin_rounds_before_sleep) {
@@ -153,11 +153,11 @@ void team::thread_loop(std::size_t tid) {
                 std::unique_lock lk(fork_mu_);
                 fork_cv_.wait_for(lk, std::chrono::milliseconds(1), [&] {
                     return generation_ != last_gen ||
-                           shutdown_.load(std::memory_order_acquire);
+                           shutdown_.load(amt::memory_order_acquire);
                 });
                 gen = generation_;
                 if (gen != last_gen ||
-                    shutdown_.load(std::memory_order_acquire)) {
+                    shutdown_.load(amt::memory_order_acquire)) {
                     break;
                 }
             }
@@ -165,7 +165,7 @@ void team::thread_loop(std::size_t tid) {
         if (gen == last_gen) break;  // shutdown with no pending region
         last_gen = gen;
         run_member(tid, sense);
-        done_count_.fetch_sub(1, std::memory_order_release);
+        done_count_.fetch_sub(1, amt::memory_order_release);
     }
 }
 
@@ -173,17 +173,17 @@ timing_snapshot team::snapshot_timing() const {
     timing_snapshot s;
     s.num_threads = n_;
     for (const auto& slot : slots_) s.productive_ns += slot.productive_ns;
-    s.region_wall_ns = region_wall_ns_.load(std::memory_order_relaxed);
-    s.regions_entered = regions_entered_.load(std::memory_order_relaxed);
-    s.barriers = barriers_.load(std::memory_order_relaxed);
+    s.region_wall_ns = region_wall_ns_.load(amt::memory_order_relaxed);
+    s.regions_entered = regions_entered_.load(amt::memory_order_relaxed);
+    s.barriers = barriers_.load(amt::memory_order_relaxed);
     return s;
 }
 
 void team::reset_timing() {
     for (auto& slot : slots_) slot.productive_ns = 0;
-    region_wall_ns_.store(0, std::memory_order_relaxed);
-    regions_entered_.store(0, std::memory_order_relaxed);
-    barriers_.store(0, std::memory_order_relaxed);
+    region_wall_ns_.store(0, amt::memory_order_relaxed);
+    regions_entered_.store(0, amt::memory_order_relaxed);
+    barriers_.store(0, amt::memory_order_relaxed);
 }
 
 }  // namespace ompsim

@@ -20,7 +20,6 @@
 
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -28,6 +27,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "amt/atomic.hpp"
 
 namespace ompsim {
 
@@ -174,12 +175,12 @@ private:
     std::condition_variable fork_cv_;
     std::uint64_t generation_ = 0;
     const std::function<void(region_context&)>* current_fn_ = nullptr;
-    std::atomic<std::size_t> done_count_{0};
-    std::atomic<bool> shutdown_{false};
+    amt::atomic<std::size_t> done_count_{0};
+    amt::atomic<bool> shutdown_{false};
 
     // Sense-reversing barrier state.
-    std::atomic<std::size_t> barrier_count_;
-    std::atomic<bool> barrier_sense_{false};
+    amt::atomic<std::size_t> barrier_count_;
+    amt::atomic<bool> barrier_sense_{false};
 
     // Reduction rendezvous.
     double reduce_result_ = 0.0;
@@ -191,9 +192,9 @@ private:
     bool master_sense_ = false;
 
     // Timing.
-    std::atomic<std::uint64_t> region_wall_ns_{0};
-    std::atomic<std::uint64_t> regions_entered_{0};
-    std::atomic<std::uint64_t> barriers_{0};
+    amt::atomic<std::uint64_t> region_wall_ns_{0};
+    amt::atomic<std::uint64_t> regions_entered_{0};
+    amt::atomic<std::uint64_t> barriers_{0};
 };
 
 }  // namespace ompsim

@@ -10,9 +10,12 @@
 // control proving the counter actually observes the allocations the
 // replay path eliminated.
 //
-// Deliberately registered without ASan/TSan variants: sanitizers
-// interpose the allocator themselves and would fight the counting
-// definitions below.
+// Sanitizer builds interpose the allocator themselves and would fight
+// the counting definitions below, and the task pool passes through to
+// plain new/delete there anyway (AMT_TASK_POOL_PASSTHROUGH) — so under a
+// sanitizer the counting apparatus compiles out and the zero-allocation
+// EXPECTs are skipped: the suite still replays the compiled graph under
+// ThreadSanitizer (ctest -L tsan) purely for race coverage.
 
 #include <gtest/gtest.h>
 
@@ -23,6 +26,7 @@
 #include <vector>
 
 #include "amt/amt.hpp"
+#include "amt/task_pool.hpp"
 #include "core/driver_taskgraph.hpp"
 #include "lulesh/domain.hpp"
 
@@ -31,6 +35,8 @@
 // gtest bookkeeping outside the windows stays invisible.
 
 namespace {
+
+#if !AMT_TASK_POOL_PASSTHROUGH
 
 std::atomic<std::uint64_t> g_allocs{0};
 std::atomic<bool> g_counting{false};
@@ -55,8 +61,15 @@ void* counted_alloc(std::size_t size, std::align_val_t align) {
     throw std::bad_alloc();
 }
 
+#endif  // !AMT_TASK_POOL_PASSTHROUGH
+
 /// RAII window over the counted region; read() gives allocations so far.
+/// In passthrough (sanitizer) builds the window is inert and reads 0.
 class alloc_probe {
+#if AMT_TASK_POOL_PASSTHROUGH
+public:
+    [[nodiscard]] std::uint64_t read() const { return 0; }
+#else
 public:
     alloc_probe() {
         g_allocs.store(0, std::memory_order_relaxed);
@@ -69,9 +82,12 @@ public:
     [[nodiscard]] std::uint64_t read() const {
         return g_allocs.load(std::memory_order_seq_cst);
     }
+#endif  // AMT_TASK_POOL_PASSTHROUGH
 };
 
 }  // namespace
+
+#if !AMT_TASK_POOL_PASSTHROUGH
 
 void* operator new(std::size_t size) { return counted_alloc(size); }
 void* operator new[](std::size_t size) { return counted_alloc(size); }
@@ -113,6 +129,8 @@ void operator delete[](void* p, const std::nothrow_t&) noexcept {
     std::free(p);
 }
 
+#endif  // !AMT_TASK_POOL_PASSTHROUGH
+
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -142,7 +160,11 @@ TEST(AllocCount, StaticGraphReplayIsAllocationFree) {
         for (int r = 0; r < 10; ++r) g.run(rt);
         allocs = probe.read();
     }
+#if !AMT_TASK_POOL_PASSTHROUGH
     EXPECT_EQ(allocs, 0u) << "static_graph replay must not allocate";
+#else
+    (void)allocs;
+#endif
     EXPECT_EQ(runs.load(), 64 * 13);
 }
 
@@ -169,8 +191,12 @@ TEST(AllocCount, TaskgraphSteadyStateReplayIsAllocationFree) {
         for (int i = 0; i < window; ++i) drv.advance(d);
         allocs = probe.read();
     }
+#if !AMT_TASK_POOL_PASSTHROUGH
     EXPECT_EQ(allocs, 0u)
         << "steady-state replay iterations must not allocate";
+#else
+    (void)allocs;
+#endif
     EXPECT_EQ(drv.compiled()->replays(), replays_before + window);
 }
 
@@ -193,10 +219,14 @@ TEST(AllocCount, CompilePhaseStaysWithinBudget) {
         allocs = probe.read();
     }
     ASSERT_NE(drv.compiled(), nullptr);
+#if !AMT_TASK_POOL_PASSTHROUGH
     EXPECT_GT(allocs, 0u);
     EXPECT_LT(allocs, 50'000u)
         << "compile-phase allocation budget exceeded — did per-iteration "
            "state move into compile()?";
+#else
+    (void)allocs;
+#endif
 }
 
 /// Positive control: build mode re-creates the future/when_all web every
@@ -219,8 +249,12 @@ TEST(AllocCount, BuildModeSteadyStateAllocates) {
         drv.advance(d);
         allocs = probe.read();
     }
+#if !AMT_TASK_POOL_PASSTHROUGH
     EXPECT_GT(allocs, 0u)
         << "build mode allocating nothing means the counter is broken";
+#else
+    (void)allocs;
+#endif
 }
 
 }  // namespace

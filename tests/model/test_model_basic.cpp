@@ -1,0 +1,207 @@
+// Calibration litmuses for the amt::model schedule explorer itself: the
+// classic store-buffering and message-passing shapes, plus the meta
+// guarantees every other suite in tests/model leans on — that a
+// deliberately broken ordering IS caught, that the failure carries a
+// non-empty interleaving trace and replay token, and that feeding the
+// token back reproduces the same failure deterministically.
+
+#include <gtest/gtest.h>
+
+#include "amt/atomic.hpp"
+#include "amt/model.hpp"
+
+namespace {
+
+using amt::model::check;
+using amt::model::model_assert;
+using amt::model::options;
+using amt::model::result;
+
+// ---------------------------------------------------------------------------
+// Store buffering (Dekker): with seq_cst both threads cannot read 0.
+
+result run_sb(amt::memory_order store_mo, amt::memory_order load_mo,
+              const options& o) {
+    return check(o, [=] {
+        amt::atomic<int> x{0};
+        amt::atomic<int> y{0};
+        int r0 = -1;
+        int r1 = -1;
+        amt::model::thread t([&] {
+            y.store(1, store_mo);
+            r1 = x.load(load_mo);
+        });
+        x.store(1, store_mo);
+        r0 = y.load(load_mo);
+        t.join();
+        model_assert(r0 == 1 || r1 == 1, "store buffering: both loads saw 0");
+    });
+}
+
+TEST(ModelBasic, StoreBufferingSeqCstIsClean) {
+    options o;
+    o.quiet = true;
+    const result r =
+        run_sb(amt::memory_order_seq_cst, amt::memory_order_seq_cst, o);
+    EXPECT_FALSE(r.failed) << r.reason << "\n" << r.trace;
+    EXPECT_TRUE(r.complete);
+    EXPECT_GT(r.executions, 1);
+}
+
+// The broken-ordering self-test the whole harness is judged by: relaxed
+// store buffering MUST fail, with a printable interleaving and a replay
+// token that deterministically reproduces the failure.
+TEST(ModelBasic, StoreBufferingRelaxedIsCaughtAndReplays) {
+    options o;
+    o.quiet = true;
+    const result r =
+        run_sb(amt::memory_order_relaxed, amt::memory_order_relaxed, o);
+    ASSERT_TRUE(r.failed) << "relaxed SB must expose both-read-0";
+    EXPECT_NE(r.reason.find("store buffering"), std::string::npos);
+    EXPECT_FALSE(r.trace.empty());
+    ASSERT_EQ(r.replay.rfind("dfs:", 0), 0u) << r.replay;
+
+    options replay_o;
+    replay_o.quiet = true;
+    replay_o.replay = r.replay.c_str();
+    const result again =
+        run_sb(amt::memory_order_relaxed, amt::memory_order_relaxed, replay_o);
+    ASSERT_TRUE(again.failed) << "replay token must reproduce the failure";
+    EXPECT_EQ(again.reason, r.reason);
+    EXPECT_EQ(again.replay, r.replay);
+    EXPECT_EQ(again.executions, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Message passing: data word + release/acquire flag.
+
+result run_mp(amt::memory_order store_mo, amt::memory_order load_mo,
+              const options& o) {
+    return check(o, [=] {
+        amt::atomic<int> data{0};
+        amt::atomic<int> flag{0};
+        amt::model::thread producer([&] {
+            data.store(42, amt::memory_order_relaxed);
+            flag.store(1, store_mo);
+        });
+        if (flag.load(load_mo) == 1) {
+            model_assert(data.load(amt::memory_order_relaxed) == 42,
+                         "message passing: flag seen but data stale");
+        }
+        producer.join();
+    });
+}
+
+TEST(ModelBasic, MessagePassingReleaseAcquireIsClean) {
+    options o;
+    o.quiet = true;
+    const result r =
+        run_mp(amt::memory_order_release, amt::memory_order_acquire, o);
+    EXPECT_FALSE(r.failed) << r.reason << "\n" << r.trace;
+    EXPECT_TRUE(r.complete);
+}
+
+TEST(ModelBasic, MessagePassingRelaxedIsCaught) {
+    options o;
+    o.quiet = true;
+    const result r =
+        run_mp(amt::memory_order_relaxed, amt::memory_order_relaxed, o);
+    ASSERT_TRUE(r.failed);
+    EXPECT_NE(r.reason.find("message passing"), std::string::npos);
+    EXPECT_NE(r.trace.find("stale"), std::string::npos)
+        << "trace should mark the stale read:\n"
+        << r.trace;
+}
+
+// Fences: relaxed accesses bracketed by seq_cst fences restore SB order;
+// weakening the fences to acq_rel is caught.
+TEST(ModelBasic, SeqCstFencesRestoreStoreBufferingOrder) {
+    auto run = [](amt::memory_order fence_mo) {
+        options o;
+        o.quiet = true;
+        return check(o, [=] {
+            amt::atomic<int> x{0};
+            amt::atomic<int> y{0};
+            int r0 = -1;
+            int r1 = -1;
+            amt::model::thread t([&] {
+                y.store(1, amt::memory_order_relaxed);
+                amt::atomic_thread_fence(fence_mo);
+                r1 = x.load(amt::memory_order_relaxed);
+            });
+            x.store(1, amt::memory_order_relaxed);
+            amt::atomic_thread_fence(fence_mo);
+            r0 = y.load(amt::memory_order_relaxed);
+            t.join();
+            model_assert(r0 == 1 || r1 == 1, "fenced SB: both loads saw 0");
+        });
+    };
+    const result good = run(amt::memory_order_seq_cst);
+    EXPECT_FALSE(good.failed) << good.reason << "\n" << good.trace;
+    EXPECT_TRUE(good.complete);
+    const result bad = run(amt::memory_order_acq_rel);
+    EXPECT_TRUE(bad.failed) << "acq_rel fences must not forbid SB";
+}
+
+// ---------------------------------------------------------------------------
+// PCT random mode: finds the relaxed-SB bug and replays by seed.
+
+TEST(ModelBasic, PctModeFindsAndReplaysBySeed) {
+    options o;
+    o.quiet = true;
+    o.mode = options::mode_t::random;
+    o.iterations = 500;
+    const result r =
+        run_sb(amt::memory_order_relaxed, amt::memory_order_relaxed, o);
+    ASSERT_TRUE(r.failed) << "500 PCT iterations should hit relaxed SB";
+    ASSERT_EQ(r.replay.rfind("pct:", 0), 0u) << r.replay;
+
+    options replay_o;
+    replay_o.quiet = true;
+    replay_o.replay = r.replay.c_str();
+    const result again =
+        run_sb(amt::memory_order_relaxed, amt::memory_order_relaxed, replay_o);
+    ASSERT_TRUE(again.failed) << "pct seed must reproduce deterministically";
+    EXPECT_EQ(again.reason, r.reason);
+}
+
+// ---------------------------------------------------------------------------
+// Coherence: two successive reads of one variable never run backwards,
+// even fully relaxed (read-read coherence bounds the store-buffer model).
+TEST(ModelBasic, RelaxedReadsStayCoherent) {
+    options o;
+    o.quiet = true;
+    const result r = check(o, [] {
+        amt::atomic<int> x{0};
+        amt::model::thread w([&] {
+            x.store(1, amt::memory_order_relaxed);
+            x.store(2, amt::memory_order_relaxed);
+        });
+        const int a = x.load(amt::memory_order_relaxed);
+        const int b = x.load(amt::memory_order_relaxed);
+        w.join();
+        model_assert(b >= a, "coherence: later read saw an earlier store");
+    });
+    EXPECT_FALSE(r.failed) << r.reason << "\n" << r.trace;
+    EXPECT_TRUE(r.complete);
+}
+
+// Deadlock reporting: a waiter with no matching notify is reported as a
+// deadlock (the model has no spurious wakeups), naming the parked thread.
+TEST(ModelBasic, LostNotifyReportsDeadlock) {
+    options o;
+    o.quiet = true;
+    const result r = check(o, [] {
+        amt::mutex m;
+        amt::condition_variable cv;
+        amt::model::thread w([&] {
+            std::unique_lock<amt::mutex> lk(m);
+            cv.wait(lk);  // nobody notifies
+        });
+        w.join();
+    });
+    ASSERT_TRUE(r.failed);
+    EXPECT_NE(r.reason.find("deadlock"), std::string::npos) << r.reason;
+}
+
+}  // namespace

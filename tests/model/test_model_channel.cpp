@@ -1,0 +1,134 @@
+// channel reopen litmuses (amt/channel.hpp).  reopen() documents itself as
+// only *meaningful* at a quiescent point, but the distributed recovery
+// layer still must not corrupt the channel if a straggler set() races the
+// close()/reopen() transition — the value may land, be discarded, or bounce
+// off the closed window (channel_closed), but the channel must end in a
+// coherent state: open, FIFO, and delivering exactly the values that
+// landed.  The channel's mutex is amt::mutex, so the model schedules
+// through the critical sections instead of collapsing them.
+
+#include <gtest/gtest.h>
+
+#include "amt/channel.hpp"
+#include "amt/model.hpp"
+
+namespace {
+
+using amt::model::check;
+using amt::model::model_assert;
+using amt::model::options;
+using amt::model::result;
+
+// One producer racing close()+reopen(): every interleaving ends with an
+// open, consistent channel holding either nothing or exactly the
+// producer's value.
+TEST(ModelChannel, ReopenRacingSetStaysCoherent) {
+    options o;
+    o.quiet = true;
+    o.max_executions = 60000;
+    const result r = check(o, [] {
+        amt::channel<int> ch;
+        bool landed = false;
+        amt::model::thread producer([&] {
+            try {
+                ch.set(42);
+                landed = true;
+            } catch (const amt::channel_closed&) {
+                // Raced into the closed window: a legal outcome.
+            }
+        });
+        ch.close();
+        ch.reopen();
+        producer.join();
+        const std::size_t buffered = ch.size_approx();
+        model_assert(buffered <= 1, "reopen conjured extra values");
+        if (buffered == 1) {
+            model_assert(landed, "value buffered but producer saw closed");
+            // The surviving value must be the producer's, delivered once.
+            auto f = ch.get();
+            model_assert(f.is_ready() && f.get() == 42,
+                         "buffered value lost or corrupted across reopen");
+        }
+        // Whatever happened, the channel must accept values again.
+        ch.set(7);
+        auto f2 = ch.get();
+        model_assert(f2.is_ready() && f2.get() == 7,
+                     "reopened channel failed to deliver");
+    });
+    EXPECT_FALSE(r.failed) << r.reason << "\n" << r.trace;
+}
+
+// Two producers racing a close(): whoever lands before the close is
+// discarded BY the close (close clears the buffer), whoever lands after
+// reopen survives, whoever hits the window throws — but no value may be
+// half-delivered and the final set/get roundtrip must stay FIFO.
+TEST(ModelChannel, CloseDiscardsReopenAccepts) {
+    options o;
+    o.quiet = true;
+    o.max_executions = 60000;
+    const result r = check(o, [] {
+        amt::channel<int> ch;
+        int threw = 0;
+        amt::model::thread p1([&] {
+            try {
+                ch.set(1);
+            } catch (const amt::channel_closed&) {
+                ++threw;
+            }
+        });
+        ch.close();
+        ch.reopen();
+        p1.join();
+        model_assert(ch.size_approx() <= 1, "more values than producers");
+        ch.set(10);
+        ch.set(11);
+        // FIFO across the reopen: drain everything buffered; the two
+        // post-reopen values must come out last, in order.
+        std::vector<int> drained;
+        while (ch.size_approx() > 0) {
+            auto f = ch.get();
+            model_assert(f.is_ready(), "buffered channel returned a pending "
+                                       "future");
+            drained.push_back(f.get());
+        }
+        model_assert(drained.size() >= 2, "post-reopen values vanished");
+        const std::size_t n = drained.size();
+        model_assert(drained[n - 2] == 10 && drained[n - 1] == 11,
+                     "FIFO order broken across reopen");
+    });
+    EXPECT_FALSE(r.failed) << r.reason << "\n" << r.trace;
+}
+
+// A getter whose future was failed by close() stays failed after reopen —
+// reopen explicitly does not resurrect old getters.
+TEST(ModelChannel, ReopenDoesNotResurrectFailedGetters)  {
+    options o;
+    o.quiet = true;
+    const result r = check(o, [] {
+        amt::channel<int> ch;
+        auto pending = ch.get();  // parks as a getter
+        amt::model::thread closer([&] {
+            ch.close();
+            ch.reopen();
+        });
+        closer.join();
+        model_assert(pending.is_ready(),
+                     "close must fail the parked getter");
+        bool failed_with_closed = false;
+        try {
+            (void)pending.get();
+        } catch (const amt::channel_closed&) {
+            failed_with_closed = true;
+        }
+        model_assert(failed_with_closed,
+                     "parked getter must fail with channel_closed");
+        // And a fresh getter after reopen is a NEW getter, fed by set().
+        ch.set(5);
+        auto fresh = ch.get();
+        model_assert(fresh.is_ready() && fresh.get() == 5,
+                     "fresh getter after reopen not fed");
+    });
+    EXPECT_FALSE(r.failed) << r.reason << "\n" << r.trace;
+}
+
+}  // namespace

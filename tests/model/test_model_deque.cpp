@@ -1,0 +1,139 @@
+// Chase–Lev work-stealing deque litmuses (amt/deque.hpp): the owner's
+// take-side seq_cst fence against thief CASes is exactly the ordering the
+// Lê/Pop/Cohen/Nardelli proof requires, and it is the subtlest ordering in
+// the runtime.  The positive litmus exhaustively verifies steal-vs-take
+// under the real orderings; the negative one flips the
+// model_weaken_take_fence seam (acq_rel instead of seq_cst in pop) and
+// demands the checker produce the classic double-take with a replayable
+// interleaving.
+
+#include <gtest/gtest.h>
+
+#include "amt/deque.hpp"
+#include "amt/model.hpp"
+#include "amt/task.hpp"
+
+namespace {
+
+using amt::model::check;
+using amt::model::model_assert;
+using amt::model::options;
+using amt::model::result;
+
+struct dummy_task final : amt::task_base {
+    dummy_task() : task_base(/*scheduler_owned=*/false) {}
+    void execute() noexcept override {}
+};
+
+/// Flips the deque's take-fence weakening seam for one scope, restoring it
+/// even when the checked body aborts mid-execution.
+struct weaken_take_fence_guard {
+    weaken_take_fence_guard() { amt::ws_deque::model_weaken_take_fence = true; }
+    ~weaken_take_fence_guard() {
+        amt::ws_deque::model_weaken_take_fence = false;
+    }
+};
+
+// Two queued tasks, one thief stealing twice while the owner pops: the
+// thief's first CAS advances top without the owner synchronizing with it,
+// which is the precondition for pop's stale-top double take if the fence
+// is ever weakened.  Every interleaving must hand out each task at most
+// once and lose none.
+void steal_vs_take_body() {
+    amt::ws_deque dq(4);
+    dummy_task e0;
+    dummy_task e1;
+    dq.push(&e0);
+    dq.push(&e1);
+    amt::task_base* s1 = nullptr;
+    amt::task_base* s2 = nullptr;
+    amt::model::thread thief([&] {
+        s1 = dq.steal();
+        s2 = dq.steal();
+    });
+    amt::task_base* p = dq.pop();
+    thief.join();
+    model_assert(!(p != nullptr && (p == s1 || p == s2)),
+                 "double take: pop and a steal returned the same task");
+    model_assert(!(s1 != nullptr && s1 == s2),
+                 "double take: both steals returned the same task");
+    int handed = (p != nullptr) + (s1 != nullptr) + (s2 != nullptr);
+    model_assert(handed == 2, "lost or duplicated task: 2 pushed");
+}
+
+TEST(ModelDeque, StealVsTakeIsExhaustivelyClean) {
+    options o;
+    o.quiet = true;
+    const result r = check(o, steal_vs_take_body);
+    EXPECT_FALSE(r.failed) << r.reason << "\n" << r.trace;
+    EXPECT_TRUE(r.complete) << "state space should be within bounds";
+}
+
+TEST(ModelDeque, WeakenedTakeFenceIsCaughtAndReplays) {
+    weaken_take_fence_guard weaken;
+    options o;
+    o.quiet = true;
+    const result r = check(o, steal_vs_take_body);
+    ASSERT_TRUE(r.failed)
+        << "acq_rel take fence must allow the classic double take";
+    EXPECT_NE(r.reason.find("double take"), std::string::npos) << r.reason;
+    EXPECT_NE(r.trace.find("stale"), std::string::npos)
+        << "the counterexample hinges on a stale read:\n"
+        << r.trace;
+    ASSERT_FALSE(r.replay.empty());
+
+    options replay_o;
+    replay_o.quiet = true;
+    replay_o.replay = r.replay.c_str();
+    const result again = check(replay_o, steal_vs_take_body);
+    ASSERT_TRUE(again.failed);
+    EXPECT_EQ(again.reason, r.reason);
+    EXPECT_EQ(again.executions, 1);
+}
+
+// Owner racing a single thief for the LAST element: exactly one side wins,
+// under every interleaving (the t == b CAS arbitration path in pop).
+TEST(ModelDeque, LastElementArbitrationIsClean) {
+    options o;
+    o.quiet = true;
+    const result r = check(o, [] {
+        amt::ws_deque dq(4);
+        dummy_task e0;
+        dq.push(&e0);
+        amt::task_base* stolen = nullptr;
+        amt::model::thread thief([&] { stolen = dq.steal(); });
+        amt::task_base* popped = dq.pop();
+        thief.join();
+        model_assert((stolen != nullptr) + (popped != nullptr) == 1,
+                     "last element must go to exactly one side");
+        model_assert(dq.pop() == nullptr, "deque must be empty afterwards");
+    });
+    EXPECT_FALSE(r.failed) << r.reason << "\n" << r.trace;
+    EXPECT_TRUE(r.complete);
+}
+
+// Two thieves racing each other over one element: at most one succeeds
+// (top CAS arbitration between thieves).
+TEST(ModelDeque, TwoThievesNeverShareAnElement) {
+    options o;
+    o.quiet = true;
+    o.max_executions = 60000;
+    const result r = check(o, [] {
+        amt::ws_deque dq(4);
+        dummy_task e0;
+        dq.push(&e0);
+        amt::task_base* a = nullptr;
+        amt::task_base* b = nullptr;
+        amt::model::thread t1([&] { a = dq.steal(); });
+        amt::model::thread t2([&] { b = dq.steal(); });
+        t1.join();
+        t2.join();
+        model_assert(!(a != nullptr && a == b),
+                     "both thieves stole the same element");
+        model_assert((a != nullptr) + (b != nullptr) <= 1,
+                     "one pushed element produced two steals");
+    });
+    EXPECT_FALSE(r.failed) << r.reason << "\n" << r.trace;
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// stop_token litmuses (amt/stop_token.hpp): request_stop's acq_rel
+// exchange against the tokens' acquire polls.  The drivers rely on two
+// properties — a task that observes the stop flag also observes whatever
+// the requester published before requesting (the failure that caused the
+// stop), and racing requesters get exactly one "I made the transition"
+// winner (first failure wins for error reporting).
+
+#include <gtest/gtest.h>
+
+#include "amt/atomic.hpp"
+#include "amt/model.hpp"
+#include "amt/stop_token.hpp"
+
+namespace {
+
+using amt::model::check;
+using amt::model::model_assert;
+using amt::model::options;
+using amt::model::result;
+
+// Requester publishes its failure record (relaxed store, like the fault
+// module's diagnostics) then requests stop; a polling task that sees
+// stop_requested() must see the record.
+TEST(ModelStop, StopObserversSeeTheRequestersPublishedFailure) {
+    options o;
+    o.quiet = true;
+    const result r = check(o, [] {
+        amt::stop_source src;
+        amt::stop_token tok = src.get_token();
+        amt::atomic<int> failure_record{0};
+        amt::model::thread requester([&] {
+            failure_record.store(7, amt::memory_order_relaxed);
+            src.request_stop();
+        });
+        if (tok.stop_requested()) {
+            model_assert(failure_record.load(amt::memory_order_relaxed) == 7,
+                         "stop seen before the failure it reports");
+        }
+        requester.join();
+        model_assert(tok.stop_requested(),
+                     "stop must be visible after joining the requester");
+    });
+    EXPECT_FALSE(r.failed) << r.reason << "\n" << r.trace;
+    EXPECT_TRUE(r.complete);
+}
+
+// Racing request_stop(): the acq_rel exchange arbitrates — exactly one
+// caller wins the not-stopped -> stopped transition.
+TEST(ModelStop, ExactlyOneRequesterWinsTheTransition) {
+    options o;
+    o.quiet = true;
+    const result r = check(o, [] {
+        amt::stop_source src;
+        bool w1 = false;
+        bool w2 = false;
+        amt::model::thread a([&] { w1 = src.request_stop(); });
+        amt::model::thread b([&] { w2 = src.request_stop(); });
+        a.join();
+        b.join();
+        model_assert(w1 != w2, "zero or two winners of the stop transition");
+        model_assert(src.stop_requested(), "stop lost after two requests");
+    });
+    EXPECT_FALSE(r.failed) << r.reason << "\n" << r.trace;
+    EXPECT_TRUE(r.complete);
+}
+
+// Drain-vs-stop: a worker drains items unless stop is requested; the
+// stopper counts what it managed to cancel.  Whatever the interleaving,
+// every item is either drained or cancelled, never both or neither —
+// the shape the wave drivers use to short-circuit sibling partitions.
+TEST(ModelStop, DrainVersusStopNeverLosesOrDuplicatesWork) {
+    options o;
+    o.quiet = true;
+    o.max_executions = 60000;
+    const result r = check(o, [] {
+        amt::stop_source src;
+        amt::stop_token tok = src.get_token();
+        constexpr int kItems = 3;
+        amt::atomic<int> next{0};
+        int drained = 0;
+        int cancelled = 0;
+        amt::model::thread worker([&] {
+            for (;;) {
+                if (tok.stop_requested()) break;
+                const int i = next.fetch_add(1, amt::memory_order_acq_rel);
+                if (i >= kItems) break;
+                ++drained;
+            }
+        });
+        src.request_stop();
+        // Claim whatever the worker had not started when stop landed.
+        for (;;) {
+            const int i = next.fetch_add(1, amt::memory_order_acq_rel);
+            if (i >= kItems) break;
+            ++cancelled;
+        }
+        worker.join();
+        model_assert(drained + cancelled == kItems,
+                     "drain-vs-stop: items lost or handled twice");
+    });
+    EXPECT_FALSE(r.failed) << r.reason << "\n" << r.trace;
+}
+
+// A default token never reports stop, even racing a live source elsewhere.
+TEST(ModelStop, DefaultTokenIsInert) {
+    options o;
+    o.quiet = true;
+    const result r = check(o, [] {
+        amt::stop_token inert;
+        amt::stop_source src;
+        amt::model::thread t([&] { src.request_stop(); });
+        model_assert(!inert.stop_requested(),
+                     "default-constructed token reported a stop");
+        model_assert(!inert.stop_possible(), "default token stop_possible");
+        t.join();
+    });
+    EXPECT_FALSE(r.failed) << r.reason << "\n" << r.trace;
+    EXPECT_TRUE(r.complete);
+}
+
+}  // namespace

@@ -349,10 +349,10 @@ TEST(Amt004, SilentOnConstAtomicAndThreadLocal) {
         "namespace lulesh {\n"
         "constexpr int chunk = 64;\n"
         "const char* const banner = \"lulesh\";\n"
-        "std::atomic<int> faults_seen = 0;\n"
+        "amt::atomic<int> faults_seen = 0;\n"
         "thread_local int scratch_high_water = 0;\n"
         "void bump() {\n"
-        "    static std::atomic<long> hits = 0;\n"
+        "    static amt::atomic<long> hits = 0;\n"
         "    static const int limit = 8;\n"
         "    ++hits;\n"
         "}\n"
@@ -471,6 +471,121 @@ TEST(Mechanics, CommentsStringsAndPreprocessorAreNotCode) {
         "const char* doc = \"amt::async(rt, [&x] { ++x; });\";\n"
         "void f() { (void)doc; }\n";
     EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+// ===================== tokenizer: raw strings, separators =================
+
+TEST(Tokenizer, RawStringContentsAreNotCode) {
+    // The raw string holds an embedded quote; a classic-escape lexer would
+    // close the literal there and lex the trailing `std::atomic` as code,
+    // firing AMT006.  Raw-string support must swallow it wholesale.
+    const std::string src =
+        "const char* kDoc = R\"(say \"no\" to std::atomic here)\";\n"
+        "void f() { (void)kDoc; }\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+TEST(Tokenizer, RawStringWithDelimiterAndLineNumbersAfter) {
+    // d-char delimiter, an inner `)"`, and newlines inside the literal —
+    // the diagnostic after it must land on the right line.
+    const std::string src =
+        "const char* kJson = R\"x(line one \")\" quote\n"  // 1
+        "line two std::atomic<int> not code\n"             // 2
+        ")x\";\n"                                          // 3
+        "std::atomic<int> counter{0};\n"                   // 4: AMT006
+        "void f() { (void)kJson; }\n";
+    const auto ds = lint(src);
+    ASSERT_EQ(ds.size(), 1u) << rules_of(ds);
+    EXPECT_EQ(ds[0].rule, "AMT006");
+    EXPECT_EQ(ds[0].line, 4);
+}
+
+TEST(Tokenizer, DigitSeparatorsLexAsOneNumber) {
+    // 1'000'000 must lex as a single number, not a char literal that eats
+    // the rest of the line; the AMT005 on the next line proves the stream
+    // stayed aligned.
+    const std::string src =
+        "void f(amt::runtime& rt) {\n"                    // 1
+        "    constexpr std::size_t kN = 1'000'000;\n"     // 2
+        "    (void)kN;\n"                                 // 3
+        "    amt::async(rt, [] { work(); });\n"           // 4: AMT005
+        "}\n";
+    const auto ds = lint(src);
+    ASSERT_EQ(ds.size(), 1u) << rules_of(ds);
+    EXPECT_EQ(ds[0].rule, "AMT005");
+    EXPECT_EQ(ds[0].line, 4);
+}
+
+// ===================== AMT006: raw atomics outside the shim ===============
+
+TEST(Amt006, FlagsRawAtomicDeclaration) {
+    const std::string src =
+        "struct counters {\n"             // 1
+        "    std::atomic<int> hits{0};\n"  // 2: AMT006
+        "};\n";
+    const auto ds = lint(src);
+    ASSERT_EQ(ds.size(), 1u) << rules_of(ds);
+    EXPECT_EQ(ds[0].rule, "AMT006");
+    EXPECT_EQ(ds[0].line, 2);
+    EXPECT_EQ(ds[0].format(),
+              "fix.cpp:2: [AMT006] raw 'std::atomic' bypasses the "
+              "model-check shim — use amt::atomic from amt/atomic.hpp so "
+              "amtcheck (AMT_MODEL_CHECK builds) can schedule through the "
+              "operation");
+}
+
+TEST(Amt006, FlagsMemoryOrderFenceAndFlag) {
+    const std::string src =
+        "void f(amt::atomic<int>& a) {\n"                           // 1
+        "    a.store(1, std::memory_order_release);\n"              // 2
+        "    std::atomic_thread_fence(std::memory_order_seq_cst);\n"  // 3 (x2)
+        "    std::atomic_flag busy;\n"                              // 4
+        "    (void)busy;\n"                                         // 5
+        "}\n";
+    const auto ds = lint(src);
+    ASSERT_EQ(ds.size(), 4u) << rules_of(ds);
+    EXPECT_EQ(ds[0].line, 2);
+    EXPECT_EQ(ds[1].line, 3);
+    EXPECT_EQ(ds[2].line, 3);
+    EXPECT_EQ(ds[3].line, 4);
+    for (const auto& d : ds) EXPECT_EQ(d.rule, "AMT006");
+}
+
+TEST(Amt006, SilentOnShimAliasesAndUnrelatedStd) {
+    const std::string src =
+        "void f() {\n"
+        "    amt::atomic<int> a{0};\n"
+        "    a.store(1, amt::memory_order_relaxed);\n"
+        "    amt::atomic_thread_fence(amt::memory_order_seq_cst);\n"
+        "    std::vector<int> v;\n"
+        "    std::mutex mu;  // mutexes are legal: shim-free sections\n"
+        "    (void)v; (void)mu;\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+TEST(Amt006, SuppressibleWithAllowComment) {
+    const std::string src =
+        "// amtlint: allow(AMT006) interop: imported third-party header\n"
+        "std::atomic<int> legacy{0};\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+TEST(Amt006, AtomicsOnlyModeRunsJustAmt006) {
+    // The src/amt pass: task-usage rules off, raw-atomic detection on.
+    const std::string src =
+        "void f(amt::runtime& rt) {\n"         // 1
+        "    int x = 0;\n"                     // 2
+        "    amt::async(rt, [&x] { ++x; });\n"  // 3: AMT001+AMT005 (gated off)
+        "    std::atomic<int> a{0};\n"         // 4: AMT006
+        "    (void)a;\n"                       // 5
+        "}\n";
+    amtlint::config cfg;
+    cfg.atomics_only = true;
+    const auto ds = lint_source("fix.cpp", src, cfg);
+    ASSERT_EQ(ds.size(), 1u) << rules_of(ds);
+    EXPECT_EQ(ds[0].rule, "AMT006");
+    EXPECT_EQ(ds[0].line, 4);
 }
 
 }  // namespace

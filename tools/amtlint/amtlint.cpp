@@ -117,7 +117,8 @@ std::vector<token> tokenize(const std::string& s, suppression_map& sup) {
             continue;
         }
         if (c == '"' || c == '\'') {
-            // Raw strings don't appear in this tree; classic escapes only.
+            // Classic literal; raw strings are caught in the ident branch
+            // below (their `R`-prefix lexes as an identifier first).
             const char quote = c;
             const int start_line = line;
             ++i;
@@ -137,7 +138,29 @@ std::vector<token> tokenize(const std::string& s, suppression_map& sup) {
                              s[j] == '_')) {
                 ++j;
             }
-            out.push_back({token::kind::ident, s.substr(i, j - i), line});
+            std::string word = s.substr(i, j - i);
+            // Raw string literal: R"delim( ... )delim" — the contents are
+            // NOT code and may hold quotes/backslashes the classic lexer
+            // would mis-pair, so skip to the matching )delim" wholesale.
+            if (j < n && s[j] == '"' &&
+                (word == "R" || word == "LR" || word == "u8R" ||
+                 word == "uR" || word == "UR")) {
+                const int start_line = line;
+                std::size_t d = j + 1;
+                while (d < n && s[d] != '(' && s[d] != '\n') ++d;
+                std::string close(")");
+                close.append(s, j + 1, d - (j + 1));
+                close.push_back('"');
+                std::size_t end = s.find(close, d);
+                end = end == std::string::npos ? n : end + close.size();
+                for (std::size_t k = i; k < end; ++k) {
+                    if (s[k] == '\n') ++line;
+                }
+                out.push_back({token::kind::string, "\"", start_line});
+                i = end;
+                continue;
+            }
+            out.push_back({token::kind::ident, std::move(word), line});
             i = j;
             continue;
         }
@@ -835,6 +858,38 @@ void check_amt005(const std::vector<token>& toks,
     }
 }
 
+// ===================== AMT006 =====================
+
+/// `std::`-qualified names that bypass the amt/atomic.hpp shim.  The exact
+/// `atomic`/`atomic_flag`/`atomic_ref` templates, the fences, and every
+/// `memory_order*` constant; `std::mutex` and friends are deliberately NOT
+/// flagged — the model collapses shim-free critical sections soundly.
+bool is_raw_atomic_name(const std::string& name) {
+    return name == "atomic" || name == "atomic_flag" ||
+           name == "atomic_ref" || name == "atomic_thread_fence" ||
+           name == "atomic_signal_fence" ||
+           name.rfind("memory_order", 0) == 0;
+}
+
+void check_amt006(const std::vector<token>& toks,
+                  std::vector<diagnostic>& out) {
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].k != token::kind::ident || toks[i].text != "std") {
+            continue;
+        }
+        if (!is(toks[i + 1], "::")) continue;
+        const token& t = toks[i + 2];
+        if (t.k != token::kind::ident || !is_raw_atomic_name(t.text)) {
+            continue;
+        }
+        out.push_back(
+            {"", t.line, "AMT006",
+             "raw 'std::" + t.text + "' bypasses the model-check shim — "
+             "use amt::" + t.text + " from amt/atomic.hpp so amtcheck "
+             "(AMT_MODEL_CHECK builds) can schedule through the operation"});
+    }
+}
+
 }  // namespace
 
 std::vector<diagnostic> lint_source(const std::string& file,
@@ -844,14 +899,17 @@ std::vector<diagnostic> lint_source(const std::string& file,
     const auto toks = tokenize(contents, sup);
 
     std::vector<diagnostic> diags;
-    const auto lambdas = find_task_lambdas(toks);
-    check_amt001(toks, lambdas, diags);
-    check_amt002(toks, lambdas, diags);
-    if (cfg.kernel_rules) {
-        check_amt003(toks, diags);
-        check_amt004(toks, diags);
+    if (!cfg.atomics_only) {
+        const auto lambdas = find_task_lambdas(toks);
+        check_amt001(toks, lambdas, diags);
+        check_amt002(toks, lambdas, diags);
+        if (cfg.kernel_rules) {
+            check_amt003(toks, diags);
+            check_amt004(toks, diags);
+        }
+        check_amt005(toks, diags);
     }
-    check_amt005(toks, diags);
+    check_amt006(toks, diags);
 
     std::vector<diagnostic> kept;
     for (auto& d : diags) {

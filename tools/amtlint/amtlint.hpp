@@ -33,6 +33,14 @@
 //   AMT005  a future-producing call discarded as a full statement without
 //           .then/when_all consumption — a lost continuation breaks the
 //           pre-built dependency graph (paper trick T6).
+//   AMT006  raw std::atomic / std::atomic_flag / std::atomic_ref /
+//           std::atomic_*_fence / std::memory_order* outside the shim —
+//           every atomic in the tree must go through the amt:: aliases in
+//           amt/atomic.hpp so the deterministic model checker
+//           (AMT_MODEL_CHECK) can interpose a schedule point on each
+//           operation.  The shim itself (src/amt/atomic.hpp) and the model
+//           implementation (src/amt/model.*) are exempted by the driver's
+//           --exclude list, not by the rule.
 //
 // Suppression: a comment `// amtlint: allow(AMTnnn) <reason>` on the same
 // line or the line above suppresses that rule there; the reason is
@@ -52,7 +60,7 @@ namespace amtlint {
 struct diagnostic {
     std::string file;  ///< path as reported (relative to --root when given)
     int line = 0;      ///< 1-based
-    std::string rule;  ///< "AMT001".."AMT005"
+    std::string rule;  ///< "AMT001".."AMT006"
     std::string message;
 
     /// The canonical "file:line: [RULE] message" form (also the baseline
@@ -69,6 +77,13 @@ struct config {
     /// the runtime *implements* the future/task primitives and legitimately
     /// manipulates them below the abstraction line the rules police.
     bool kernel_rules = true;
+
+    /// Run ONLY AMT006 (raw-atomic detection).  Used for the second scan
+    /// pass over src/amt: the runtime layer is exempt from the task-usage
+    /// rules (it implements the primitives) but must still route every
+    /// atomic through the shim — except the shim and model themselves,
+    /// which the driver excludes by path.
+    bool atomics_only = false;
 };
 
 /// Lints one translation unit given its display path and full contents.

@@ -1,7 +1,7 @@
 // tools/amtlint/main.cpp — CLI driver.
 //
 //   amtlint [--baseline FILE] [--root DIR] [--exclude SUBSTR]...
-//           [--no-kernel-rules] <file-or-dir>...
+//           [--no-kernel-rules] [--atomics-only] <file-or-dir>...
 //
 // Directories are walked recursively for .hpp/.cpp/.h/.cc sources; paths
 // are reported relative to --root (default: current directory) with '/'
@@ -44,7 +44,8 @@ std::string display_path(const fs::path& p, const fs::path& root) {
 int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " [--baseline FILE] [--root DIR] [--exclude SUBSTR]...\n"
-                 "       [--no-kernel-rules] <file-or-dir>...\n";
+                 "       [--no-kernel-rules] [--atomics-only] "
+                 "<file-or-dir>...\n";
     return 2;
 }
 
@@ -74,6 +75,8 @@ int main(int argc, char** argv) {
             excludes.emplace_back(value("--exclude"));
         } else if (arg == "--no-kernel-rules") {
             cfg.kernel_rules = false;
+        } else if (arg == "--atomics-only") {
+            cfg.atomics_only = true;
         } else if (arg == "-h" || arg == "--help") {
             return usage(argv[0]);
         } else if (!arg.empty() && arg[0] == '-') {
