@@ -32,6 +32,12 @@ int main(int argc, char** argv) {
               << "threads: " << threads << ", iterations: " << sweep.iters
               << "\n\n";
 
+    bench::artifact art("ablation");
+    art.set_config("sizes", bench::join_ints(sweep.sizes));
+    art.set_config("threads", threads);
+    art.set_config("iters", sweep.iters);
+    art.set_config("reps", sweep.reps);
+
     std::vector<std::string> csv;
     for (int size : sweep.sizes) {
         lulesh::options problem;
@@ -42,24 +48,33 @@ int main(int argc, char** argv) {
 
         struct config {
             const char* label;
+            const char* slug;  // artifact metric key segment
             const char* driver;
             lulesh::partition_sizes parts;
         };
         const config configs[] = {
-            {"serial", "serial", tuned},
-            {"parallel_for (omp-style)", "parallel_for", tuned},
-            {"foreach (naive port)", "foreach", tuned},
-            {"taskgraph fine (P=32)", "taskgraph", {32, 32}},
-            {"taskgraph tuned (Table I)", "taskgraph", tuned},
-            {"taskgraph coarse (P=inf)", "taskgraph", {inf, inf}},
+            {"serial", "serial", "serial", tuned},
+            {"parallel_for (omp-style)", "parallel_for", "parallel_for",
+             tuned},
+            {"foreach (naive port)", "foreach", "foreach", tuned},
+            {"taskgraph fine (P=32)", "taskgraph_fine", "taskgraph", {32, 32}},
+            {"taskgraph tuned (Table I)", "taskgraph_tuned", "taskgraph",
+             tuned},
+            {"taskgraph coarse (P=inf)", "taskgraph_coarse", "taskgraph",
+             {inf, inf}},
         };
 
         std::cout << "size " << size << ":\n";
         double serial_seconds = 0.0;
         for (const auto& cfg : configs) {
-            const auto m = bench::run_config_median(
+            const auto reps = bench::run_config_reps(
                 problem, cfg.driver, static_cast<std::size_t>(threads),
                 cfg.parts, sweep.iters, sweep.reps);
+            const auto m = reps.median();
+            art.add_seconds(bench::metric_key(std::string("seconds/") +
+                                                  cfg.slug,
+                                              {{"s", size}}),
+                            reps);
             if (cfg.driver == std::string("serial")) serial_seconds = m.seconds;
             std::cout << "  " << std::left << std::setw(28) << cfg.label
                       << std::setprecision(4) << std::setw(11) << m.seconds
@@ -81,5 +96,6 @@ int main(int argc, char** argv) {
     }
     std::cout << "# size,config,seconds\n";
     for (const auto& row : csv) std::cout << row << "\n";
+    art.write_file();
     return 0;
 }

@@ -15,19 +15,41 @@
 //                     hours of runtime — use on a real multicore machine)
 //
 // Results print as an aligned table followed by CSV rows prefixed "CSV,"
-// for machine consumption.
+// for machine consumption, and every binary writes a machine-readable
+// BENCH_<name>.json artifact (schema "lulesh-bench-v1": config, environment
+// fingerprint, per-metric samples + summary) that scripts/bench_compare.py
+// diffs across builds.
+//
+// Timing-hygiene policy (THE one place it is defined — every benchmark
+// routes through run_config_reps/run_config_median, so the policy is
+// uniform across all binaries):
+//   * each timed configuration runs ONE untimed warm-up repetition first,
+//     so first-touch page faults, allocator pool growth, and graph
+//     compilation never land in a reported sample;
+//   * `--reps n` timed repetitions follow; artifacts store every sample
+//     and summarize with MIN wall time (the least-noise point estimator
+//     once cold-start effects are excluded — any positive deviation from
+//     min is interference, never signal), while the printed tables keep
+//     reporting the median for continuity with earlier result logs.
 
 #pragma once
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <initializer_list>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "amt/amt.hpp"
+#include "bench_artifact.hpp"
 #include "core/driver_foreach.hpp"
 #include "core/driver_taskgraph.hpp"
 #include "lulesh/driver.hpp"
@@ -91,22 +113,46 @@ inline measurement run_config(const lulesh::options& problem,
     return m;
 }
 
-/// Runs `reps` times and returns the measurement with median wall time.
+/// All timed repetitions of one configuration, after the policy warm-up
+/// (see the header comment: one discarded rep, then `reps` kept samples).
+struct rep_samples {
+    std::vector<measurement> reps;  ///< sorted by wall time, ascending
+
+    [[nodiscard]] const measurement& best() const { return reps.front(); }
+    [[nodiscard]] const measurement& median() const {
+        return reps[reps.size() / 2];
+    }
+};
+
+/// Runs the policy's warm-up plus `reps` timed repetitions and returns the
+/// samples sorted by wall time.
+inline rep_samples run_config_reps(const lulesh::options& problem,
+                                   const std::string& driver,
+                                   std::size_t threads,
+                                   lulesh::partition_sizes parts, int iters,
+                                   int reps) {
+    run_config(problem, driver, threads, parts, iters);  // warm-up, untimed
+    rep_samples s;
+    s.reps.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        s.reps.push_back(run_config(problem, driver, threads, parts, iters));
+    }
+    std::sort(s.reps.begin(), s.reps.end(),
+              [](const measurement& a, const measurement& b) {
+                  return a.seconds < b.seconds;
+              });
+    return s;
+}
+
+/// Runs the policy (warm-up + reps) and returns the measurement with median
+/// wall time — what the printed tables report.
 inline measurement run_config_median(const lulesh::options& problem,
                                      const std::string& driver,
                                      std::size_t threads,
                                      lulesh::partition_sizes parts, int iters,
                                      int reps) {
-    std::vector<measurement> ms;
-    ms.reserve(static_cast<std::size_t>(reps));
-    for (int i = 0; i < reps; ++i) {
-        ms.push_back(run_config(problem, driver, threads, parts, iters));
-    }
-    std::sort(ms.begin(), ms.end(),
-              [](const measurement& a, const measurement& b) {
-                  return a.seconds < b.seconds;
-              });
-    return ms[ms.size() / 2];
+    return run_config_reps(problem, driver, threads, parts, iters, reps)
+        .median();
 }
 
 struct sweep_options {

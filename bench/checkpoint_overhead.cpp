@@ -24,9 +24,7 @@
 #include <iostream>
 #include <thread>
 
-#include "amt/amt.hpp"
-#include "core/driver_taskgraph.hpp"
-#include "lulesh/driver.hpp"
+#include "bench_common.hpp"
 #include "lulesh/resilient_run.hpp"
 
 namespace {
@@ -109,6 +107,16 @@ int main() {
               << t_plain * 1e3 / kCycles << "," << t_full * 1e3 / kCycles
               << "," << t_incr * 1e3 / kCycles << "," << full_pct << ","
               << incr_pct << "\n";
+
+    bench::artifact art("checkpoint_overhead");
+    art.set_config("size", problem().size);
+    art.set_config("cycles", kCycles);
+    art.add_sample("plain_ms_per_iter", t_plain * 1e3 / kCycles, "ms");
+    art.add_sample("full_ms_per_iter", t_full * 1e3 / kCycles, "ms");
+    art.add_sample("incr_ms_per_iter", t_incr * 1e3 / kCycles, "ms");
+    art.add_sample("full_overhead_pct", full_pct, "pct");
+    art.add_sample("incr_overhead_pct", incr_pct, "pct");
+    art.write_file();
 
     if (!(incr_pct < 5.0)) {
         std::cerr << "FAIL: incremental checkpoint-every-1 overhead "

@@ -112,6 +112,13 @@ int main(int argc, char** argv) {
               << ", iterations: " << sweep.iters << ", reps: " << sweep.reps
               << "\n\n";
 
+    bench::artifact art("dist_recovery");
+    art.set_config("sizes", bench::join_ints(sweep.sizes));
+    art.set_config("threads", static_cast<long long>(threads));
+    art.set_config("slabs", static_cast<long long>(slabs));
+    art.set_config("iters", sweep.iters);
+    art.set_config("reps", sweep.reps);
+
     bool ok = true;
     std::vector<std::string> csv;
     for (int size : sweep.sizes) {
@@ -120,6 +127,10 @@ int main(int argc, char** argv) {
         problem.num_regions = 11;
         const auto parts = bench::tuned_parts(size);
 
+        // Policy warm-up (bench_common.hpp): one untimed run before the
+        // rep loop so first-touch costs never land in a kept sample.
+        run_plain(problem, slabs, threads, parts, sweep.iters,
+                  /*armed=*/false);
         std::vector<double> base_s, armed_s;
         for (int r = 0; r < sweep.reps; ++r) {
             base_s.push_back(run_plain(problem, slabs, threads, parts,
@@ -169,6 +180,19 @@ int main(int argc, char** argv) {
             ok = false;
         }
 
+        for (const double v : base_s) {
+            art.add_sample(bench::metric_key("base_seconds", {{"s", size}}),
+                           v);
+        }
+        for (const double v : armed_s) {
+            art.add_sample(bench::metric_key("armed_seconds", {{"s", size}}),
+                           v);
+        }
+        art.add_sample(bench::metric_key("armed_overhead_pct", {{"s", size}}),
+                       overhead_pct, "pct");
+        art.add_sample(bench::metric_key("mttr_ms", {{"s", size}}), mttr_ms,
+                       "ms");
+
         std::ostringstream row;
         row << "CSV,dist_recovery," << size << "," << slabs << "," << base
             << "," << armed << "," << overhead_pct << "," << mttr_ms << ","
@@ -178,5 +202,6 @@ int main(int argc, char** argv) {
     std::cout << "\n# size,slabs,base_seconds,armed_seconds,overhead_pct,"
                  "mttr_ms,recoveries\n";
     for (const auto& row : csv) std::cout << row << "\n";
+    art.write_file();
     return ok ? 0 : 1;
 }

@@ -32,6 +32,24 @@ double run_dist(const lulesh::options& problem, lulesh::index_t slabs,
     return lulesh::dist::run_simulation(c, drv, iters).elapsed_seconds;
 }
 
+/// The bench_common timing policy for the dist runner: one untimed warm-up,
+/// then `reps` samples sorted ascending (front = min, middle = median).
+std::vector<double> run_dist_reps(const lulesh::options& problem,
+                                  lulesh::index_t slabs,
+                                  lulesh::dist::dist_driver::exchange_mode mode,
+                                  std::size_t threads,
+                                  lulesh::partition_sizes parts, int iters,
+                                  int reps) {
+    run_dist(problem, slabs, mode, threads, parts, iters);
+    std::vector<double> s;
+    s.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        s.push_back(run_dist(problem, slabs, mode, threads, parts, iters));
+    }
+    std::sort(s.begin(), s.end());
+    return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -78,6 +96,14 @@ int main(int argc, char** argv) {
               << "futurized(s)" << std::setw(14) << "bulk-sync(s)"
               << std::setw(12) << "eager/bsp" << "\n";
 
+    bench::artifact art("dist_scaling");
+    art.set_config("sizes", bench::join_ints(sweep.sizes));
+    art.set_config("threads", static_cast<long long>(threads));
+    art.set_config("iters", sweep.iters);
+    art.set_config("reps", sweep.reps);
+    art.set_config("halo_timeout_ms",
+                   static_cast<long long>(g_halo_timeout.count()));
+
     std::vector<std::string> csv;
     for (int size : sweep.sizes) {
         lulesh::options problem;
@@ -86,8 +112,11 @@ int main(int argc, char** argv) {
         const auto parts = bench::tuned_parts(size);
 
         // Single-domain reference.
-        const auto single = bench::run_config_median(
+        const auto single_reps = bench::run_config_reps(
             problem, "taskgraph", threads, parts, sweep.iters, sweep.reps);
+        const auto single = single_reps.median();
+        art.add_seconds(
+            bench::metric_key("single_seconds", {{"s", size}}), single_reps);
         std::cout << std::left << std::setw(6) << size << std::setw(7) << 1
                   << std::setw(16) << std::setprecision(4) << single.seconds
                   << std::setw(16) << "-" << std::setw(12) << "-"
@@ -95,17 +124,36 @@ int main(int argc, char** argv) {
 
         for (lulesh::index_t slabs : {2, 4}) {
             if (slabs > problem.size) continue;
-            const double egr = run_dist(
+            const auto egr_reps = run_dist_reps(
                 problem, slabs, lulesh::dist::dist_driver::exchange_mode::eager,
-                threads, parts, sweep.iters);
-            const double fut = run_dist(
+                threads, parts, sweep.iters, sweep.reps);
+            const auto fut_reps = run_dist_reps(
                 problem, slabs,
                 lulesh::dist::dist_driver::exchange_mode::futurized, threads,
-                parts, sweep.iters);
-            const double bsp = run_dist(
+                parts, sweep.iters, sweep.reps);
+            const auto bsp_reps = run_dist_reps(
                 problem, slabs,
                 lulesh::dist::dist_driver::exchange_mode::bulk_synchronous,
-                threads, parts, sweep.iters);
+                threads, parts, sweep.iters, sweep.reps);
+            const double egr = egr_reps[egr_reps.size() / 2];
+            const double fut = fut_reps[fut_reps.size() / 2];
+            const double bsp = bsp_reps[bsp_reps.size() / 2];
+            const auto sl = static_cast<int>(slabs);
+            for (const double v : egr_reps) {
+                art.add_sample(bench::metric_key("eager_seconds",
+                                                 {{"s", size}, {"sl", sl}}),
+                               v);
+            }
+            for (const double v : fut_reps) {
+                art.add_sample(bench::metric_key("futurized_seconds",
+                                                 {{"s", size}, {"sl", sl}}),
+                               v);
+            }
+            for (const double v : bsp_reps) {
+                art.add_sample(bench::metric_key("bsp_seconds",
+                                                 {{"s", size}, {"sl", sl}}),
+                               v);
+            }
             std::cout << std::left << std::setw(6) << size << std::setw(7)
                       << slabs << std::setw(14) << std::setprecision(4) << egr
                       << std::setw(14) << fut << std::setw(14) << bsp
@@ -119,5 +167,6 @@ int main(int argc, char** argv) {
     }
     std::cout << "# size,slabs,eager_seconds,futurized_seconds,bsp_seconds\n";
     for (const auto& row : csv) std::cout << row << "\n";
+    art.write_file();
     return 0;
 }

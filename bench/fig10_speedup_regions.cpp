@@ -32,6 +32,13 @@ int main(int argc, char** argv) {
               << "regions" << std::setw(15) << "omp-style(s)" << std::setw(15)
               << "taskgraph(s)" << std::setw(10) << "speedup" << "\n";
 
+    bench::artifact art("fig10");
+    art.set_config("sizes", bench::join_ints(sweep.sizes));
+    art.set_config("regions", bench::join_ints(sweep.regions));
+    art.set_config("threads", threads);
+    art.set_config("iters", sweep.iters);
+    art.set_config("reps", sweep.reps);
+
     std::vector<std::string> csv;
     for (int size : sweep.sizes) {
         const int iters = bench::ae_iteration_cap(size, sweep.iters);
@@ -40,12 +47,21 @@ int main(int argc, char** argv) {
             lulesh::options problem;
             problem.size = static_cast<lulesh::index_t>(size);
             problem.num_regions = static_cast<lulesh::index_t>(regions);
-            const auto base = bench::run_config_median(
+            const auto base_reps = bench::run_config_reps(
                 problem, "parallel_for", static_cast<std::size_t>(threads),
                 parts, iters, sweep.reps);
-            const auto task = bench::run_config_median(
+            const auto task_reps = bench::run_config_reps(
                 problem, "taskgraph", static_cast<std::size_t>(threads), parts,
                 iters, sweep.reps);
+            const auto base = base_reps.median();
+            const auto task = task_reps.median();
+            art.add_seconds(
+                bench::metric_key("omp_seconds", {{"s", size}, {"r", regions}}),
+                base_reps);
+            art.add_seconds(
+                bench::metric_key("task_seconds",
+                                  {{"s", size}, {"r", regions}}),
+                task_reps);
             const double speedup =
                 task.seconds > 0 ? base.seconds / task.seconds : 0.0;
             std::cout << std::left << std::setw(6) << size << std::setw(9)
@@ -61,5 +77,6 @@ int main(int argc, char** argv) {
     }
     std::cout << "# size,regions,threads,omp_seconds,task_seconds,speedup\n";
     for (const auto& row : csv) std::cout << row << "\n";
+    art.write_file();
     return 0;
 }

@@ -57,6 +57,12 @@ int main(int argc, char** argv) {
     std::cout << std::left << std::setw(6) << "size" << std::setw(16)
               << "omp-style" << std::setw(16) << "taskgraph" << "\n";
 
+    bench::artifact art("fig11");
+    art.set_config("sizes", bench::join_ints(sweep.sizes));
+    art.set_config("threads", threads);
+    art.set_config("iters", sweep.iters);
+    art.set_config("reps", sweep.reps);
+
     std::vector<std::string> csv;
     for (int size : sweep.sizes) {
         lulesh::options problem;
@@ -70,6 +76,10 @@ int main(int argc, char** argv) {
         const auto task = bench::run_config_median(
             problem, "taskgraph", static_cast<std::size_t>(threads), parts,
             iters, sweep.reps);
+        art.add_sample(bench::metric_key("omp_ratio", {{"s", size}}),
+                       base.productive_ratio, "ratio", "higher");
+        art.add_sample(bench::metric_key("task_ratio", {{"s", size}}),
+                       task.productive_ratio, "ratio", "higher");
         std::cout << std::left << std::setw(6) << size << std::setw(16)
                   << std::setprecision(4) << base.productive_ratio
                   << std::setw(16) << task.productive_ratio << "\n";
@@ -117,5 +127,11 @@ int main(int argc, char** argv) {
                   << p.steals << "," << std::setprecision(4)
                   << p.utilization() << "\n";
     }
+    for (const auto& p : report.phases) {
+        art.add_sample("phase_util/" + p.name, p.utilization(), "ratio",
+                       "higher");
+    }
+    art.add_sample("coverage", report.coverage(), "ratio", "higher");
+    art.write_file();
     return 0;
 }

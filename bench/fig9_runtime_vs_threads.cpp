@@ -32,6 +32,12 @@ int main(int argc, char** argv) {
               << "threads" << std::setw(15) << "omp-style(s)" << std::setw(15)
               << "taskgraph(s)" << std::setw(10) << "speedup" << "\n";
 
+    bench::artifact art("fig9");
+    art.set_config("sizes", bench::join_ints(sweep.sizes));
+    art.set_config("threads", bench::join_ints(sweep.threads));
+    art.set_config("iters", sweep.iters);
+    art.set_config("reps", sweep.reps);
+
     std::vector<std::string> csv;
     for (int size : sweep.sizes) {
         lulesh::options problem;
@@ -40,12 +46,21 @@ int main(int argc, char** argv) {
         const int iters = bench::ae_iteration_cap(size, sweep.iters);
         const auto parts = bench::tuned_parts(size);
         for (int threads : sweep.threads) {
-            const auto base = bench::run_config_median(
+            const auto base_reps = bench::run_config_reps(
                 problem, "parallel_for", static_cast<std::size_t>(threads),
                 parts, iters, sweep.reps);
-            const auto task = bench::run_config_median(
+            const auto task_reps = bench::run_config_reps(
                 problem, "taskgraph", static_cast<std::size_t>(threads), parts,
                 iters, sweep.reps);
+            const auto base = base_reps.median();
+            const auto task = task_reps.median();
+            art.add_seconds(
+                bench::metric_key("omp_seconds", {{"s", size}, {"t", threads}}),
+                base_reps);
+            art.add_seconds(
+                bench::metric_key("task_seconds",
+                                  {{"s", size}, {"t", threads}}),
+                task_reps);
             const double speedup =
                 task.seconds > 0 ? base.seconds / task.seconds : 0.0;
             std::cout << std::left << std::setw(6) << size << std::setw(9)
@@ -61,5 +76,6 @@ int main(int argc, char** argv) {
     }
     std::cout << "# size,threads,omp_seconds,task_seconds,speedup\n";
     for (const auto& row : csv) std::cout << row << "\n";
+    art.write_file();
     return 0;
 }

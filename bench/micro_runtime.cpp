@@ -27,6 +27,7 @@
 
 #include "amt/amt.hpp"
 #include "amt/static_graph.hpp"
+#include "bench_artifact.hpp"
 #include "ompsim/ompsim.hpp"
 
 // Binary-local counting allocator: one relaxed increment per allocation,
@@ -433,6 +434,16 @@ int run_replay_gate() {
     std::cout << "CSV,replay_gate," << workers << "," << iters << ","
               << build_ns_task << "," << replay_ns_task << "," << ratio << ","
               << build_ai << "," << replay_ai << "\n";
+
+    bench::artifact art("micro_runtime");
+    art.set_config("workers", static_cast<long long>(workers));
+    art.set_config("iters", iters);
+    art.set_config("reps", reps);
+    art.add_sample("build_ns_per_task", build_ns_task, "ns");
+    art.add_sample("replay_ns_per_task", replay_ns_task, "ns");
+    art.add_sample("replay_speedup", ratio, "x", "higher");
+    art.add_sample("replay_allocs_per_iter", replay_ai, "count");
+    art.write_file();
 
     bool ok = true;
     if (ratio < required_ratio) {

@@ -39,21 +39,37 @@ int main(int argc, char** argv) {
               << "threads" << std::setw(14) << "ompsim(s)" << std::setw(14)
               << "OpenMP(s)" << std::setw(14) << "ompsim/omp" << "\n";
 
+    bench::artifact art("openmp_vs_ompsim");
+    art.set_config("sizes", bench::join_ints(sweep.sizes));
+    art.set_config("threads", bench::join_ints(sweep.threads));
+    art.set_config("iters", sweep.iters);
+    art.set_config("reps", sweep.reps);
+
     std::vector<std::string> csv;
     for (int size : sweep.sizes) {
         lulesh::options problem;
         problem.size = static_cast<lulesh::index_t>(size);
         problem.num_regions = 11;
         for (int threads : sweep.threads) {
-            const auto sim = bench::run_config_median(
+            const auto sim_reps = bench::run_config_reps(
                 problem, "parallel_for", static_cast<std::size_t>(threads),
                 {}, sweep.iters, sweep.reps);
+            const auto sim = sim_reps.median();
+            art.add_seconds(bench::metric_key("ompsim_seconds",
+                                              {{"s", size}, {"t", threads}}),
+                            sim_reps);
+            // Policy warm-up for the OpenMP side too.
+            run_openmp(problem, static_cast<std::size_t>(threads),
+                       sweep.iters);
             double best_omp = 1e300;
             for (int r = 0; r < sweep.reps; ++r) {
-                best_omp = std::min(
-                    best_omp, run_openmp(problem,
-                                         static_cast<std::size_t>(threads),
-                                         sweep.iters));
+                const double s = run_openmp(
+                    problem, static_cast<std::size_t>(threads), sweep.iters);
+                art.add_sample(
+                    bench::metric_key("openmp_seconds",
+                                      {{"s", size}, {"t", threads}}),
+                    s);
+                best_omp = std::min(best_omp, s);
             }
             std::cout << std::left << std::setw(6) << size << std::setw(9)
                       << threads << std::setw(14) << std::setprecision(4)
@@ -67,5 +83,6 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n# size,threads,ompsim_seconds,openmp_seconds\n";
     for (const auto& row : csv) std::cout << row << "\n";
+    art.write_file();
     return 0;
 }

@@ -33,6 +33,13 @@ int main(int argc, char** argv) {
     std::cout << "=== Table I: partition-size sweep ===\n"
               << "threads: " << threads << "\n\n";
 
+    bench::artifact art("table1");
+    art.set_config("sizes", bench::join_ints(sweep.sizes));
+    art.set_config("threads", threads);
+    art.set_config("candidates", bench::join_ints(candidates));
+    art.set_config("iters", sweep.iters);
+    art.set_config("reps", sweep.reps);
+
     std::vector<std::string> csv;
     for (int size : sweep.sizes) {
         lulesh::options problem;
@@ -55,9 +62,14 @@ int main(int argc, char** argv) {
                 lulesh::partition_sizes parts{
                     static_cast<lulesh::index_t>(pn),
                     static_cast<lulesh::index_t>(pe)};
-                const auto m = bench::run_config_median(
+                const auto reps = bench::run_config_reps(
                     problem, "taskgraph", static_cast<std::size_t>(threads),
                     parts, iters, sweep.reps);
+                const auto m = reps.median();
+                art.add_seconds(
+                    bench::metric_key(
+                        "seconds", {{"s", size}, {"pn", pn}, {"pe", pe}}),
+                    reps);
                 std::cout << std::setw(11) << std::setprecision(4) << m.seconds;
                 if (m.seconds < best) {
                     best = m.seconds;
@@ -79,5 +91,6 @@ int main(int argc, char** argv) {
     }
     std::cout << "# size,nodal_partition,elem_partition,seconds\n";
     for (const auto& row : csv) std::cout << row << "\n";
+    art.write_file();
     return 0;
 }

@@ -22,9 +22,7 @@
 #include <iostream>
 #include <thread>
 
-#include "amt/amt.hpp"
-#include "core/driver_taskgraph.hpp"
-#include "lulesh/driver.hpp"
+#include "bench_common.hpp"
 
 namespace {
 
@@ -75,8 +73,10 @@ int main() {
         lulesh::domain dom(problem);
         amt::runtime rt(std::max(1u, std::thread::hardware_concurrency()));
         lulesh::taskgraph_driver drv(rt, {512, 512});
+        lulesh::run_simulation(dom, drv, iters);  // policy warm-up
+        lulesh::domain dom2(problem);
         const auto t0 = clock_type::now();
-        lulesh::run_simulation(dom, drv, iters);
+        lulesh::run_simulation(dom2, drv, iters);
         ns_per_iter = seconds_since(t0) * 1e9 / iters;
         tasks_per_iter = static_cast<double>(drv.tasks_last_iteration());
     }
@@ -123,6 +123,14 @@ int main() {
               << "," << ns_per_iter / 1e6 << "," << tasks_per_iter << ","
               << std::setprecision(4) << overhead << "," << kept << ","
               << snap.dropped << "\n";
+
+    bench::artifact art("trace_overhead");
+    art.set_config("size", problem.size);
+    art.set_config("iters", iters);
+    art.add_sample("ns_per_probe", ns_per_probe, "ns");
+    art.add_sample("disarmed_overhead_pct", overhead, "pct");
+    art.add_sample("armed_ratio", armed_ratio, "ratio");
+    art.write_file();
 
     bool ok = true;
     if (!(overhead < 1.0)) {

@@ -11,7 +11,14 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "amt/amt.hpp"
 #include "dist/cluster.hpp"
@@ -38,6 +45,85 @@ lulesh::real_t max_energy_diff(lulesh::dist::cluster& c,
         }
     }
     return max_diff;
+}
+
+/// Per-slab halo traffic drained from the trace: halo_span events carry the
+/// slab id in `arg` (pack spans stamped on the sender, unpack spans on the
+/// receiver), so grouping by arg splits the exchange cost per slab.
+struct slab_halo_stats {
+    double pack_s = 0.0;
+    std::uint64_t pack_count = 0;
+    double unpack_s = 0.0;
+    std::uint64_t unpack_count = 0;
+};
+
+std::vector<slab_halo_stats> per_slab_halo(
+    const amt::trace::trace_snapshot& snap, lulesh::index_t num_slabs) {
+    std::vector<slab_halo_stats> slabs(static_cast<std::size_t>(num_slabs));
+    for (const auto& th : snap.threads) {
+        for (const auto& ev : th.events) {
+            if (ev.kind != amt::trace::event_kind::halo_span) continue;
+            if (ev.arg < 0 ||
+                ev.arg >= static_cast<std::int32_t>(num_slabs)) {
+                continue;
+            }
+            auto& s = slabs[static_cast<std::size_t>(ev.arg)];
+            const double sec = static_cast<double>(ev.dur_ns) * 1e-9;
+            if (std::strncmp(ev.name, "halo:pack", 9) == 0) {
+                s.pack_s += sec;
+                ++s.pack_count;
+            } else {
+                s.unpack_s += sec;
+                ++s.unpack_count;
+            }
+        }
+    }
+    return slabs;
+}
+
+/// The standard utilization report plus a per-slab halo breakdown: the JSON
+/// form appends a "slabs" array to the usual document (a schema superset —
+/// every consumer of the plain report keeps working), the text form appends
+/// a section.
+bool write_utilization_with_slabs(
+    const std::string& path, const amt::trace::utilization_report& rep,
+    const std::vector<slab_halo_stats>& slabs) {
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) return false;
+    const bool json = path.size() >= 5 &&
+                      path.compare(path.size() - 5, 5, ".json") == 0;
+    if (json) {
+        std::ostringstream base;
+        amt::trace::write_utilization_json(base, rep);
+        std::string body = base.str();
+        while (!body.empty() &&
+               (body.back() == '\n' || body.back() == ' ')) {
+            body.pop_back();
+        }
+        if (!body.empty() && body.back() == '}') body.pop_back();
+        os << body << ",\n  \"slabs\": [\n";
+        os << std::fixed << std::setprecision(6);
+        for (std::size_t s = 0; s < slabs.size(); ++s) {
+            os << "    {\"slab\": " << s
+               << ", \"halo_pack_s\": " << slabs[s].pack_s
+               << ", \"halo_pack_count\": " << slabs[s].pack_count
+               << ", \"halo_unpack_s\": " << slabs[s].unpack_s
+               << ", \"halo_unpack_count\": " << slabs[s].unpack_count << "}"
+               << (s + 1 < slabs.size() ? "," : "") << "\n";
+        }
+        os << "  ]\n}\n";
+    } else {
+        amt::trace::write_utilization_text(os, rep);
+        os << "\nper-slab halo traffic (worker-seconds):\n";
+        os << std::fixed << std::setprecision(6);
+        for (std::size_t s = 0; s < slabs.size(); ++s) {
+            os << "  slab " << s << ": pack " << slabs[s].pack_s << " s ("
+               << slabs[s].pack_count << " spans), unpack "
+               << slabs[s].unpack_s << " s (" << slabs[s].unpack_count
+               << " spans)\n";
+        }
+    }
+    return static_cast<bool>(os);
 }
 
 }  // namespace
@@ -101,6 +187,21 @@ int main(int argc, char** argv) {
         }
         amt::trace::set_thread_name("main");
         amt::trace::arm();
+    }
+
+    std::unique_ptr<amt::metrics::reporter> metrics_reporter;
+    if (!cli.metrics_file.empty()) {
+        if (!amt::metrics::compiled_in) {
+            std::cerr << "lulesh: metrics were compiled out "
+                         "(AMT_METRICS_DISABLE); rebuild to use --metrics\n";
+            return 1;
+        }
+        // Arms the registry and starts interval snapshots; stopped (with a
+        // final flush) after every exchange mode has run.
+        metrics_reporter = std::make_unique<amt::metrics::reporter>(
+            amt::metrics::reporter::options{
+                cli.metrics_file,
+                std::chrono::milliseconds(cli.metrics_interval_ms)});
     }
 
     amt::runtime rt(threads);
@@ -179,8 +280,9 @@ int main(int argc, char** argv) {
         }
         if (!cli.utilization_report_file.empty()) {
             const auto report = amt::trace::build_utilization(snap);
-            if (!amt::trace::write_utilization_file(
-                    cli.utilization_report_file, report)) {
+            const auto slabs = per_slab_halo(snap, num_slabs);
+            if (!write_utilization_with_slabs(cli.utilization_report_file,
+                                              report, slabs)) {
                 std::cerr << "lulesh: cannot write utilization report '"
                           << cli.utilization_report_file << "'\n";
                 return 1;
@@ -188,6 +290,19 @@ int main(int argc, char** argv) {
             std::cout << "Utilization report written to '"
                       << cli.utilization_report_file << "'\n";
         }
+    }
+
+    if (metrics_reporter) {
+        // Every exchange mode has completed and all futures were consumed —
+        // counter shards are quiescent, so the final snapshot is complete.
+        if (!metrics_reporter->stop()) {
+            std::cerr << "lulesh: cannot write metrics snapshots to '"
+                      << cli.metrics_file << "'\n";
+            return 1;
+        }
+        std::cout << "Metrics snapshots ("
+                  << metrics_reporter->snapshots_written()
+                  << ") written to '" << cli.metrics_file << "'\n";
     }
 
     std::cout << "\nper-slab plane ranges:\n";

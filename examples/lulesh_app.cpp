@@ -10,10 +10,12 @@
 //   ./lulesh_app -s 20 -i 100 --checkpoint-save half.ckpt
 //   ./lulesh_app -s 20 -i 200 --checkpoint-load half.ckpt
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "amt/amt.hpp"
+#include "core/critical_path.hpp"
 #include "core/driver_foreach.hpp"
 #include "core/driver_taskgraph.hpp"
 #include "core/graph_audit.hpp"
@@ -84,6 +86,36 @@ int write_trace_outputs(const lulesh::cli_options& cli) {
     return 0;
 }
 
+/// Prints the critical-path report and, when requested, writes the JSON
+/// twin.  Called while the runtime is still alive but quiescent (after the
+/// iteration loop; the compiled graph's accumulators are stable).
+int write_critical_path_outputs(const lulesh::taskgraph_driver& drv,
+                                std::size_t threads,
+                                const lulesh::cli_options& cli) {
+    if (drv.compiled() == nullptr) {
+        std::cerr << "lulesh: --critical-path-report: no compiled graph "
+                     "was built (run at least one iteration)\n";
+        return 1;
+    }
+    const auto report =
+        lulesh::analyze_critical_path(*drv.compiled(), threads);
+    lulesh::write_critical_path_text(std::cout, report);
+    if (!cli.critical_path_json.empty()) {
+        std::ofstream os(cli.critical_path_json);
+        if (os) lulesh::write_critical_path_json(os, report);
+        if (!os) {
+            std::cerr << "lulesh: cannot write critical-path JSON '"
+                      << cli.critical_path_json << "'\n";
+            return 1;
+        }
+        if (!cli.quiet) {
+            std::cout << "Critical-path JSON written to '"
+                      << cli.critical_path_json << "'\n";
+        }
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -111,6 +143,21 @@ int main(int argc, char** argv) {
         // from the first task on.
         amt::trace::set_thread_name("main");
         amt::trace::arm();
+    }
+
+    std::unique_ptr<amt::metrics::reporter> metrics_reporter;
+    if (!cli.metrics_file.empty()) {
+        if (!amt::metrics::compiled_in) {
+            std::cerr << "lulesh: metrics were compiled out "
+                         "(AMT_METRICS_DISABLE); rebuild to use --metrics\n";
+            return 1;
+        }
+        // Arms the registry and starts interval snapshots; stopped (with a
+        // final flush) after the runtime scope closes below.
+        metrics_reporter = std::make_unique<amt::metrics::reporter>(
+            amt::metrics::reporter::options{
+                cli.metrics_file,
+                std::chrono::milliseconds(cli.metrics_interval_ms)});
     }
 
     const std::size_t threads =
@@ -193,7 +240,28 @@ int main(int argc, char** argv) {
         if (cli.graph_mode == "build") {
             drv.set_graph_mode(lulesh::graph_mode::build);
         }
+        drv.enable_node_profiling(cli.critical_path_report);
         result = run_with(dom, drv, cli);
+        if (cli.critical_path_report) {
+            if (const int rc = write_critical_path_outputs(drv, threads, cli);
+                rc != 0) {
+                return rc;
+            }
+        }
+    }
+
+    if (metrics_reporter) {
+        // Runtime gone, workers joined: the final snapshot is complete.
+        if (!metrics_reporter->stop()) {
+            std::cerr << "lulesh: cannot write metrics snapshots to '"
+                      << cli.metrics_file << "'\n";
+            return 1;
+        }
+        if (!cli.quiet) {
+            std::cout << "Metrics snapshots ("
+                      << metrics_reporter->snapshots_written()
+                      << ") written to '" << cli.metrics_file << "'\n";
+        }
     }
 
     if (want_trace) {

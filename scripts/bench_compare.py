@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Diff two lulesh-bench-v1 artifacts and fail on perf regressions.
+
+Every bench binary writes BENCH_<name>.json (see bench/bench_artifact.hpp):
+named metrics with full sample lists plus min/median/mean/max summaries and
+a direction ("lower" for durations, "higher" for speedups/ratios).  This
+script compares two such artifacts metric-by-metric:
+
+    python3 scripts/bench_compare.py old/BENCH_fig9.json new/BENCH_fig9.json
+
+and exits non-zero when any shared metric moved in the WORSE direction by
+more than the noise threshold (default 10%, override with --threshold 0.05).
+Metrics present in only one artifact are reported but never fail the
+comparison (sweep configurations legitimately change between builds).
+
+The summary statistic defaults to the artifacts' own policy ("min", the
+least-noise estimator once the warm-up rep has absorbed cold-start costs);
+--summary median/mean/max selects another.
+
+--self-test runs the comparator against the fixtures in
+tests/fixtures/bench_compare/ and exits 0 only if improvements pass and the
+injected regression is caught — the ctest under the "metrics" label.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_THRESHOLD = 0.10
+SCHEMA = "lulesh-bench-v1"
+
+
+def load_artifact(path):
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"bench_compare: {path}: schema {doc.get('schema')!r} "
+            f"is not {SCHEMA!r}"
+        )
+    if not isinstance(doc.get("metrics"), dict):
+        raise SystemExit(f"bench_compare: {path}: no metrics object")
+    return doc
+
+
+def compare(old, new, threshold, summary):
+    """Returns (lines, regressions): a report and the failing metric names."""
+    lines = []
+    regressions = []
+    old_metrics = old["metrics"]
+    new_metrics = new["metrics"]
+    shared = [k for k in old_metrics if k in new_metrics]
+    for key in shared:
+        om, nm = old_metrics[key], new_metrics[key]
+        ov, nv = om[summary], nm[summary]
+        direction = nm.get("direction", "lower")
+        if ov == 0:
+            delta = 0.0 if nv == 0 else float("inf")
+        else:
+            delta = (nv - ov) / abs(ov)
+        worse = delta > threshold if direction == "lower" else -delta > threshold
+        better = -delta > threshold if direction == "lower" else delta > threshold
+        tag = "REGRESSION" if worse else ("improved" if better else "ok")
+        lines.append(
+            f"  {tag:<10} {key}: {ov:g} -> {nv:g} {nm.get('unit', '')} "
+            f"({delta:+.1%}, {direction} is better)"
+        )
+        if worse:
+            regressions.append(key)
+    for key in old_metrics:
+        if key not in new_metrics:
+            lines.append(f"  only-old   {key} (not compared)")
+    for key in new_metrics:
+        if key not in old_metrics:
+            lines.append(f"  only-new   {key} (not compared)")
+    if not shared:
+        lines.append("  (no shared metrics)")
+    return lines, regressions
+
+
+def run_compare(old_path, new_path, threshold, summary):
+    old = load_artifact(old_path)
+    new = load_artifact(new_path)
+    if old.get("name") != new.get("name"):
+        print(
+            f"bench_compare: comparing different benches "
+            f"({old.get('name')!r} vs {new.get('name')!r})",
+            file=sys.stderr,
+        )
+    print(f"bench_compare: {old.get('name')} [{summary}, ±{threshold:.0%}]")
+    lines, regressions = compare(old, new, threshold, summary)
+    print("\n".join(lines))
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} metric(s) regressed beyond "
+            f"{threshold:.0%}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("PASS: no regression beyond the threshold")
+    return 0
+
+
+def self_test(fixtures_dir, threshold, summary):
+    base = os.path.join(fixtures_dir, "baseline.json")
+    improved = os.path.join(fixtures_dir, "improved.json")
+    regressed = os.path.join(fixtures_dir, "regressed.json")
+    failures = []
+
+    print("== self-test: baseline vs baseline (expect pass) ==")
+    if run_compare(base, base, threshold, summary) != 0:
+        failures.append("identical artifacts flagged as regression")
+
+    print("\n== self-test: baseline vs improved (expect pass) ==")
+    if run_compare(base, improved, threshold, summary) != 0:
+        failures.append("improvement flagged as regression")
+
+    print("\n== self-test: baseline vs regressed (expect FAIL) ==")
+    if run_compare(base, regressed, threshold, summary) == 0:
+        failures.append("injected regression not caught")
+
+    # The regressed fixture also degrades a "higher is better" metric, so a
+    # comparator that only looks at "lower" metrics cannot pass.
+    doc = load_artifact(regressed)
+    directions = {m.get("direction") for m in doc["metrics"].values()}
+    if "higher" not in directions:
+        failures.append("regressed fixture lost its higher-is-better metric")
+
+    print()
+    if failures:
+        for f in failures:
+            print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
+        return 1
+    print("SELF-TEST PASS")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old", nargs="?", help="baseline BENCH_<name>.json")
+    ap.add_argument("new", nargs="?", help="candidate BENCH_<name>.json")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative noise threshold (default 0.10 = 10%%)",
+    )
+    ap.add_argument(
+        "--summary",
+        choices=["min", "median", "mean", "max"],
+        default="min",
+        help="summary statistic to compare (default: min, per artifact policy)",
+    )
+    ap.add_argument(
+        "--self-test",
+        metavar="FIXTURES_DIR",
+        help="run against the fixtures directory and verify the comparator "
+        "itself (pass tests/fixtures/bench_compare)",
+    )
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test(args.self_test, args.threshold, args.summary))
+    if not args.old or not args.new:
+        ap.error("old and new artifact paths are required (or --self-test)")
+    sys.exit(run_compare(args.old, args.new, args.threshold, args.summary))
+
+
+if __name__ == "__main__":
+    main()

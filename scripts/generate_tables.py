@@ -6,17 +6,54 @@ it runs without plotting dependencies.  Feed it any mix of the results/*.txt
 files produced by the bench binaries (they interleave human-readable tables
 with machine-readable lines starting with "CSV,<experiment>,...").
 
+Two JSON observability artifacts are also understood and rendered when
+passed alongside the text files: the critical-path report
+(`lulesh_app --critical-path-report=cp.json`) and the metrics reporter's
+JSON-lines file (`--metrics=metrics.json`); the last snapshot of the
+latter is summarized.
+
 Usage:
-    python3 scripts/generate_tables.py results/*.txt
+    python3 scripts/generate_tables.py results/*.txt [cp.json metrics.json]
 """
 
+import json
 import sys
 from collections import defaultdict
 
 
+def classify_json(path):
+    """(kind, payload) for the two JSON observability artifacts; (None, None)
+    for plain CSV/text files."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            first = fh.readline().strip()
+        if not first.startswith("{"):
+            return None, None
+        doc = json.loads(first)
+    except (OSError, json.JSONDecodeError):
+        return None, None
+    if doc.get("experiment") == "critical_path":
+        return "critical_path", doc
+    if "ts_ms" in doc and "histograms" in doc:
+        # Metrics reporter JSON lines: keep the final (cumulative) snapshot.
+        last = doc
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    last = json.loads(line)
+        return "metrics", last
+    return None, None
+
+
 def load_rows(paths):
     rows = defaultdict(list)
+    json_docs = []
     for path in paths:
+        kind, doc = classify_json(path)
+        if kind is not None:
+            json_docs.append((kind, doc))
+            continue
         with open(path, encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
@@ -24,7 +61,7 @@ def load_rows(paths):
                     continue
                 parts = line.split(",")
                 rows[parts[1]].append(parts[2:])
-    return rows
+    return rows, json_docs
 
 
 def fmt(value, width=10):
@@ -167,6 +204,62 @@ def summarize_replay_gate(rows):
               f"({verdict})")
 
 
+def summarize_metrics_overhead(rows):
+    # ns_per_probe, iter_ms, tasks_per_iter, disarmed_pct, armed_pct —
+    # bench/metrics_overhead's budgets (disarmed < 1%, armed < 3%).
+    table("Metrics registry overhead (budget: disarmed < 1%, armed < 3%)",
+          ["probe(ns)", "iter(ms)", "tasks/it", "disarmed%", "armed%"], rows)
+    for probe, _, tasks, disarmed, armed in rows:
+        print(f"    {float(tasks):.0f} tasks x 3 probes at "
+              f"{float(probe):.3g} ns bill {float(disarmed):.4f}% disarmed; "
+              f"armed run paid {float(armed):.2f}%")
+
+
+def summarize_critical_path(doc):
+    # The JSON twin of `lulesh_app --critical-path-report` (exact integer-ns
+    # agreement with the text form is checked by validate_critical_path.py).
+    print(f"\n### Critical path — {doc['iterations']} profiled iterations, "
+          f"{doc['workers']} workers, {doc['nodes']} nodes")
+    work = doc["work_ns"]
+    print(f"  work {work / 1e6:.3f} ms/iter, critical path "
+          f"{doc['critical_path_ns'] / 1e6:.3f} ms over "
+          f"{doc['critical_path_len']} nodes, ideal speedup "
+          f"{doc['ideal_speedup']:.4f}x")
+    table("per-phase chain analysis",
+          ["phase", "tasks", "work(ms)", "chain(ms)", "parallel", "slack(ms)"],
+          [[ph["name"], ph["tasks"], ph["work_ns"] / 1e6,
+            ph["chain_ns"] / 1e6, ph["parallelism"], ph["slack_ns"] / 1e6]
+           for ph in doc["phases"]])
+    bound = [ph for ph in doc["phases"] if ph["slack_ns"] > 0]
+    for ph in sorted(bound, key=lambda p: -p["slack_ns"]):
+        print(f"    {ph['name']}: chain-bound, {ph['slack_ns'] / 1e6:.3f} "
+              f"ms/iter unrecoverable by load balancing (split partitions)")
+
+
+def summarize_metrics_snapshot(doc):
+    # Final snapshot of a --metrics JSON-lines file (amt::metrics registry).
+    print(f"\n### Metrics snapshot — uptime {doc['uptime_ns'] / 1e9:.2f}s")
+    counters = {k: v for k, v in doc.get("counters", {}).items() if v}
+    for name in sorted(counters):
+        print(f"  {name:<44} {counters[name]}")
+    for name in sorted(doc.get("gauges", {})):
+        print(f"  {name:<44} {doc['gauges'][name]} (gauge)")
+    for name in sorted(doc.get("histograms", {})):
+        h = doc["histograms"][name]
+        if h["count"] == 0:
+            continue
+        mean = h["sum"] / h["count"]
+        # Buckets are log2: bucket b holds values < 2^b; report the p99
+        # bucket bound, the tail signal the registry exists to surface.
+        total, seen, p99 = h["count"], 0, 0
+        for b, c in enumerate(h["buckets"]):
+            seen += c
+            if seen >= 0.99 * total:
+                p99 = (1 << b) - 1 if b else 0
+                break
+        print(f"  {name:<44} n={h['count']} mean={mean:.3g} p99<={p99}")
+
+
 def summarize_generic(name, rows):
     if not rows:
         return
@@ -178,8 +271,8 @@ def main(paths):
     if not paths:
         print(__doc__)
         return 1
-    rows = load_rows(paths)
-    if not rows:
+    rows, json_docs = load_rows(paths)
+    if not rows and not json_docs:
         print("no CSV rows found in the given files")
         return 1
     handlers = {
@@ -192,6 +285,7 @@ def main(paths):
         "checkpoint_overhead": summarize_checkpoint_overhead,
         "dist_recovery": summarize_dist_recovery,
         "replay_gate": summarize_replay_gate,
+        "metrics_overhead": summarize_metrics_overhead,
     }
     for name in sorted(rows):
         handler = handlers.get(name)
@@ -199,6 +293,11 @@ def main(paths):
             handler(rows[name])
         else:
             summarize_generic(name, rows[name])
+    for kind, doc in json_docs:
+        if kind == "critical_path":
+            summarize_critical_path(doc)
+        else:
+            summarize_metrics_snapshot(doc)
     return 0
 
 

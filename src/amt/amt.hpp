@@ -30,6 +30,8 @@
 #include "amt/deque.hpp"
 #include "amt/fault.hpp"
 #include "amt/future.hpp"
+#include "amt/graph_profile.hpp"
+#include "amt/metrics.hpp"
 #include "amt/scheduler.hpp"
 #include "amt/shared_future.hpp"
 #include "amt/static_graph.hpp"

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -349,6 +350,20 @@ public:
     template <class Lock, class Pred>
     void wait(Lock& lk, Pred pred) {
         while (!pred()) wait(lk);
+    }
+
+    /// Timed wait (the metrics reporter's interval sleep).  Under the
+    /// model no clock advances, so an in-execution wait_for degenerates
+    /// to wait-until-notified — a lost notify still reports as a
+    /// deadlock instead of silently timing out.
+    template <class Lock, class Rep, class Period, class Pred>
+    bool wait_for(Lock& lk, const std::chrono::duration<Rep, Period>& d,
+                  Pred pred) {
+        if (model::detail::in_execution()) {
+            while (!pred()) wait(lk);
+            return true;
+        }
+        return fallback_.wait_for(lk, d, pred);
     }
 
     void notify_one() {

@@ -1,0 +1,96 @@
+// amt/graph_profile.cpp — Kahn-order longest-path DP over the sealed CSR
+// topology.  Cold path: runs once per report, not per replay.
+
+#include "amt/graph_profile.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amt {
+
+graph_profile profile_graph(const static_graph& g) {
+    assert(g.sealed());
+    const std::size_t n = g.node_count();
+
+    graph_profile out;
+    out.nodes.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto id = static_cast<static_graph::node_id>(i);
+        auto& pn = out.nodes[i];
+        pn.id = id;
+        pn.label = g.node_label(id);
+        pn.arg = g.node_arg(id);
+        pn.total_ns = g.node_time_ns(id);
+        pn.runs = g.node_timed_runs(id);
+        pn.mean_ns = pn.runs > 0 ? static_cast<double>(pn.total_ns) /
+                                       static_cast<double>(pn.runs)
+                                 : 0.0;
+        out.work_ns += pn.mean_ns;
+    }
+    if (n == 0) {
+        out.ideal_speedup = 1.0;
+        return out;
+    }
+
+    // Longest weighted path: process nodes in Kahn order, pushing the best
+    // finishing time forward along the CSR successor lists.  `best_pred`
+    // remembers the argmax edge for path reconstruction.
+    constexpr auto no_pred = static_cast<static_graph::node_id>(-1);
+    std::vector<double> dist(n, 0.0);
+    std::vector<static_graph::node_id> best_pred(n, no_pred);
+    std::vector<std::uint32_t> indeg(n);
+    std::vector<static_graph::node_id> ready;
+    ready.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto id = static_cast<static_graph::node_id>(i);
+        indeg[i] = g.dependency_count(id);
+        dist[i] = out.nodes[i].mean_ns;
+        if (indeg[i] == 0) ready.push_back(id);
+    }
+    std::size_t processed = 0;
+    for (std::size_t head = 0; head < ready.size(); ++head) {
+        const auto v = ready[head];
+        ++processed;
+        for (const auto s : g.successors(v)) {
+            const double through = dist[v] + out.nodes[s].mean_ns;
+            if (through > dist[s]) {
+                dist[s] = through;
+                best_pred[s] = v;
+            }
+            if (--indeg[s] == 0) ready.push_back(s);
+        }
+    }
+    assert(processed == n && "sealed graph must be acyclic");
+    (void)processed;
+
+    auto sink = static_cast<static_graph::node_id>(0);
+    for (std::size_t i = 1; i < n; ++i) {
+        if (dist[i] > dist[sink]) {
+            sink = static_cast<static_graph::node_id>(i);
+        }
+    }
+    out.critical_path_ns = dist[sink];
+    for (auto v = sink; v != no_pred; v = best_pred[v]) {
+        out.nodes[v].on_critical_path = true;
+        out.critical_path.push_back(v);
+    }
+    std::reverse(out.critical_path.begin(), out.critical_path.end());
+
+    out.ideal_speedup = out.critical_path_ns > 0.0
+                            ? out.work_ns / out.critical_path_ns
+                            : 1.0;
+    return out;
+}
+
+std::vector<profiled_node> graph_profile::top(std::size_t k) const {
+    std::vector<profiled_node> sorted = nodes;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const profiled_node& a, const profiled_node& b) {
+                  if (a.mean_ns != b.mean_ns) return a.mean_ns > b.mean_ns;
+                  return a.id < b.id;
+              });
+    if (sorted.size() > k) sorted.resize(k);
+    return sorted;
+}
+
+}  // namespace amt

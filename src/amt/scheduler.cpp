@@ -7,9 +7,44 @@
 #include <stdexcept>
 #include <string>
 
+#include "amt/metrics.hpp"
 #include "amt/trace.hpp"
 
 namespace amt {
+
+namespace {
+
+// Metric handles are interned once and cached; every update below is gated
+// on metrics::enabled() (one relaxed load disarmed, compiled out entirely
+// under AMT_METRICS_DISABLE).  Naming per docs/observability.md.
+metrics::histogram& task_duration_hist() {
+    static auto& h = metrics::get_histogram(
+        "amt_task_duration_ns", "task body execution wall time");
+    return h;
+}
+
+metrics::histogram& steal_latency_hist() {
+    static auto& h = metrics::get_histogram(
+        "amt_steal_latency_ns",
+        "time from a worker's first empty probe to its next acquired task");
+    return h;
+}
+
+metrics::histogram& queue_depth_hist() {
+    static auto& h = metrics::get_histogram(
+        "amt_dispatch_queue_depth",
+        "posting worker's deque depth sampled after each push");
+    return h;
+}
+
+metrics::counter& external_post_counter() {
+    static auto& c = metrics::get_counter(
+        "amt_tasks_posted_external",
+        "tasks entering through the global injection queue");
+    return c;
+}
+
+}  // namespace
 
 amt::atomic<runtime*> runtime::active_{nullptr};
 
@@ -108,8 +143,13 @@ void runtime::post(task_ptr t) {
 void runtime::post_raw(task_base* raw) {
     assert(raw != nullptr && "posting a null task");
     if (tls_worker.rt == this) {
-        workers_[tls_worker.index]->queue.push(raw);
+        auto& q = workers_[tls_worker.index]->queue;
+        q.push(raw);
+        if (metrics::enabled()) {
+            queue_depth_hist().record(q.size_approx());
+        }
     } else {
+        if (metrics::enabled()) external_post_counter().add(1);
         std::lock_guard lk(global_mu_);
         raw->qnext = nullptr;
         if (global_tail_ != nullptr) {
@@ -191,17 +231,22 @@ void runtime::execute(task_base* raw, worker_counters& c,
     // a use-after-free.  Owned (make_task) tasks are deleted after running.
     const bool owned = raw->scheduler_owned();
     const bool tracing = trace::enabled();
-    if (opts_.enable_timing || tracing) {
+    const bool metered = metrics::enabled();
+    if (opts_.enable_timing || tracing || metered) {
         const auto t0 = stamp != nullptr && *stamp != clock::time_point{}
                             ? *stamp
                             : clock::now();
         raw->execute();
         const auto t1 = clock::now();
         if (stamp != nullptr) *stamp = t1;
+        const auto dur_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
         if (opts_.enable_timing) {
-            c.productive_ns.add(static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                    .count()));
+            c.productive_ns.add(dur_ns);
+        }
+        if (metered) {
+            task_duration_hist().record(dur_ns);
         }
         if (tracing) {
             // One span per task execution, named by whatever annotation the
@@ -276,12 +321,31 @@ void runtime::worker_loop(worker& self) {
         anchor = stamp;  // t1 when traced; reset to {} when disarmed
     };
 
+    // Steal-latency metric: the span from a worker's first empty probe to
+    // its next acquired task (by pop, steal or global queue) — the
+    // per-episode cost of running dry, as a distribution.  Armed-only clock
+    // reads, one per episode boundary.
+    clock::time_point search_t0{};
+    auto note_acquired = [&] {
+        if (search_t0 != clock::time_point{}) {
+            steal_latency_hist().record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    clock::now() - search_t0)
+                    .count()));
+            search_t0 = clock::time_point{};
+        }
+    };
+
     std::size_t idle_rounds = 0;
     while (true) {
         if (task_base* t = find_work(self)) {
+            note_acquired();
             run_traced(t);
             idle_rounds = 0;
             continue;
+        }
+        if (metrics::enabled() && search_t0 == clock::time_point{}) {
+            search_t0 = clock::now();
         }
         if (trace::enabled()) {
             if (!in_gap) {
@@ -310,6 +374,7 @@ void runtime::worker_loop(worker& self) {
             seen = epoch_;
         }
         if (task_base* t = find_work(self)) {
+            note_acquired();
             run_traced(t);
             idle_rounds = 0;
             continue;

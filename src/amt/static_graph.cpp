@@ -3,6 +3,7 @@
 #include "amt/static_graph.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "amt/trace.hpp"
 
@@ -147,7 +148,17 @@ void static_graph::node::execute() noexcept {
     trace::annotate_task(name, arg);
     if (!g->stop_.load(amt::memory_order_acquire)) {
         try {
-            body();
+            if (g->profiling_) {
+                const auto t0 = std::chrono::steady_clock::now();
+                body();
+                accum_ns += static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
+                ++timed_runs;
+            } else {
+                body();
+            }
             ++execs;
         } catch (...) {
             g->record_error(std::current_exception());
@@ -186,6 +197,21 @@ void static_graph::record_error(std::exception_ptr e) noexcept {
 
 std::uint64_t static_graph::executions(node_id id) const {
     return nodes_[id].execs;
+}
+
+std::uint64_t static_graph::node_time_ns(node_id id) const {
+    return nodes_[id].accum_ns;
+}
+
+std::uint64_t static_graph::node_timed_runs(node_id id) const {
+    return nodes_[id].timed_runs;
+}
+
+void static_graph::reset_node_times() {
+    for (node& n : nodes_) {
+        n.accum_ns = 0;
+        n.timed_runs = 0;
+    }
 }
 
 std::uint32_t static_graph::dependency_count(node_id id) const {

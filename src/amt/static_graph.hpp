@@ -114,6 +114,22 @@ public:
         return generation_;
     }
 
+    /// Per-node wall-time profiling for the critical-path analyzer
+    /// (amt/graph_profile.hpp).  While enabled, every profiled body run adds
+    /// its steady_clock duration to the node's accumulator; recycled nodes
+    /// therefore integrate cost across replays and the mean converges as
+    /// iterations accumulate.  Toggle and read only while quiescent (same
+    /// rule as arm()); the two clock reads per node are the entire armed
+    /// cost, priced by bench/metrics_overhead.
+    void set_profiling(bool on) noexcept { profiling_ = on; }
+    [[nodiscard]] bool profiling() const noexcept { return profiling_; }
+    /// Accumulated body nanoseconds / number of profiled runs for one node.
+    [[nodiscard]] std::uint64_t node_time_ns(node_id id) const;
+    [[nodiscard]] std::uint64_t node_timed_runs(node_id id) const;
+    /// Zeroes every node's accumulator (quiescent only), so one profile
+    /// window can exclude warm-up replays.
+    void reset_node_times();
+
     /// Introspection for audits/tests; call only while quiescent.
     /// `executions(id)` counts successful body runs across all replays — on
     /// a healthy graph it equals generation() for every node, which is the
@@ -139,6 +155,10 @@ private:
         std::uint32_t succ_count = 0;
         amt::atomic<std::uint32_t> remaining{0};
         std::uint64_t execs = 0;  ///< successful body runs (see executions())
+        // Profiling accumulators: written only by the single worker running
+        // this node (one task is never in flight twice), read quiescent.
+        std::uint64_t accum_ns = 0;
+        std::uint64_t timed_runs = 0;
 
         void execute() noexcept override;
     };
@@ -155,6 +175,7 @@ private:
     std::vector<node_id> roots_;                      // init_deps == 0
     bool sealed_ = false;
     bool armed_ = false;
+    bool profiling_ = false;  ///< mutated quiescent, read by node::execute
     std::uint64_t generation_ = 0;
     runtime* rt_ = nullptr;
 

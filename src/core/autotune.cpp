@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/critical_path.hpp"
 #include "core/driver_taskgraph.hpp"
 #include "lulesh/driver.hpp"
 #include "lulesh/kernels.hpp"
@@ -28,12 +29,15 @@ autotune_result autotune_partitions(amt::runtime& rt, const options& problem,
         for (index_t p_elems : opts.candidates) {
             const partition_sizes parts{p_nodal, p_elems};
             double best_for_pair = std::numeric_limits<double>::infinity();
+            autotune_result::candidate_profile prof{};
+            prof.parts = parts;
             for (int r = 0; r < opts.repetitions; ++r) {
                 // Fresh scratch problem per measurement: every candidate
                 // sees the identical workload (the first iterations of the
                 // blast), and the caller's state is never touched.
                 domain scratch(problem);
                 taskgraph_driver drv(rt, parts);
+                drv.enable_node_profiling(opts.profile_critical_path);
                 // Warm-up iteration (first-touch, queue growth).
                 kernels::time_increment(scratch);
                 drv.advance(scratch);
@@ -48,12 +52,23 @@ autotune_result autotune_partitions(amt::runtime& rt, const options& problem,
                         std::chrono::steady_clock::now() - t0)
                         .count();
                 best_for_pair = std::min(best_for_pair, seconds);
+                if (opts.profile_critical_path && drv.compiled() != nullptr) {
+                    // Means integrate all this rep's replays; the last rep's
+                    // analysis (tightest means) represents the pair.
+                    const auto cp = analyze_critical_path(
+                        *drv.compiled(), rt.num_workers(), /*top_k=*/0);
+                    prof.critical_path_ns = cp.critical_path_ns;
+                    prof.ideal_speedup = cp.ideal_speedup;
+                }
             }
+            prof.seconds = best_for_pair;
+            if (opts.profile_critical_path) result.profiles.push_back(prof);
             ++result.pairs_tried;
             result.worst_seconds = std::max(result.worst_seconds, best_for_pair);
             if (best_for_pair < result.best_seconds) {
                 result.best_seconds = best_for_pair;
                 result.best = parts;
+                result.best_ideal_speedup = prof.ideal_speedup;
             }
         }
     }

@@ -24,6 +24,14 @@ struct autotune_options {
     /// Repetitions per pair; the best (minimum) time is kept, which filters
     /// scheduling noise better than the mean for short measurements.
     int repetitions = 1;
+    /// Additionally profile each candidate's compiled graph and attach the
+    /// critical-path analysis (core/critical_path.hpp) to the result: the
+    /// measured iteration time says which pair won on this machine today,
+    /// the ideal-speedup bound says how much headroom each shape leaves —
+    /// the pair of signals ROADMAP item 5's online tuner steers by.  Costs
+    /// two clock reads per task during tuning; the winning configuration's
+    /// production replays are unaffected.
+    bool profile_critical_path = false;
 };
 
 struct autotune_result {
@@ -31,6 +39,18 @@ struct autotune_result {
     double best_seconds = 0.0;       ///< time of the winning measurement
     double worst_seconds = 0.0;      ///< slowest candidate, for the spread
     int pairs_tried = 0;
+
+    /// Per-candidate critical-path summary (profile_critical_path only),
+    /// in sweep order.
+    struct candidate_profile {
+        partition_sizes parts;
+        double seconds = 0.0;          ///< this pair's best measurement
+        double critical_path_ns = 0.0;
+        double ideal_speedup = 0.0;
+    };
+    std::vector<candidate_profile> profiles;
+    /// The winning pair's ideal-speedup bound (0 when not profiled).
+    double best_ideal_speedup = 0.0;
 };
 
 /// Measures every candidate pair on a scratch domain built from `problem`

@@ -24,6 +24,15 @@ compiled_iteration::compiled_iteration(amt::runtime& rt, domain& d,
     partials_.assign(slots_, k::dt_constraints{});
     compile(d);
     graph_.seal();
+    graph_.set_profiling(cfg_.profile_nodes);
+}
+
+int compiled_iteration::node_stage(
+    amt::static_graph::node_id id) const noexcept {
+    for (const node_info& n : compute_nodes_) {
+        if (n.id == id) return n.stage;
+    }
+    return -1;
 }
 
 bool compiled_iteration::matches(const domain& d, const config& cfg,
@@ -32,6 +41,7 @@ bool compiled_iteration::matches(const domain& d, const config& cfg,
            cfg_.parts.elems == cfg.parts.elems &&
            cfg_.track_hazards == cfg.track_hazards &&
            cfg_.scan_nan == cfg.scan_nan &&
+           cfg_.profile_nodes == cfg.profile_nodes &&
            flags_.sentinel.get() == flags.sentinel.get();
 }
 

@@ -67,6 +67,11 @@ public:
         partition_sizes parts;
         bool track_hazards = false;
         bool scan_nan = false;
+        /// Accumulate per-node wall time across replays
+        /// (static_graph::set_profiling) for the critical-path analyzer
+        /// (core/critical_path.hpp).  Part of the compiled shape so toggling
+        /// it forces a recompile rather than mixing half-profiled replays.
+        bool profile_nodes = false;
     };
 
     /// Compiles and seals the graph for `d`'s current shape.  `flags`
@@ -123,6 +128,17 @@ public:
     /// Completed replays (the graph generation).
     [[nodiscard]] std::uint64_t replays() const noexcept {
         return graph_.generation();
+    }
+
+    /// Stage of a compute node (the phase_profile index, 0 = force …
+    /// 4 = constraints), or -1 when `id` is not a compute node (barriers) —
+    /// the phase attribution the critical-path report groups by.
+    /// Quiescent-only, like every introspection accessor.
+    [[nodiscard]] int node_stage(amt::static_graph::node_id id) const noexcept;
+    /// Barrier node id for wave `i` (0-based, B1..B5).
+    [[nodiscard]] amt::static_graph::node_id barrier_id(
+        std::size_t i) const noexcept {
+        return barrier_[i];
     }
 
     /// Structural audit of the compiled form against the declarative model

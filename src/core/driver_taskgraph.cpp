@@ -321,6 +321,7 @@ void taskgraph_driver::advance_replay(domain& d) {
 
     graph::compiled_iteration::config cfg;
     cfg.parts = parts_;
+    cfg.profile_nodes = profile_nodes_;
     if (flags_.sentinel) {
         cfg.track_hazards = flags_.sentinel->track_hazards;
         cfg.scan_nan = flags_.sentinel->scan_nan;

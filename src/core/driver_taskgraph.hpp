@@ -146,6 +146,15 @@ public:
         return flags_.progress;
     }
 
+    /// Enables per-node wall-time profiling on the compiled graph for
+    /// subsequent advances (replay mode only; part of the compiled shape,
+    /// so flipping it recompiles).  Feeds the critical-path analyzer
+    /// (core/critical_path.hpp) behind --critical-path-report.
+    void enable_node_profiling(bool on) noexcept { profile_nodes_ = on; }
+    [[nodiscard]] bool node_profiling() const noexcept {
+        return profile_nodes_;
+    }
+
     /// Enables per-task instrumentation for subsequent advances: hazard
     /// tracking (dynamic shadow-epoch scopes over declared access sets)
     /// and/or NaN scanning of written ranges.  Also enabled automatically
@@ -192,6 +201,7 @@ private:
     std::size_t tasks_last_iteration_ = 0;
     phase_profile profile_{};
 
+    bool profile_nodes_ = false;
     bool instrumentation_checked_ = false;
     const domain* hazard_arena_for_ = nullptr;  ///< domain with a bound arena
 

@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "amt/metrics.hpp"
 #include "core/graph_waves.hpp"
 #include "core/stage.hpp"
 
@@ -208,7 +209,19 @@ struct recv_ctx {
     std::function<void(const plane_buffer&)> unpack;
     std::function<bool()> request_resend;  // null = retry disabled
     amt::promise<void> done;
+    /// Armed-metrics stamp taken when the receive was posted; the
+    /// dist_halo_rtt_ns sample closes at successful unpack, so retries and
+    /// backoff count into the tail.
+    std::chrono::steady_clock::time_point metrics_t0{};
 };
+
+amt::metrics::histogram& halo_rtt_hist() {
+    static auto& h = amt::metrics::get_histogram(
+        "dist_halo_rtt_ns",
+        "halo receive round-trip: post to successful unpack, retries "
+        "included");
+    return h;
+}
 
 /// Chains one channel get() → unpack; on a CRC failure with retry budget
 /// left, requests a resend (as its own backed-off task — never blocking
@@ -222,6 +235,14 @@ void chain_receive(const std::shared_ptr<recv_ctx>& ctx, int attempt) {
                         amt::trace::event_kind::halo_span, ctx->span_name,
                         static_cast<std::int32_t>(ctx->slab));
                     ctx->unpack(m.get());
+                }
+                if (ctx->metrics_t0 !=
+                    std::chrono::steady_clock::time_point{}) {
+                    halo_rtt_hist().record(static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() -
+                            ctx->metrics_t0)
+                            .count()));
                 }
                 if (ctx->det) ctx->det->heartbeat(ctx->slab);
                 ctx->done.set_value();
@@ -266,6 +287,9 @@ amt::future<void> dist_driver::receive_halo(
     ctx->slab = s;
     ctx->det = detector_;
     ctx->unpack = std::move(unpack);
+    if (amt::metrics::enabled()) {
+        ctx->metrics_t0 = std::chrono::steady_clock::now();
+    }
     if (retry_.enabled()) {
         cluster* cp = &c;
         ctx->request_resend = [this, cp, b, which] {

@@ -9,6 +9,7 @@
 #include <istream>
 #include <utility>
 
+#include "amt/metrics.hpp"
 #include "lulesh/crc32c.hpp"
 #include "lulesh/driver.hpp"
 
@@ -287,6 +288,10 @@ bool state_capture::pack_region(std::size_t i) noexcept {
                                             amt::memory_order_relaxed)) {
         return false;
     }
+    static auto& pack_hist = amt::metrics::get_histogram(
+        "lulesh_checkpoint_pack_ns",
+        "per-region fused copy+CRC32C checkpoint packing time");
+    amt::metrics::scoped_timer pack_timer(pack_hist);
     const dirty_region& r = regions_[i];
     const std::vector<real_t>* src = field_vector(*d_, r.f);
     const std::size_t bytes =

@@ -44,6 +44,7 @@ cli_options parse_cli(int argc, const char* const* argv, env_lookup env) {
     cli_options cli;
     bool halo_timeout_flag = false;
     bool graph_mode_flag = false;
+    bool metrics_interval_flag = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "-s" || arg == "--s") {
@@ -126,6 +127,37 @@ cli_options parse_cli(int argc, const char* const* argv, env_lookup env) {
                 throw std::invalid_argument(
                     "lulesh: --utilization-report requires a non-empty file "
                     "name");
+            }
+        } else if (arg == "--metrics") {
+            cli.metrics_file = "metrics.json";
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            cli.metrics_file = arg.substr(std::string("--metrics=").size());
+            if (cli.metrics_file.empty()) {
+                throw std::invalid_argument(
+                    "lulesh: --metrics= requires a non-empty file name "
+                    "(bare --metrics defaults to metrics.json)");
+            }
+        } else if (arg == "--metrics-interval") {
+            cli.metrics_interval_ms = static_cast<int>(
+                parse_long(arg, require_value(arg, argc, argv, i)));
+            metrics_interval_flag = true;
+        } else if (arg.rfind("--metrics-interval=", 0) == 0) {
+            cli.metrics_interval_ms = static_cast<int>(parse_long(
+                "--metrics-interval",
+                arg.substr(std::string("--metrics-interval=").size())
+                    .c_str()));
+            metrics_interval_flag = true;
+        } else if (arg == "--critical-path-report") {
+            cli.critical_path_report = true;
+        } else if (arg.rfind("--critical-path-report=", 0) == 0) {
+            cli.critical_path_report = true;
+            cli.critical_path_json =
+                arg.substr(std::string("--critical-path-report=").size());
+            if (cli.critical_path_json.empty()) {
+                throw std::invalid_argument(
+                    "lulesh: --critical-path-report= requires a non-empty "
+                    "file name (bare --critical-path-report prints text "
+                    "only)");
             }
         } else if (arg == "-q" || arg == "--q" || arg == "--quiet") {
             cli.quiet = true;
@@ -239,6 +271,52 @@ cli_options parse_cli(int argc, const char* const* argv, env_lookup env) {
             "driver '" + cli.driver +
             "' never spawns — use taskgraph or foreach");
     }
+    // Environment twin of --metrics; a non-empty value is the reporter
+    // path, the explicit flag wins.  Same driver rule as the tracer: the
+    // registry's instrumented sites live in the scheduler.
+    if (const char* raw = env("LULESH_METRICS");
+        raw != nullptr && *raw != '\0' && cli.metrics_file.empty()) {
+        cli.metrics_file = raw;
+    }
+    if (!cli.metrics_file.empty() &&
+        (cli.driver == "serial" || cli.driver == "parallel_for")) {
+        throw std::invalid_argument(
+            "lulesh: --metrics (or LULESH_METRICS) samples scheduler task "
+            "metrics, which driver '" + cli.driver +
+            "' never produces — use taskgraph or foreach");
+    }
+    if (metrics_interval_flag && cli.metrics_file.empty()) {
+        throw std::invalid_argument(
+            "lulesh: --metrics-interval paces the metrics reporter — "
+            "combine it with --metrics[=PATH] or LULESH_METRICS");
+    }
+    if (cli.metrics_interval_ms < 1) {
+        throw std::invalid_argument(
+            "lulesh: --metrics-interval must be >= 1 (milliseconds)");
+    }
+    // Environment twin of --critical-path-report: "1" → text-only report,
+    // any other non-empty non-"0" value → JSON output path too.
+    if (const char* raw = env("LULESH_CRITICAL_PATH_REPORT");
+        raw != nullptr && *raw != '\0' && std::string(raw) != "0" &&
+        !cli.critical_path_report) {
+        cli.critical_path_report = true;
+        if (std::string(raw) != "1") cli.critical_path_json = raw;
+    }
+    if (cli.critical_path_report) {
+        if (cli.driver != "taskgraph") {
+            throw std::invalid_argument(
+                "lulesh: --critical-path-report (or "
+                "LULESH_CRITICAL_PATH_REPORT) profiles the compiled "
+                "iteration graph, which driver '" + cli.driver +
+                "' never compiles — use taskgraph");
+        }
+        if (cli.graph_mode == "build") {
+            throw std::invalid_argument(
+                "lulesh: --critical-path-report needs the compiled replay "
+                "graph; --graph-mode build rebuilds the future web every "
+                "iteration and keeps no recycled nodes to profile");
+        }
+    }
     return cli;
 }
 
@@ -290,6 +368,22 @@ std::string usage_text(const std::string& program) {
        << "                  write a per-phase utilization report (.json →\n"
        << "                  JSON, else text; env twin:\n"
        << "                  LULESH_UTILIZATION_REPORT=<file>)\n"
+       << "  --metrics[=<file>]\n"
+       << "                  arm the metrics registry and write interval\n"
+       << "                  snapshots to <file> (default metrics.json;\n"
+       << "                  .prom → Prometheus text rewritten per\n"
+       << "                  interval, else JSON lines; env twin:\n"
+       << "                  LULESH_METRICS=<file>, flag wins; needs a\n"
+       << "                  task-spawning driver)\n"
+       << "  --metrics-interval <ms>    reporter snapshot cadence (default\n"
+       << "                             1000; needs --metrics)\n"
+       << "  --critical-path-report[=<file>]\n"
+       << "                  profile compiled-graph nodes and print the\n"
+       << "                  critical-path report (path length, per-phase\n"
+       << "                  slack, top tasks) after the run; =<file> also\n"
+       << "                  writes it as JSON (env twin:\n"
+       << "                  LULESH_CRITICAL_PATH_REPORT=1|<file>; needs\n"
+       << "                  the taskgraph driver in replay mode)\n"
        << "  -h              this help\n"
        << "Exit codes: 0 ok, 1 usage, 2 volume error, 3 qstop exceeded,\n"
        << "            4 task fault, 5 stalled, 6 graph hazard,\n"

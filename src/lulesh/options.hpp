@@ -141,6 +141,30 @@ struct cli_options {
     /// Non-empty: arm the tracer and write the per-phase utilization report
     /// here (".json" suffix → JSON, anything else → text table).
     std::string utilization_report_file;
+
+    /// Non-empty: arm the metrics registry (amt/metrics) and run the
+    /// interval reporter against this path for the whole run (".prom"
+    /// suffix → Prometheus text rewritten each interval, anything else →
+    /// one JSON snapshot appended per line).  `--metrics` bare defaults to
+    /// "metrics.json"; `--metrics=PATH` overrides (no space-separated form
+    /// — a following argument is never consumed).  Env twin:
+    /// LULESH_METRICS=<path> (the flag wins).  Rejected with the
+    /// non-tasking drivers — the registry instruments scheduler tasks.
+    std::string metrics_file;
+    /// Reporter snapshot interval in milliseconds (--metrics-interval,
+    /// default 1000); requires --metrics/LULESH_METRICS.
+    int metrics_interval_ms = 1000;
+
+    /// --critical-path-report[=PATH]: profile the compiled graph's nodes
+    /// and print the critical-path report (per-iteration path length,
+    /// per-phase slack, top-k tasks) after the run; with =PATH the same
+    /// report is also written as JSON.  Env twin:
+    /// LULESH_CRITICAL_PATH_REPORT ("1" → text only, other non-empty
+    /// non-"0" values → JSON path; the flag wins).  Taskgraph driver in
+    /// replay mode only — the profile lives on the compiled graph's
+    /// recycled nodes.
+    bool critical_path_report = false;
+    std::string critical_path_json;
 };
 
 /// Environment lookup used by parse_cli — std::getenv by default, injectable

@@ -285,6 +285,27 @@ TEST(Amt003, SilentOnTracerProbesInProbedKernels) {
     EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
 }
 
+TEST(Amt003, SilentOnMetricsUpdatesInProbedKernels) {
+    // Same deal for the metrics registry (amt/metrics.hpp): instrumented
+    // kernel bodies cache a counter/histogram reference and update it
+    // next to their field accesses (the scheduler does exactly this for
+    // amt_task_duration_ns).  None of get_*/add/record/scoped_timer is a
+    // domain field access, so a probed kernel carrying metric updates
+    // must stay clean.
+    const std::string src =
+        "void my_kernel(domain& d, index_t lo, index_t hi) {\n"
+        "    hazard_touch(field::vnew, true, lo, hi);\n"
+        "    static auto& kernel_runs = amt::metrics::get_counter(\n"
+        "        \"lulesh_kernel_runs\", \"probed kernel executions\");\n"
+        "    static auto& kernel_ns = amt::metrics::get_histogram(\n"
+        "        \"lulesh_kernel_duration_ns\");\n"
+        "    kernel_runs.add(1);\n"
+        "    amt::metrics::scoped_timer timer(kernel_ns);\n"
+        "    for (index_t i = lo; i < hi; ++i) d.vnew[i] = 1.0;\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
 TEST(Amt003, SilentOnCheckpointPackStyleDynamicTouch) {
     // The overlapped checkpoint pack task (checkpoint_chain.cpp
     // pack_region) declares its read with a *runtime* field value —
@@ -359,6 +380,34 @@ TEST(Amt004, SilentOnConstAtomicAndThreadLocal) {
         "static void local_linkage_fn(int x) { (void)x; }\n"
         "}\n";
     EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+}
+
+TEST(Amt004, SilentOnStaticReferenceHandles) {
+    // A static reference can never be reseated, so it is not mutable
+    // static state — the referent's own declaration is where mutability
+    // is policed.  This is the interned-metric caching idiom the
+    // scheduler uses (amt/metrics.hpp "registration"); plain mutable
+    // statics right next to it must keep firing.
+    const std::string src =
+        "namespace lulesh {\n"
+        "metrics::counter& tree_counter = metrics::get_counter(\"t\");\n"
+        "void bump() {\n"
+        "    static auto& h = metrics::get_histogram(\n"
+        "        \"lulesh_kernel_duration_ns\");\n"
+        "    static metrics::counter& c = metrics::get_counter(\"runs\");\n"
+        "    h.record(1);\n"
+        "    c.add(1);\n"
+        "}\n"
+        "}\n";
+    EXPECT_TRUE(lint(src).empty()) << rules_of(lint(src));
+    const std::string still_mutable =
+        "void bump() {\n"
+        "    static long hits = 0;\n"
+        "    ++hits;\n"
+        "}\n";
+    const auto ds = lint(still_mutable);
+    ASSERT_EQ(ds.size(), 1u) << rules_of(ds);
+    EXPECT_EQ(ds[0].rule, "AMT004");
 }
 
 TEST(Amt004, SilentOnStaticMemberFunctionWithNoexcept) {

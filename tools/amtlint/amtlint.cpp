@@ -717,6 +717,14 @@ void check_amt004(const std::vector<token>& toks,
                 ++j;
                 continue;
             }
+            if (t == "&" || t == "&&") {
+                // A reference declarator: the static itself can never be
+                // reseated, so it is not mutable state — the referent's
+                // own declaration is where mutability is policed.  This
+                // is the metric-handle caching idiom
+                // (`static auto& h = metrics::get_histogram(...)`).
+                safe = true;
+            }
             if (immutable_markers().count(t) > 0) safe = true;
             if (toks[j].k == token::kind::ident) last_ident = t;
             ends_with_paren = false;
@@ -781,6 +789,10 @@ void check_amt004(const std::vector<token>& toks,
                 continue;
             }
             if (u == "=") has_eq = true;
+            // Reference declarators are unreseatable, hence not mutable
+            // state themselves (same as the local-static case above);
+            // `&` after `=` is an address-of in the initializer, ignore.
+            if (!has_eq && (u == "&" || u == "&&")) safe = true;
             if (immutable_markers().count(u) > 0) safe = true;
             if (toks[j].k == token::kind::ident) {
                 if (!has_eq) last_ident = u;
